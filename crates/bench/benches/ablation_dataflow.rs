@@ -1,0 +1,58 @@
+//! Ablation — dataflow choice at vector granularity (§4.2).
+//!
+//! Quantifies why MAICC keeps weights stationary: alternatives either
+//! explode inter-node traffic (OS re-streams weights) or leave the CMem
+//! idle (RS/OS give a core too few consecutive MACs to cover the
+//! 64-cycle MAC latency).
+//!
+//! `cargo bench -p maicc-bench --bench ablation_dataflow`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maicc::exec::dataflow::{evaluate, Dataflow};
+use maicc::nn::resnet::resnet18;
+use maicc_bench::header;
+
+fn bench(c: &mut Criterion) {
+    let shapes = resnet18(1000).shapes([64, 56, 56]).expect("shapes");
+    header("Ablation — dataflows on ResNet-18 layers (per node group)");
+    for name in ["conv1_2", "conv2_2", "conv3_2", "conv4_2"] {
+        let s = shapes.iter().find(|s| s.name == name).expect("layer");
+        println!("\n{name} (C={} M={}):", s.in_c, s.out_c);
+        println!(
+            "{:>20}{:>16}{:>16}{:>12}{:>10}",
+            "dataflow", "traffic (KB)", "weights (KB)", "depth", "busy?"
+        );
+        let cores = (s.out_c / 5).max(4);
+        for df in Dataflow::ALL {
+            let cost = evaluate(s, df, cores);
+            println!(
+                "{:>20}{:>16.0}{:>16.0}{:>12.1}{:>10}",
+                format!("{df:?}"),
+                cost.total_traffic() / 1024.0,
+                cost.weight_traffic / 1024.0,
+                cost.pipeline_depth,
+                if cost.saturates_cmem() { "yes" } else { "no" }
+            );
+        }
+        let ws = evaluate(s, Dataflow::WeightStationary, cores);
+        assert!(ws.saturates_cmem(), "{name}");
+    }
+    println!(
+        "\nonly weight-stationary keeps the seven slices busy while moving\n\
+         weights exactly once — the paper's §4.2 conclusion."
+    );
+
+    let mut g = c.benchmark_group("ablation_dataflow");
+    g.bench_function("evaluate_all", |b| {
+        b.iter(|| {
+            shapes
+                .iter()
+                .flat_map(|s| Dataflow::ALL.map(|df| evaluate(s, df, 32).total_traffic()))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

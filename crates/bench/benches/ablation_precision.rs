@@ -1,0 +1,84 @@
+//! Ablation — activation/weight precision (§2.2: 16/8/4-bit fixed point).
+//!
+//! Bit-serial compute makes precision a first-class lever: a `MAC.C` costs
+//! `n²` cycles and a slice holds `64/n − 1` vectors, so halving the
+//! precision quadruples MAC speed *and* doubles the filters per core.
+//! This ablation maps ResNet-18 heuristically at 4/8/16 bits and reports
+//! the end-to-end effect.
+//!
+//! `cargo bench -p maicc-bench --bench ablation_precision`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maicc::exec::config::ExecConfig;
+use maicc::exec::pipeline_model::run_network;
+use maicc::exec::segment::Strategy;
+use maicc::nn::resnet::resnet18;
+use maicc_bench::header;
+
+fn bench(c: &mut Criterion) {
+    let net = resnet18(1000);
+    header("Ablation — precision vs latency (ResNet-18, heuristic, 210 cores)");
+    println!(
+        "{:>6}{:>14}{:>16}{:>18}",
+        "bits", "latency (ms)", "min conv4 nodes", "throughput (s/s)"
+    );
+    let mut results = Vec::new();
+    for bits in [4usize, 8, 16] {
+        let cfg = ExecConfig {
+            n_bits: bits,
+            ..ExecConfig::default()
+        };
+        match run_network(&net, [64, 56, 56], Strategy::Heuristic, &cfg) {
+            Ok(r) => {
+                let conv4 = r
+                    .layers
+                    .iter()
+                    .filter(|l| l.name.starts_with("conv4"))
+                    .map(|l| l.nodes)
+                    .min()
+                    .unwrap_or(0);
+                println!(
+                    "{:>6}{:>14.3}{:>16}{:>18.1}",
+                    bits,
+                    r.total_ms(&cfg),
+                    conv4,
+                    r.throughput(&cfg)
+                );
+                results.push((bits, r.total_ms(&cfg)));
+            }
+            Err(e) => println!("{bits:>6}  does not map: {e}"),
+        }
+    }
+    // 4-bit must beat 8-bit; 16-bit must be the slowest mapping that fits
+    if results.len() >= 2 {
+        assert!(
+            results[0].1 < results[1].1,
+            "4-bit should be faster: {results:?}"
+        );
+    }
+    if results.len() == 3 {
+        assert!(results[1].1 < results[2].1, "{results:?}");
+    }
+    println!(
+        "\nprecision is why in-SRAM bit-serial computing targets quantized\n\
+         inference: the same array is a faster, larger machine at low n."
+    );
+
+    let mut g = c.benchmark_group("ablation_precision");
+    g.sample_size(10);
+    g.bench_function("resnet18_4bit_mapping", |b| {
+        let cfg = ExecConfig {
+            n_bits: 4,
+            ..ExecConfig::default()
+        };
+        b.iter(|| {
+            run_network(&net, [64, 56, 56], Strategy::Heuristic, &cfg)
+                .expect("maps")
+                .total_cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

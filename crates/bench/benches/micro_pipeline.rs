@@ -1,0 +1,52 @@
+//! Micro-benchmark of the node simulator: functional interpretation plus
+//! cycle-accurate replay throughput (host instructions per second).
+//!
+//! `cargo bench -p maicc-bench --bench micro_pipeline`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maicc::core::kernels::{CmemConvKernel, ConvWorkload};
+use maicc::core::pipeline::{PipelineConfig, Timing};
+use maicc_bench::header;
+
+fn bench(c: &mut Criterion) {
+    let wl = ConvWorkload::tiny();
+    let kernel = CmemConvKernel::new(wl).expect("fits");
+    let ifmap = wl.synthetic_ifmap();
+    let weights = wl.synthetic_weights();
+
+    // report simulator speed once
+    let mut node = kernel.prepare(&ifmap, &weights, 4).expect("prepared");
+    let start = std::time::Instant::now();
+    let mut t = Timing::new(PipelineConfig::default());
+    node.run_with(10_000_000, |e| t.on_retire(e)).expect("halts");
+    let secs = start.elapsed().as_secs_f64();
+    let insts = node.instret();
+    header("simulator speed");
+    println!(
+        "{insts} guest instructions in {:.3} s → {:.2} MIPS (functional + timing)",
+        secs,
+        insts as f64 / secs / 1e6
+    );
+
+    let mut g = c.benchmark_group("micro_pipeline");
+    g.sample_size(10);
+    g.bench_function("tiny_conv_functional_plus_timing", |b| {
+        b.iter(|| {
+            let mut node = kernel.prepare(&ifmap, &weights, 4).expect("prepared");
+            let mut t = Timing::new(PipelineConfig::default());
+            node.run_with(10_000_000, |e| t.on_retire(e)).expect("halts");
+            t.finish().total_cycles
+        })
+    });
+    g.bench_function("tiny_conv_functional_only", |b| {
+        b.iter(|| {
+            let mut node = kernel.prepare(&ifmap, &weights, 4).expect("prepared");
+            node.run_with(10_000_000, |_| {}).expect("halts");
+            node.instret()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Micro-benchmarks of the bit-level SRAM substrate (simulator speed, not
+//! modelled hardware speed).
+//!
+//! `cargo bench -p maicc-bench --bench micro_sram`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maicc::sram::cmem::Cmem;
+use maicc::sram::transpose;
+
+fn bench(c: &mut Criterion) {
+    let a: Vec<i8> = (0..256).map(|i| (i % 11) as i8 - 5).collect();
+    let b: Vec<i8> = (0..256).map(|i| (i % 7) as i8 - 3).collect();
+    let mut cmem = Cmem::new();
+    cmem.write_vector_i8(1, 0, &a).expect("fits");
+    cmem.write_vector_i8(1, 8, &b).expect("fits");
+
+    let mut g = c.benchmark_group("micro_sram");
+    g.bench_function("mac_i8_256", |bch| {
+        bch.iter(|| cmem.mac_i8(1, 0, 8).expect("in range"))
+    });
+    g.bench_function("move_vector", |bch| {
+        bch.iter(|| cmem.move_vector(1, 0, 2, 0, 8).expect("in range"))
+    });
+    let words: Vec<u16> = (0..256).map(|i| (i % 256) as u16).collect();
+    g.bench_function("transpose_pack_8bit", |bch| {
+        bch.iter(|| transpose::pack_words(&words, 8, 256))
+    });
+    g.bench_function("store_byte_vertical", |bch| {
+        let mut m = Cmem::new();
+        let mut i = 0usize;
+        bch.iter(|| {
+            m.store_byte(i % 2048, (i % 256) as u8).expect("in range");
+            i += 1;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

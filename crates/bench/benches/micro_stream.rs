@@ -1,0 +1,38 @@
+//! Micro-benchmark of the full-system streaming simulator: bit-level
+//! CMems + flit-level mesh, end to end (host speed, not modelled cycles).
+//!
+//! `cargo bench -p maicc-bench --bench micro_stream`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maicc::sim::stream::{StreamConfig, StreamSim};
+use maicc_bench::header;
+
+fn bench(c: &mut Criterion) {
+    let cfg = StreamConfig::small_test();
+    // report modelled vs host cost once
+    let start = std::time::Instant::now();
+    let mut sim = StreamSim::new(&cfg).expect("fits");
+    let r = sim.run(5_000_000).expect("drains");
+    let host = start.elapsed().as_secs_f64();
+    header("streaming simulator speed");
+    println!(
+        "{} modelled cycles in {:.3} s host time → {:.1} kcycles/s",
+        r.cycles,
+        host,
+        r.cycles as f64 / host / 1e3
+    );
+    assert_eq!(r.ofmap, cfg.golden());
+
+    let mut g = c.benchmark_group("micro_stream");
+    g.sample_size(10);
+    g.bench_function("single_layer_conv_full_system", |b| {
+        b.iter(|| {
+            let mut sim = StreamSim::new(&cfg).expect("fits");
+            sim.run(5_000_000).expect("drains").cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

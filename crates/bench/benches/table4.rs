@@ -1,0 +1,94 @@
+//! Table 4 — node comparison: scalar core vs MAICC node vs Neural Cache
+//! on the 5×(3×3×256) filters / 9×9×256 ifmap convolution, 8-bit.
+//!
+//! `cargo bench -p maicc-bench --bench table4`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maicc::core::kernels::{CmemConvKernel, ConvWorkload, ScalarConvKernel};
+use maicc::core::pipeline::{PipelineConfig, Timing};
+use maicc::model::area;
+use maicc::sram::neural_cache::NcConvCost;
+use maicc_bench::{header, paper, row};
+
+fn run_maicc_node(wl: ConvWorkload, ifmap: &[i8], weights: &[i8]) -> (u64, f64) {
+    let kernel = CmemConvKernel::new(wl).expect("table4 workload fits");
+    let sched = kernel.with_program(kernel.scheduled_program());
+    let mut node = sched.prepare(ifmap, weights, 4).expect("prepared");
+    let mut t = Timing::new(PipelineConfig::default());
+    node.run_with(100_000_000, |e| t.on_retire(e)).expect("halts");
+    assert_eq!(
+        sched.read_ofmap(&node).expect("ofmap"),
+        wl.golden(ifmap, weights),
+        "functional mismatch"
+    );
+    let r = t.finish();
+    // CMem dynamic activity plus the node's static power (8 mW core +
+    // 10 mW CMem leakage) over the run
+    let energy = node.cmem().energy().total_joules()
+        + r.total_cycles as f64 * (maicc::model::power::CORE_W + maicc::model::power::CMEM_STATIC_W)
+            / 1e9;
+    (r.total_cycles, energy)
+}
+
+fn run_scalar_node(wl: ConvWorkload, ifmap: &[i8], weights: &[i8]) -> (u64, f64) {
+    let kernel = ScalarConvKernel::new(wl);
+    let mut node = kernel.prepare(ifmap, weights).expect("prepared");
+    let mut t = Timing::new(PipelineConfig::default());
+    node.run_with(200_000_000, |e| t.on_retire(e)).expect("halts");
+    assert_eq!(
+        kernel.read_ofmap(&node).expect("ofmap"),
+        wl.golden(ifmap, weights)
+    );
+    let r = t.finish();
+    // the scalar node burns its 8 mW for the whole (much longer) run
+    (r.total_cycles, r.total_cycles as f64 * 8e-3 / 1e9)
+}
+
+fn bench(c: &mut Criterion) {
+    let wl = ConvWorkload::table4();
+    let ifmap = wl.synthetic_ifmap();
+    let weights = wl.synthetic_weights();
+
+    let (scalar_cycles, scalar_j) = run_scalar_node(wl, &ifmap, &weights);
+    let (maicc_cycles, maicc_j) = run_maicc_node(wl, &ifmap, &weights);
+    let nc = NcConvCost::evaluate(5, 3, 3, 256, 9, 9, 8, 5);
+    // Neural Cache node: bit-serial activations, the host-CPU assistance
+    // share, and twice the SRAM leakage (40 KB of compute arrays)
+    let nc_j = nc.total() as f64 * 0.44e-12 * 32.0
+        + nc.total() as f64
+            * (maicc::model::power::CORE_W + 2.0 * maicc::model::power::CMEM_STATIC_W)
+            / 1e9;
+
+    header("Table 4 — node comparison");
+    row("scalar core cycles", scalar_cycles as f64, paper::TABLE4_CYCLES[0], "cycles");
+    row("MAICC node cycles", maicc_cycles as f64, paper::TABLE4_CYCLES[1], "cycles");
+    row("Neural Cache cycles", nc.total() as f64, paper::TABLE4_CYCLES[2], "cycles");
+    row("scalar core energy", scalar_j, paper::TABLE4_ENERGY[0], "J");
+    row("MAICC node energy", maicc_j, paper::TABLE4_ENERGY[1], "J");
+    row("Neural Cache energy", nc_j, paper::TABLE4_ENERGY[2], "J");
+    println!(
+        "areas (mm²): scalar {:.3}, MAICC {:.3}, Neural Cache {:.3} (paper: 0.052 / 0.114 / 0.158)",
+        area::SCALAR_NODE_MM2,
+        area::maicc_node_mm2(),
+        area::NEURAL_CACHE_NODE_MM2
+    );
+    println!(
+        "MAICC vs Neural Cache: {:.2}x faster (paper: 2.3x)",
+        nc.total() as f64 / maicc_cycles as f64
+    );
+    assert!(maicc_cycles < nc.total(), "MAICC must beat Neural Cache");
+    assert!(nc.total() < scalar_cycles, "Neural Cache must beat scalar");
+
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("maicc_node_conv", |b| {
+        b.iter(|| run_maicc_node(wl, &ifmap, &weights))
+    });
+    g.bench_function("neural_cache_model", |b| {
+        b.iter(|| NcConvCost::evaluate(5, 3, 3, 256, 9, 9, 8, 5).total())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

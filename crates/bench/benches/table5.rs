@@ -1,0 +1,65 @@
+//! Table 5 — dynamic and static scheduling: cycles of the Table-4 conv
+//! under queue depths 0/1/2/4 × one or two write-back ports × with/without
+//! compile-time reordering.
+//!
+//! `cargo bench -p maicc-bench --bench table5`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maicc::core::kernels::{CmemConvKernel, ConvWorkload};
+use maicc::core::pipeline::{PipelineConfig, Timing};
+use maicc::isa::inst::Instruction;
+use maicc_bench::{header, paper, row};
+
+fn time(kernel: &CmemConvKernel, prog: Vec<Instruction>, cfg: PipelineConfig, ifmap: &[i8], weights: &[i8]) -> u64 {
+    let k = kernel.with_program(prog);
+    let mut node = k.prepare(ifmap, weights, 4).expect("prepared");
+    let mut t = Timing::new(cfg);
+    node.run_with(100_000_000, |e| t.on_retire(e)).expect("halts");
+    t.finish().total_cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let wl = ConvWorkload::table4();
+    let ifmap = wl.synthetic_ifmap();
+    let weights = wl.synthetic_weights();
+    let kernel = CmemConvKernel::new(wl).expect("fits");
+
+    header("Table 5 — dynamic and static scheduling");
+    println!("{:<28}{:>12}{:>12}", "configuration", "w/o static", "with static");
+    let mut q2_naive = 0u64;
+    let mut q2_sched = 0u64;
+    for wb in [1usize, 2] {
+        for q in [0usize, 1, 2, 4] {
+            let cfg = PipelineConfig {
+                cmem_queue: q,
+                wb_ports: wb,
+                ..PipelineConfig::default()
+            };
+            let naive = time(&kernel, kernel.program().to_vec(), cfg, &ifmap, &weights);
+            let sched = time(&kernel, kernel.scheduled_program(), cfg, &ifmap, &weights);
+            println!("queue {q}, {wb} WB port(s){:>12}{:>12}", naive, sched);
+            if q == 2 && wb == 1 {
+                q2_naive = naive;
+                q2_sched = sched;
+            }
+        }
+    }
+    row("queue=2 wb=1 w/o static", q2_naive as f64, paper::TABLE5_DYNAMIC[2], "cycles");
+    row("queue=2 wb=1 with static", q2_sched as f64, paper::TABLE5_STATIC[2], "cycles");
+    println!(
+        "static scheduling gain: {:.1}% (paper: 16%)",
+        (1.0 - q2_sched as f64 / q2_naive as f64) * 100.0
+    );
+    assert!(q2_sched < q2_naive, "static scheduling must help");
+
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    let cfg = PipelineConfig::default();
+    g.bench_function("scheduled_replay", |b| {
+        b.iter(|| time(&kernel, kernel.scheduled_program(), cfg, &ifmap, &weights))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Table 6 — comparison of layer mapping strategies on ResNet-18:
+//! per-layer node counts, per-segment latency, total inference latency.
+//!
+//! `cargo bench -p maicc-bench --bench table6`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maicc::exec::config::ExecConfig;
+use maicc::exec::pipeline_model::{run_network, RunReport};
+use maicc::exec::segment::Strategy;
+use maicc::nn::graph::Network;
+use maicc::nn::resnet::resnet18;
+use maicc_bench::{header, paper, row};
+
+fn run(net: &Network, strat: Strategy, cfg: &ExecConfig) -> RunReport {
+    run_network(net, [64, 56, 56], strat, cfg).expect("resnet maps")
+}
+
+fn bench(c: &mut Criterion) {
+    let net = resnet18(1000);
+    let cfg = ExecConfig::default();
+    let single = run(&net, Strategy::SingleLayer, &cfg);
+    let greedy = run(&net, Strategy::Greedy, &cfg);
+    let heuristic = run(&net, Strategy::Heuristic, &cfg);
+
+    header("Table 6 — layer mapping strategies");
+    println!(
+        "{:<4}{:<11}{:>8}{:>8}{:>10}",
+        "#", "layer", "single", "greedy", "heuristic"
+    );
+    for i in 0..single.layers.len() {
+        println!(
+            "{:<4}{:<11}{:>8}{:>8}{:>10}",
+            i + 1,
+            single.layers[i].name,
+            single.layers[i].nodes,
+            greedy.layers[i].nodes,
+            heuristic.layers[i].nodes
+        );
+    }
+    println!("\nper-segment latency (ms):");
+    for (name, r) in [
+        ("single-layer", &single),
+        ("greedy", &greedy),
+        ("heuristic", &heuristic),
+    ] {
+        let segs: Vec<String> = r
+            .segments
+            .iter()
+            .map(|s| format!("{:.3}", cfg.cycles_to_ms(s.latency())))
+            .collect();
+        println!("  {:<13} {}", name, segs.join(" / "));
+    }
+    println!();
+    row("single-layer total", single.total_ms(&cfg), paper::TABLE6_TOTAL_MS[0], "ms");
+    row("greedy total", greedy.total_ms(&cfg), paper::TABLE6_TOTAL_MS[1], "ms");
+    row("heuristic total", heuristic.total_ms(&cfg), paper::TABLE6_TOTAL_MS[2], "ms");
+    assert!(heuristic.total_cycles < greedy.total_cycles);
+    assert!(greedy.total_cycles < single.total_cycles);
+
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.bench_function("heuristic_mapping", |b| {
+        b.iter(|| run(&net, Strategy::Heuristic, &cfg).total_cycles)
+    });
+    g.bench_function("single_layer_mapping", |b| {
+        b.iter(|| run(&net, Strategy::SingleLayer, &cfg).total_cycles)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Table 7 — overall performance of MAICC vs CPU (i9-13900K) and GPU
+//! (RTX 4090) on ResNet-18, plus the §6.3 GFLOPS/W comparison against
+//! Neural Cache.
+//!
+//! `cargo bench -p maicc-bench --bench table7`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maicc::exec::config::ExecConfig;
+use maicc::exec::pipeline_model::run_network;
+use maicc::exec::segment::Strategy;
+use maicc::model::baselines::{DeviceModel, RESNET18_FULL_MACS};
+use maicc::model::efficiency::{Efficiency, NEURAL_CACHE_GFLOPS_PER_W};
+use maicc::model::power::EnergyBreakdown;
+use maicc::nn::resnet::resnet18;
+use maicc_bench::{header, paper, row};
+
+fn bench(c: &mut Criterion) {
+    let net = resnet18(1000);
+    let cfg = ExecConfig::default();
+    let run = run_network(&net, [64, 56, 56], Strategy::Heuristic, &cfg).expect("maps");
+    let energy = EnergyBreakdown::from_counters(&run.counters);
+    let maicc_ms = run.total_ms(&cfg);
+    let maicc_tp = run.throughput(&cfg);
+    let maicc_w = energy.average_power(run.counters.seconds);
+    let maicc_tpw = maicc_tp / maicc_w;
+
+    let cpu = DeviceModel::cpu_i9_13900k();
+    let gpu = DeviceModel::gpu_rtx_4090();
+
+    header("Table 7 — overall performance on ResNet-18 (batch 1)");
+    println!(
+        "{:<24}{:>12}{:>12}{:>12}",
+        "", "CPU", "GPU", "MAICC"
+    );
+    println!(
+        "{:<24}{:>12.2}{:>12.2}{:>12.2}",
+        "latency (ms)",
+        cpu.latency_s(RESNET18_FULL_MACS) * 1e3,
+        gpu.latency_s(RESNET18_FULL_MACS) * 1e3,
+        maicc_ms
+    );
+    println!(
+        "{:<24}{:>12.1}{:>12.1}{:>12.1}",
+        "throughput (samples/s)",
+        cpu.throughput(RESNET18_FULL_MACS),
+        gpu.throughput(RESNET18_FULL_MACS),
+        maicc_tp
+    );
+    println!(
+        "{:<24}{:>12.1}{:>12.1}{:>12.1}",
+        "average power (W)",
+        cpu.average_power_w,
+        gpu.average_power_w,
+        maicc_w
+    );
+    println!(
+        "{:<24}{:>12.2}{:>12.2}{:>12.2}",
+        "throughput per watt",
+        cpu.throughput_per_watt(RESNET18_FULL_MACS),
+        gpu.throughput_per_watt(RESNET18_FULL_MACS),
+        maicc_tpw
+    );
+    println!();
+    row("MAICC latency", maicc_ms, paper::TABLE7_LATENCY_MS[2], "ms");
+    row("MAICC throughput/W", maicc_tpw, paper::TABLE7_TPW[2], "s/s/W");
+    println!(
+        "speedup over CPU: {:.1}x (paper: 4.3x); efficiency over CPU: {:.1}x (paper: 31.6x); over GPU: {:.1}x (paper: 1.8x)",
+        maicc_tp / cpu.throughput(RESNET18_FULL_MACS),
+        maicc_tpw / cpu.throughput_per_watt(RESNET18_FULL_MACS),
+        maicc_tpw / gpu.throughput_per_watt(RESNET18_FULL_MACS)
+    );
+    assert!(maicc_tpw > gpu.throughput_per_watt(RESNET18_FULL_MACS));
+    assert!(maicc_tp > cpu.throughput(RESNET18_FULL_MACS));
+    assert!(maicc_tp < gpu.throughput(RESNET18_FULL_MACS));
+
+    // §6.3: GFLOPS/W without DRAM, vs Neural Cache's published 22.90
+    let macs = net.total_macs([64, 56, 56]).expect("shapes");
+    let eff = Efficiency {
+        macs,
+        seconds: run.counters.seconds,
+        joules: energy.total_without_dram(),
+    };
+    header("§6.3 — computational efficiency (DRAM excluded)");
+    row("MAICC GFLOPS/W", eff.gflops_per_watt(), paper::GFLOPS_PER_W[1], "GFLOPS/W");
+    println!(
+        "vs Neural Cache's published {NEURAL_CACHE_GFLOPS_PER_W}: {:.2}x (paper: 2.2x)",
+        eff.vs_neural_cache()
+    );
+    assert!(eff.vs_neural_cache() > 1.0);
+
+    let mut g = c.benchmark_group("table7");
+    g.sample_size(10);
+    g.bench_function("full_chip_resnet18", |b| {
+        b.iter(|| {
+            run_network(&net, [64, 56, 56], Strategy::Heuristic, &cfg)
+                .expect("maps")
+                .total_cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

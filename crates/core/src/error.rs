@@ -1,0 +1,76 @@
+use maicc_sram::SramError;
+use std::fmt;
+
+/// Errors raised by the node model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The program counter left the instruction memory.
+    PcOutOfRange {
+        /// The offending PC (instruction index × 4).
+        pc: u32,
+    },
+    /// A data access fell outside every mapped region, or crossed one.
+    AccessFault {
+        /// The faulting address.
+        addr: u32,
+        /// What the access tried to do.
+        what: &'static str,
+    },
+    /// The CMem rejected an operation.
+    Cmem(SramError),
+    /// The core executed `max_steps` instructions without reaching `ebreak`.
+    StepLimit {
+        /// The limit that was hit.
+        max_steps: u64,
+    },
+    /// `ecall` with an unknown service number in `a7`.
+    UnknownEcall {
+        /// The service number.
+        service: u32,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::PcOutOfRange { pc } => write!(f, "pc {pc:#010x} outside program"),
+            CoreError::AccessFault { addr, what } => {
+                write!(f, "{what} access fault at {addr:#010x}")
+            }
+            CoreError::Cmem(e) => write!(f, "cmem: {e}"),
+            CoreError::StepLimit { max_steps } => {
+                write!(f, "program did not halt within {max_steps} steps")
+            }
+            CoreError::UnknownEcall { service } => write!(f, "unknown ecall service {service}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Cmem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SramError> for CoreError {
+    fn from(e: SramError) -> Self {
+        CoreError::Cmem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sram_error_with_source() {
+        use std::error::Error;
+        let e = CoreError::from(SramError::SliceOutOfRange { slice: 9 });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("cmem"));
+    }
+}

@@ -1,0 +1,19 @@
+use maicc_exec::config::ExecConfig;
+use maicc_exec::pipeline_model::run_network;
+use maicc_exec::segment::Strategy;
+use maicc_nn::resnet::resnet18;
+
+fn main() {
+    let net = resnet18(1000);
+    let cfg = ExecConfig::default();
+    for strat in Strategy::ALL {
+        let r = run_network(&net, [64, 56, 56], strat, &cfg).unwrap();
+        println!("=== {:?}: total {:.3} ms", strat, r.total_ms(&cfg));
+        for (i, s) in r.segments.iter().enumerate() {
+            println!("  seg{} latency {:.3} ms (load {:.3})", i, cfg.cycles_to_ms(s.latency()), cfg.cycles_to_ms(s.filter_load));
+        }
+        for l in &r.layers {
+            println!("  {:10} nodes {:4} period {:7.1} eff {:8.1} iters {}", l.name, l.nodes, l.timing.period, l.effective_period, l.timing.iterations);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Micro-cost parameters of the execution model.
+//!
+//! The paper's Equation (1) models per-layer time as
+//! `T = max(T_CMem, T_aux + T_rs)` with calibration coefficients `k₁, k₂`.
+//! [`ExecConfig`] plays the same role, but every coefficient is a named,
+//! documented micro-cost; defaults are derived from the cycle-accurate
+//! node model of `maicc-core` and the memory/NoC models.
+
+use serde::{Deserialize, Serialize};
+
+/// Micro-costs (cycles) and machine geometry for the execution model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Compute cores available (210 in the evaluated chip).
+    pub cores: usize,
+    /// Activation/weight precision in bits (8 in the evaluation).
+    pub n_bits: usize,
+    /// Effective latency of one blocking 4-byte DRAM load issued by a
+    /// data-collection core at a segment boundary. The scoreboard keeps a
+    /// couple of loads in flight, so this is below the raw ~60-cycle
+    /// round trip.
+    pub dram_load_cycles: f64,
+    /// Cycles per byte to receive + transpose one activation into slice 0
+    /// (local `lb`, vertical `sb`, pointer bookkeeping).
+    pub transpose_per_byte: f64,
+    /// Cycles for a computing core to receive one transposed row
+    /// (`LoadRow.RC` issue + arrival bookkeeping).
+    pub row_recv_cycles: f64,
+    /// Cycles to forward one transposed row to the next core
+    /// (`StoreRow.RC` issue; the NoC pipelines the flits).
+    pub row_send_cycles: f64,
+    /// Cycles per vector MAC spent in the scalar pipeline accumulating the
+    /// partial sum into the ofmap (the software-pipelined 10-instruction
+    /// block measured in `maicc-core::kernels`).
+    pub accumulate_per_mac: f64,
+    /// Auxiliary-function cycles per completed ofmap value (requantize,
+    /// ReLU, pooling share, remote store of the result).
+    pub aux_per_value: f64,
+    /// Software-lock handshake (`p`/`nextp` flags, Algorithm 1) per
+    /// ifmap vector per hop: one remote flag poll + one flag store.
+    pub handshake_cycles: f64,
+    /// Mean NoC hop latency used for fill/drain terms.
+    pub hop_cycles: f64,
+    /// Aggregate filter-load bandwidth from DRAM at segment start,
+    /// bytes/cycle (32 channels streaming).
+    pub filter_load_bw: f64,
+    /// Core clock in Hz.
+    pub freq_hz: f64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            cores: 210,
+            n_bits: 8,
+            dram_load_cycles: 45.0,
+            transpose_per_byte: 3.0,
+            row_recv_cycles: 2.0,
+            row_send_cycles: 3.0,
+            accumulate_per_mac: 10.0,
+            aux_per_value: 30.0,
+            handshake_cycles: 40.0,
+            hop_cycles: 2.0,
+            filter_load_bw: 128.0,
+            freq_hz: 1.0e9,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Converts cycles to milliseconds at the configured clock.
+    #[must_use]
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / self.freq_hz * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_1ghz_210_cores() {
+        let c = ExecConfig::default();
+        assert_eq!(c.cores, 210);
+        assert!((c.cycles_to_ms(1.0e6) - 1.0).abs() < 1e-12);
+    }
+}

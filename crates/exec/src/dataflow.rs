@@ -1,0 +1,167 @@
+//! Dataflow comparison at vector granularity (§4.2).
+//!
+//! The paper argues that with a CMem that "stores and computes in the
+//! granularity of vectors, some fine-grained dataflows such as OS and RS
+//! lack sufficient pipeline depth to gain efficiency, while WS still
+//! works". This module makes that argument quantitative: for a layer and a
+//! node-group size it computes, per dataflow,
+//!
+//! * the **inter-node traffic** each stationary choice implies (what must
+//!   stream because it is *not* stationary), and
+//! * the **pipeline depth** — consecutive `MAC.C`s a core can issue per
+//!   arriving vector, which must cover the `n²`-cycle MAC latency for the
+//!   CMem to stay busy.
+
+use maicc_nn::graph::LayerShape;
+use serde::{Deserialize, Serialize};
+
+/// The classic stationary choices (§4.2, Related Work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Filters resident in CMem; ifmap vectors stream through the chain.
+    WeightStationary,
+    /// Ofmap partial sums resident; weight vectors stream per output.
+    OutputStationary,
+    /// Filter/ifmap rows paired per core; both stream at row granularity.
+    RowStationary,
+}
+
+impl Dataflow {
+    /// All three, WS first.
+    pub const ALL: [Dataflow; 3] = [
+        Dataflow::WeightStationary,
+        Dataflow::OutputStationary,
+        Dataflow::RowStationary,
+    ];
+}
+
+/// Cost summary for one (layer, dataflow, group size) point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataflowCost {
+    /// Bytes of weights entering nodes over the layer's execution.
+    pub weight_traffic: f64,
+    /// Bytes of ifmap entering nodes (including chain forwarding).
+    pub ifmap_traffic: f64,
+    /// Bytes of partial sums crossing nodes.
+    pub psum_traffic: f64,
+    /// Consecutive MACs a core performs per arriving vector — the work
+    /// available to hide the `n²`-cycle MAC latency.
+    pub pipeline_depth: f64,
+}
+
+impl DataflowCost {
+    /// Total inter-node traffic in bytes.
+    #[must_use]
+    pub fn total_traffic(&self) -> f64 {
+        self.weight_traffic + self.ifmap_traffic + self.psum_traffic
+    }
+
+    /// Whether the depth covers an n-bit MAC's latency given the ~10-cycle
+    /// per-MAC issue cost of the scalar pipeline: the CMem stays saturated
+    /// when `depth × n² ≥ depth × issue`, i.e. whenever `depth ≥ n²/…` —
+    /// in practice depth ≥ 7 lets the seven slices overlap fully.
+    #[must_use]
+    pub fn saturates_cmem(&self) -> bool {
+        self.pipeline_depth >= 7.0
+    }
+}
+
+/// Evaluates a dataflow for `shape` on a chain of `cores` computing cores.
+#[must_use]
+pub fn evaluate(shape: &LayerShape, dataflow: Dataflow, cores: usize) -> DataflowCost {
+    let m = shape.out_c as f64;
+    let c = shape.in_c as f64;
+    let rs = (shape.kernel_h * shape.kernel_w) as f64;
+    let hw = (shape.in_h * shape.in_w) as f64;
+    let ohw = (shape.out_h * shape.out_w) as f64;
+    let weights = m * c * rs;
+    let ifmap = hw * c;
+    let ofmap = ohw * m;
+    let l = cores as f64;
+    match dataflow {
+        Dataflow::WeightStationary => DataflowCost {
+            // weights loaded exactly once
+            weight_traffic: weights,
+            // every ifmap vector visits every core in the chain
+            ifmap_traffic: ifmap * l,
+            // partial sums never leave their core; only final values move
+            psum_traffic: ofmap,
+            // each arriving vector MACs against all resident filter vectors
+            pipeline_depth: (m / l) * rs,
+        },
+        Dataflow::OutputStationary => DataflowCost {
+            // every output tile pulls every weight vector it needs: the
+            // weight volume streams once per tile row of outputs
+            weight_traffic: weights * (ohw / l).max(1.0),
+            // each core pulls only its tile's input halo
+            ifmap_traffic: ifmap * rs.sqrt(),
+            psum_traffic: 0.0,
+            // a streamed weight vector is used once per resident output
+            // position before the next must arrive
+            pipeline_depth: 1.0,
+        },
+        Dataflow::RowStationary => DataflowCost {
+            // filter rows stay, ifmap rows stream diagonally, psum rows hop
+            weight_traffic: weights,
+            ifmap_traffic: ifmap * rs.sqrt() * (l / rs).max(1.0),
+            psum_traffic: ofmap * rs.sqrt(),
+            // one row pair yields ~R MACs before new data is needed
+            pipeline_depth: rs.sqrt(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maicc_nn::resnet::resnet18;
+
+    fn conv3_2() -> LayerShape {
+        resnet18(1000)
+            .shapes([64, 56, 56])
+            .unwrap()
+            .into_iter()
+            .find(|s| s.name == "conv3_2")
+            .unwrap()
+    }
+
+    #[test]
+    fn ws_saturates_the_cmem_others_do_not() {
+        let s = conv3_2();
+        let ws = evaluate(&s, Dataflow::WeightStationary, 52);
+        let os = evaluate(&s, Dataflow::OutputStationary, 52);
+        let rs = evaluate(&s, Dataflow::RowStationary, 52);
+        assert!(ws.saturates_cmem(), "{ws:?}");
+        assert!(!os.saturates_cmem(), "{os:?}");
+        assert!(!rs.saturates_cmem(), "{rs:?}");
+    }
+
+    #[test]
+    fn os_weight_traffic_explodes() {
+        let s = conv3_2();
+        let ws = evaluate(&s, Dataflow::WeightStationary, 52);
+        let os = evaluate(&s, Dataflow::OutputStationary, 52);
+        assert!(
+            os.weight_traffic > 2.0 * ws.weight_traffic,
+            "ws {} vs os {}",
+            ws.weight_traffic,
+            os.weight_traffic
+        );
+    }
+
+    #[test]
+    fn ws_psums_stay_local() {
+        let s = conv3_2();
+        let ws = evaluate(&s, Dataflow::WeightStationary, 52);
+        // only final ofmap values cross nodes
+        assert!((ws.psum_traffic - (s.out_h * s.out_w * s.out_c) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_shrinks_with_more_cores() {
+        let s = conv3_2();
+        let few = evaluate(&s, Dataflow::WeightStationary, 52);
+        let many = evaluate(&s, Dataflow::WeightStationary, 208);
+        assert!(many.pipeline_depth < few.pipeline_depth);
+    }
+}

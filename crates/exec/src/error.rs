@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Errors raised by the execution framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A layer cannot fit even with one sub-filter per core.
+    LayerTooLarge {
+        /// The layer's name.
+        layer: String,
+        /// Cores it would need at minimum.
+        needed: usize,
+        /// Cores available.
+        available: usize,
+    },
+    /// Shape propagation failed.
+    BadShapes {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::LayerTooLarge {
+                layer,
+                needed,
+                available,
+            } => write!(
+                f,
+                "layer {layer} needs {needed} cores but only {available} exist"
+            ),
+            ExecError::BadShapes { reason } => write!(f, "bad shapes: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<maicc_nn::NnError> for ExecError {
+    fn from(e: maicc_nn::NnError) -> Self {
+        ExecError::BadShapes {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_layer() {
+        let e = ExecError::LayerTooLarge {
+            layer: "conv4_2".into(),
+            needed: 300,
+            available: 210,
+        };
+        assert!(e.to_string().contains("conv4_2"));
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # maicc-exec — the DNN execution framework (§4)
+//!
+//! This crate maps DNN models onto the many-core array and predicts their
+//! execution, reproducing §4's three mechanisms:
+//!
+//! * **intra-node computing flow** (§4.1) — weight-stationary layout of
+//!   filter vectors in the seven computing slices, `7N + QN²`-cycle
+//!   iterations ([`alloc`]);
+//! * **inter-node streaming** (§4.2) — node groups of one data-collection
+//!   core plus a chain of computing cores, with intra-layer streaming and
+//!   inter-layer pipelining ([`pipeline_model`]);
+//! * **layer segmentation and mapping** (§4.3) — the single-layer, greedy
+//!   and heuristic strategies of Table 6 ([`segment`]) and the zig-zag
+//!   placement of Figure 7(c) ([`mapping`]);
+//! * the **dataflow comparison** behind §4.2's choice of weight-stationary
+//!   at vector granularity ([`dataflow`]).
+//!
+//! The timing model is vector-granularity: every layer's data-collection
+//! and computing stages advance one ifmap vector at a time, with the
+//! slower stage setting the streaming period — the same structure the
+//! paper's Equation (1) optimizes, with every micro-cost documented in
+//! [`config::ExecConfig`].
+//!
+//! ## Example
+//!
+//! ```
+//! use maicc_exec::config::ExecConfig;
+//! use maicc_exec::segment::Strategy;
+//! use maicc_exec::pipeline_model::run_network;
+//! use maicc_nn::resnet::resnet18;
+//!
+//! let net = resnet18(1000);
+//! let cfg = ExecConfig::default();
+//! let h = run_network(&net, [64, 56, 56], Strategy::Heuristic, &cfg).unwrap();
+//! let g = run_network(&net, [64, 56, 56], Strategy::Greedy, &cfg).unwrap();
+//! let s = run_network(&net, [64, 56, 56], Strategy::SingleLayer, &cfg).unwrap();
+//! // Table 6's ordering: heuristic < greedy < single-layer
+//! assert!(h.total_cycles < g.total_cycles);
+//! assert!(g.total_cycles < s.total_cycles);
+//! ```
+
+pub mod alloc;
+pub mod config;
+pub mod dataflow;
+pub mod mapping;
+pub mod pipeline_model;
+pub mod segment;
+
+mod error;
+
+pub use error::ExecError;

@@ -1,0 +1,203 @@
+//! Zig-zag placement of node groups on the compute array (§4.3, Fig 7(c)).
+//!
+//! The mapping walks the 15×14 compute region in a serpentine so that
+//! consecutive cores of a node group are physically adjacent — each ifmap
+//! forward is then a single-hop NoC transfer — and a layer's last cores
+//! sit near the next layer's data-collection core.
+
+use serde::{Deserialize, Serialize};
+
+/// Compute-array width (the 16×16 mesh minus the host column).
+pub const ARRAY_W: usize = 15;
+/// Compute-array height (minus the two LLC rows).
+pub const ARRAY_H: usize = 14;
+
+/// A tile position inside the compute region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tile {
+    /// Column.
+    pub x: u8,
+    /// Row.
+    pub y: u8,
+}
+
+impl Tile {
+    /// Manhattan distance.
+    #[must_use]
+    pub fn hops_to(self, o: Tile) -> u32 {
+        self.x.abs_diff(o.x) as u32 + self.y.abs_diff(o.y) as u32
+    }
+}
+
+/// The serpentine visit order of the whole compute region.
+#[must_use]
+pub fn zigzag_order() -> Vec<Tile> {
+    let mut out = Vec::with_capacity(ARRAY_W * ARRAY_H);
+    for y in 0..ARRAY_H {
+        let xs: Vec<usize> = if y % 2 == 0 {
+            (0..ARRAY_W).collect()
+        } else {
+            (0..ARRAY_W).rev().collect()
+        };
+        for x in xs {
+            out.push(Tile {
+                x: x as u8,
+                y: y as u8,
+            });
+        }
+    }
+    out
+}
+
+/// Placement of one node group: the data-collection core followed by its
+/// computing cores, in chain order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupPlacement {
+    /// The data-collection core.
+    pub dc: Tile,
+    /// The computing cores in streaming order.
+    pub computing: Vec<Tile>,
+}
+
+impl GroupPlacement {
+    /// Mean hop count along the forwarding chain (1.0 when perfectly
+    /// adjacent).
+    #[must_use]
+    pub fn mean_chain_hops(&self) -> f64 {
+        if self.computing.is_empty() {
+            return 0.0;
+        }
+        let mut hops = self.dc.hops_to(self.computing[0]) as f64;
+        for w in self.computing.windows(2) {
+            hops += w[0].hops_to(w[1]) as f64;
+        }
+        hops / self.computing.len() as f64
+    }
+}
+
+/// Places consecutive node groups (sized `1 + computing_cores` each) along
+/// the serpentine. Returns `None` if the groups exceed the array.
+#[must_use]
+pub fn place_groups(group_sizes: &[usize]) -> Option<Vec<GroupPlacement>> {
+    let order = zigzag_order();
+    let total: usize = group_sizes.iter().map(|&c| c + 1).sum();
+    if total > order.len() {
+        return None;
+    }
+    let mut cursor = 0;
+    let mut out = Vec::with_capacity(group_sizes.len());
+    for &cc in group_sizes {
+        let dc = order[cursor];
+        let computing = order[cursor + 1..cursor + 1 + cc].to_vec();
+        cursor += cc + 1;
+        out.push(GroupPlacement { dc, computing });
+    }
+    Some(out)
+}
+
+/// Renders group placements as an ASCII floor plan of the compute region:
+/// each group gets a letter, its DC is upper-case, computing cores
+/// lower-case, unused tiles are dots. The first groups read like
+/// Figure 7(c)'s zig-zag.
+#[must_use]
+pub fn render_ascii(groups: &[GroupPlacement]) -> String {
+    let mut grid = vec![vec!['.'; ARRAY_W]; ARRAY_H];
+    for (gi, g) in groups.iter().enumerate() {
+        let upper = (b'A' + (gi % 26) as u8) as char;
+        let lower = upper.to_ascii_lowercase();
+        grid[g.dc.y as usize][g.dc.x as usize] = upper;
+        for t in &g.computing {
+            grid[t.y as usize][t.x as usize] = lower;
+        }
+    }
+    let mut out = String::with_capacity((ARRAY_W + 1) * ARRAY_H);
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn serpentine_covers_array_once() {
+        let order = zigzag_order();
+        assert_eq!(order.len(), ARRAY_W * ARRAY_H);
+        let unique: std::collections::HashSet<_> = order.iter().collect();
+        assert_eq!(unique.len(), order.len());
+    }
+
+    #[test]
+    fn serpentine_steps_are_adjacent() {
+        let order = zigzag_order();
+        for w in order.windows(2) {
+            assert_eq!(w[0].hops_to(w[1]), 1, "{:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn placed_groups_have_adjacent_chains() {
+        let groups = place_groups(&[4, 13, 26, 52]).unwrap();
+        assert_eq!(groups.len(), 4);
+        for g in &groups {
+            assert!(
+                (g.mean_chain_hops() - 1.0).abs() < 1e-9,
+                "chain not adjacent: {:?}",
+                g.mean_chain_hops()
+            );
+        }
+    }
+
+    #[test]
+    fn groups_do_not_overlap() {
+        let groups = place_groups(&[10, 20, 30]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            assert!(seen.insert(g.dc));
+            for t in &g.computing {
+                assert!(seen.insert(*t));
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_returns_none() {
+        assert!(place_groups(&[ARRAY_W * ARRAY_H]).is_none());
+        assert!(place_groups(&[ARRAY_W * ARRAY_H - 1]).is_some());
+    }
+
+    #[test]
+    fn ascii_map_marks_every_tile_once() {
+        let groups = place_groups(&[4, 6]).unwrap();
+        let map = render_ascii(&groups);
+        assert_eq!(map.matches('A').count(), 1);
+        assert_eq!(map.matches('a').count(), 4);
+        assert_eq!(map.matches('B').count(), 1);
+        assert_eq!(map.matches('b').count(), 6);
+        assert_eq!(map.lines().count(), ARRAY_H);
+        assert!(map.lines().all(|l| l.len() == ARRAY_W));
+        // the zig-zag: group A occupies the start of row 0
+        assert!(map.lines().next().unwrap().starts_with("Aaaaa"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_any_fitting_partition_places(sizes in proptest::collection::vec(1usize..40, 1..6)) {
+            let total: usize = sizes.iter().map(|&c| c + 1).sum();
+            let placed = place_groups(&sizes);
+            if total <= ARRAY_W * ARRAY_H {
+                let groups = placed.expect("fits");
+                prop_assert_eq!(groups.len(), sizes.len());
+                for (g, &c) in groups.iter().zip(&sizes) {
+                    prop_assert_eq!(g.computing.len(), c);
+                }
+            } else {
+                prop_assert!(placed.is_none());
+            }
+        }
+    }
+}

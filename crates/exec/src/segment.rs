@@ -1,0 +1,343 @@
+//! Layer segmentation strategies (§4.3, Table 6).
+//!
+//! * **single-layer** — no segmentation: every layer maps alone with as
+//!   many cores as are useful, and layers run one after another through
+//!   DRAM;
+//! * **greedy** — pack as many consecutive layers as fit, each at its
+//!   minimum core count;
+//! * **heuristic** — the paper's algorithm: group consecutive layers with
+//!   the *same ifmap size* (pooling shrinks fmaps exponentially, so equal
+//!   ifmap size ⇒ similar expected running time `H·W·T`), then distribute
+//!   the remaining cores to minimize the maximum per-layer period — the
+//!   Equation (1) min-max.
+
+use crate::alloc::{LayerAlloc, LayerCapacity};
+use crate::config::ExecConfig;
+use crate::ExecError;
+use maicc_nn::graph::LayerShape;
+use serde::{Deserialize, Serialize};
+
+/// The three Table-6 strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// One layer per segment, maximum useful parallelism.
+    SingleLayer,
+    /// As many layers per segment as fit, at minimum core counts.
+    Greedy,
+    /// Same-ifmap-size grouping plus min-max core allocation.
+    Heuristic,
+}
+
+impl Strategy {
+    /// All three, in Table-6 column order.
+    pub const ALL: [Strategy; 3] = [
+        Strategy::SingleLayer,
+        Strategy::Greedy,
+        Strategy::Heuristic,
+    ];
+}
+
+/// A mapped segment: consecutive layers resident on the array together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Global layer indices (into the network's topological order).
+    pub layer_indices: Vec<usize>,
+    /// Allocation per layer, aligned with `layer_indices`.
+    pub allocs: Vec<LayerAlloc>,
+}
+
+impl Segment {
+    /// Total nodes the segment occupies.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.allocs.iter().map(LayerAlloc::nodes).sum()
+    }
+}
+
+fn close_segment(seg: &mut Segment) {
+    if let Some(first) = seg.allocs.first_mut() {
+        first.fed_from_dram = true;
+    }
+    if let Some(last) = seg.allocs.last_mut() {
+        last.drains_to_dram = true;
+    }
+}
+
+/// Runs a strategy over a network's layer shapes.
+///
+/// # Errors
+///
+/// Returns [`ExecError::LayerTooLarge`] if some layer cannot fit on the
+/// array at all.
+pub fn segment(
+    shapes: &[LayerShape],
+    strategy: Strategy,
+    cfg: &ExecConfig,
+) -> Result<Vec<Segment>, ExecError> {
+    match strategy {
+        Strategy::SingleLayer => single_layer(shapes, cfg),
+        Strategy::Greedy => greedy(shapes, cfg),
+        Strategy::Heuristic => heuristic(shapes, cfg),
+    }
+}
+
+fn check_fits(shape: &LayerShape, cfg: &ExecConfig) -> Result<usize, ExecError> {
+    let cap = LayerCapacity::of_bits(shape, cfg.n_bits);
+    let min = cap.min_cores(&shape.name)?;
+    if min + 1 > cfg.cores {
+        return Err(ExecError::LayerTooLarge {
+            layer: shape.name.clone(),
+            needed: min + 1,
+            available: cfg.cores,
+        });
+    }
+    Ok(min)
+}
+
+fn single_layer(shapes: &[LayerShape], cfg: &ExecConfig) -> Result<Vec<Segment>, ExecError> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            check_fits(s, cfg)?;
+            let cap = LayerCapacity::of_bits(s, cfg.n_bits);
+            let cores = cap.max_useful_cores().min(cfg.cores - 1);
+            let mut seg = Segment {
+                layer_indices: vec![i],
+                allocs: vec![LayerAlloc::with_bits(s.clone(), cores, cfg.n_bits)],
+            };
+            close_segment(&mut seg);
+            Ok(seg)
+        })
+        .collect()
+}
+
+fn greedy(shapes: &[LayerShape], cfg: &ExecConfig) -> Result<Vec<Segment>, ExecError> {
+    let mut out = Vec::new();
+    let mut cur = Segment {
+        layer_indices: Vec::new(),
+        allocs: Vec::new(),
+    };
+    let mut used = 0usize;
+    for (i, s) in shapes.iter().enumerate() {
+        let min = check_fits(s, cfg)?;
+        let need = min + 1;
+        if used + need > cfg.cores && !cur.allocs.is_empty() {
+            close_segment(&mut cur);
+            out.push(std::mem::replace(
+                &mut cur,
+                Segment {
+                    layer_indices: Vec::new(),
+                    allocs: Vec::new(),
+                },
+            ));
+            used = 0;
+        }
+        cur.layer_indices.push(i);
+        cur.allocs.push(LayerAlloc::with_bits(s.clone(), min, cfg.n_bits));
+        used += need;
+    }
+    if !cur.allocs.is_empty() {
+        close_segment(&mut cur);
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+fn heuristic(shapes: &[LayerShape], cfg: &ExecConfig) -> Result<Vec<Segment>, ExecError> {
+    // 1. group consecutive layers with the same ifmap size
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, s) in shapes.iter().enumerate() {
+        let same = groups.last().is_some_and(|g| {
+            let p = &shapes[g[0]];
+            p.in_h == s.in_h && p.in_w == s.in_w && !p.is_linear && !s.is_linear
+        });
+        if same {
+            groups.last_mut().expect("just checked").push(i);
+        } else {
+            groups.push(vec![i]);
+        }
+    }
+    // 2. split groups that do not fit, greedily
+    let mut segments: Vec<Vec<usize>> = Vec::new();
+    for g in groups {
+        let mut cur: Vec<usize> = Vec::new();
+        let mut used = 0usize;
+        for i in g {
+            let min = check_fits(&shapes[i], cfg)?;
+            if used + min + 1 > cfg.cores && !cur.is_empty() {
+                segments.push(std::mem::take(&mut cur));
+                used = 0;
+            }
+            cur.push(i);
+            used += min + 1;
+        }
+        if !cur.is_empty() {
+            segments.push(cur);
+        }
+    }
+    // 3. per segment: start at minimum allocation, then hand leftover cores
+    //    to the layer with the largest period (Equation (1) min-max)
+    segments
+        .into_iter()
+        .map(|idxs| {
+            let mut allocs: Vec<LayerAlloc> = idxs
+                .iter()
+                .map(|&i| {
+                    let cap = LayerCapacity::of_bits(&shapes[i], cfg.n_bits);
+                    let min = cap
+                        .min_cores(&shapes[i].name)
+                        .expect("checked by check_fits");
+                    LayerAlloc::with_bits(shapes[i].clone(), min, cfg.n_bits)
+                })
+                .collect();
+            let mut leftover = cfg.cores - allocs.iter().map(LayerAlloc::nodes).sum::<usize>();
+            loop {
+                // the current bottleneck layer that can still grow
+                let grow = allocs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.computing_cores < a.capacity.max_useful_cores())
+                    .max_by(|(_, a), (_, b)| {
+                        a.timing(cfg)
+                            .t_cc
+                            .partial_cmp(&b.timing(cfg).t_cc)
+                            .expect("periods are finite")
+                    })
+                    .map(|(i, _)| i);
+                match grow {
+                    Some(i) if leftover > 0 => {
+                        allocs[i].computing_cores += 1;
+                        leftover -= 1;
+                    }
+                    _ => break,
+                }
+            }
+            let mut seg = Segment {
+                layer_indices: idxs,
+                allocs,
+            };
+            close_segment(&mut seg);
+            Ok(seg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maicc_nn::resnet::resnet18;
+
+    fn shapes() -> Vec<LayerShape> {
+        resnet18(1000).shapes([64, 56, 56]).unwrap()
+    }
+
+    #[test]
+    fn single_layer_makes_twenty_segments() {
+        let segs = segment(&shapes(), Strategy::SingleLayer, &ExecConfig::default()).unwrap();
+        assert_eq!(segs.len(), 20);
+        for s in &segs {
+            assert!(s.allocs[0].fed_from_dram);
+            assert!(s.allocs[0].drains_to_dram);
+            assert!(s.nodes() <= 210);
+        }
+    }
+
+    #[test]
+    fn greedy_packs_multiple_layers() {
+        let segs = segment(&shapes(), Strategy::Greedy, &ExecConfig::default()).unwrap();
+        assert!(segs.len() < 20, "greedy must merge layers: {}", segs.len());
+        assert!(segs[0].allocs.len() > 4, "first segment packs many layers");
+        for s in &segs {
+            assert!(s.nodes() <= 210, "segment overflows: {}", s.nodes());
+            // only segment boundaries touch DRAM
+            for (i, a) in s.allocs.iter().enumerate() {
+                if i > 0 {
+                    assert!(!a.fed_from_dram);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_groups_by_ifmap_size() {
+        let segs = segment(&shapes(), Strategy::Heuristic, &ExecConfig::default()).unwrap();
+        // within a (multi-layer) segment all ifmap sizes agree
+        for s in &segs {
+            let first = &s.allocs[0].shape;
+            for a in &s.allocs {
+                assert_eq!(
+                    (a.shape.in_h, a.shape.in_w),
+                    (first.in_h, first.in_w),
+                    "mixed ifmap sizes in one segment"
+                );
+            }
+        }
+        // the paper's heuristic finds three multi-layer segments (1-6,
+        // 7-11, 12-15) followed by the single big conv4 layers + linear
+        let multi = segs.iter().filter(|s| s.allocs.len() > 1).count();
+        assert_eq!(multi, 3, "{segs:#?}");
+        assert_eq!(segs[0].allocs.len(), 6);
+        assert_eq!(segs[1].allocs.len(), 5);
+        assert_eq!(segs[2].allocs.len(), 4);
+    }
+
+    #[test]
+    fn heuristic_uses_leftover_cores() {
+        let cfg = ExecConfig::default();
+        let g = segment(&shapes(), Strategy::Greedy, &cfg).unwrap();
+        let h = segment(&shapes(), Strategy::Heuristic, &cfg).unwrap();
+        // the heuristic's first segment gives its layers more cores than
+        // the greedy minimum
+        let gn: usize = g[0].allocs[0].computing_cores;
+        let hn: usize = h[0].allocs[0].computing_cores;
+        assert!(hn > gn, "heuristic {hn} vs greedy {gn}");
+        for s in &h {
+            assert!(s.nodes() <= cfg.cores);
+        }
+    }
+
+    #[test]
+    fn heuristic_balances_periods() {
+        let cfg = ExecConfig::default();
+        let h = segment(&shapes(), Strategy::Heuristic, &cfg).unwrap();
+        // in a balanced multi-layer segment, max/min compute period stays
+        // within an order of magnitude (single-layer imbalance is ~20×)
+        let seg = &h[0];
+        let periods: Vec<f64> = seg.allocs.iter().map(|a| a.timing(&cfg).t_cc).collect();
+        let max = periods.iter().cloned().fold(0.0, f64::max);
+        let min = periods.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 8.0, "periods {periods:?}");
+    }
+
+    #[test]
+    fn conv4_layers_stand_alone_in_all_strategies() {
+        let cfg = ExecConfig::default();
+        for strat in Strategy::ALL {
+            let segs = segment(&shapes(), strat, &cfg).unwrap();
+            for s in &segs {
+                let has_conv4 = s
+                    .allocs
+                    .iter()
+                    .any(|a| a.shape.name.starts_with("conv4_") && a.shape.in_c == 512);
+                if has_conv4 {
+                    assert_eq!(
+                        s.allocs.len(),
+                        1,
+                        "512-channel conv4 layers need ~206 nodes and sit alone"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_layer_is_reported() {
+        let cfg = ExecConfig {
+            cores: 10,
+            ..ExecConfig::default()
+        };
+        let err = segment(&shapes(), Strategy::Greedy, &cfg);
+        assert!(matches!(err, Err(ExecError::LayerTooLarge { .. })));
+    }
+}

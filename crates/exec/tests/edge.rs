@@ -1,0 +1,100 @@
+//! Edge cases of segmentation and allocation.
+
+use maicc_exec::alloc::{LayerAlloc, LayerCapacity};
+use maicc_exec::config::ExecConfig;
+use maicc_exec::pipeline_model::run_network;
+use maicc_exec::segment::{segment, Strategy};
+use maicc_nn::graph::{Network, Node, NodeInput, NodeOp};
+use maicc_nn::layer::ConvLayer;
+use maicc_nn::quant::Requantizer;
+use maicc_nn::tensor::{ConvShape, Tensor};
+
+fn one_conv(c: usize, m: usize) -> Network {
+    Network::new(
+        "one",
+        vec![Node {
+            name: "only".into(),
+            op: NodeOp::Conv(ConvLayer {
+                shape: ConvShape {
+                    out_channels: m,
+                    in_channels: c,
+                    kernel_h: 3,
+                    kernel_w: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+                weights: Tensor::filled(&[m, c, 3, 3], 1),
+                bias: vec![0; m],
+                requant: Requantizer::from_real_multiplier(0.01, 0),
+                relu: true,
+                pool: None,
+            }),
+            input: NodeInput::External,
+            residual: None,
+        }],
+    )
+    .unwrap()
+}
+
+#[test]
+fn single_layer_network_runs_under_all_strategies() {
+    let net = one_conv(32, 16);
+    let cfg = ExecConfig::default();
+    for strat in Strategy::ALL {
+        let r = run_network(&net, [32, 8, 8], strat, &cfg).unwrap();
+        assert_eq!(r.layers.len(), 1);
+        assert_eq!(r.segments.len(), 1);
+        assert!(r.layers[0].timing.t_dc > 0.0);
+    }
+}
+
+#[test]
+fn exactly_fitting_array() {
+    // a layer whose minimum is the whole array still maps
+    let net = one_conv(256, 16);
+    let shapes = net.shapes([256, 8, 8]).unwrap();
+    let cap = LayerCapacity::of(&shapes[0]);
+    let min = cap.min_cores("only").unwrap();
+    let cfg = ExecConfig {
+        cores: min + 1,
+        ..ExecConfig::default()
+    };
+    let segs = segment(&shapes, Strategy::Greedy, &cfg).unwrap();
+    assert_eq!(segs[0].nodes(), min + 1);
+    // one core fewer fails
+    let too_small = ExecConfig {
+        cores: min,
+        ..ExecConfig::default()
+    };
+    assert!(segment(&shapes, Strategy::Greedy, &too_small).is_err());
+}
+
+#[test]
+fn heuristic_never_exceeds_the_array() {
+    let net = maicc_nn::resnet::resnet18(1000);
+    for cores in [207, 210, 250, 400] {
+        let cfg = ExecConfig {
+            cores,
+            ..ExecConfig::default()
+        };
+        let shapes = net.shapes([64, 56, 56]).unwrap();
+        if let Ok(segs) = segment(&shapes, Strategy::Heuristic, &cfg) {
+            for s in &segs {
+                assert!(s.nodes() <= cores, "{} > {cores}", s.nodes());
+            }
+        }
+    }
+}
+
+#[test]
+fn allocation_timing_monotone_in_cores() {
+    let net = one_conv(64, 64);
+    let shapes = net.shapes([64, 16, 16]).unwrap();
+    let cfg = ExecConfig::default();
+    let mut prev = f64::INFINITY;
+    for cores in [4usize, 8, 16, 32, 64] {
+        let t = LayerAlloc::new(shapes[0].clone(), cores).timing(&cfg);
+        assert!(t.t_cmem <= prev + 1e-9, "cores {cores}");
+        prev = t.t_cmem;
+    }
+}

@@ -1,0 +1,235 @@
+//! The `maicc` command-line tool.
+//!
+//! ```text
+//! maicc map    [--model resnet18|vgg11|tinynet] [--strategy heuristic|greedy|single] [--cores N]
+//! maicc node   [--width 4|8|16]          # Table-4 single-node conv
+//! maicc asm    <file.s>                  # assemble and hex-dump a program
+//! maicc run    <file.s> [--max-steps N]  # execute a program on one node
+//! maicc stream                           # conv pipeline through the mesh
+//! ```
+
+use maicc::core::kernels::{CmemConvKernel, ConvWorkload};
+use maicc::core::node::{Node, NullPort};
+use maicc::core::pipeline::{PipelineConfig, Timing};
+use maicc::exec::config::ExecConfig;
+use maicc::exec::pipeline_model::run_network;
+use maicc::exec::segment::Strategy;
+use maicc::isa::inst::VecWidth;
+use maicc::isa::parse::assemble_text;
+use maicc::isa::reg::Reg;
+use maicc::model::power::EnergyBreakdown;
+use maicc::nn::graph::Network;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("map") => cmd_map(&args[1..]),
+        Some("node") => cmd_node(&args[1..]),
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("stream") => cmd_stream(),
+        Some("help") | None => {
+            print_help();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}` (try `maicc help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "maicc — the MAICC many-core with in-cache computing\n\n\
+         USAGE:\n  maicc map    [--model M] [--strategy S] [--cores N]\n  \
+         maicc node   [--width 4|8|16]\n  maicc asm    <file.s>\n  \
+         maicc run    <file.s> [--max-steps N]\n  maicc stream\n\n\
+         models: resnet18 (default), vgg11, tinynet\n\
+         strategies: heuristic (default), greedy, single"
+    );
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_map(args: &[String]) -> Result<(), String> {
+    let model = flag(args, "--model").unwrap_or_else(|| "resnet18".into());
+    let (net, input): (Network, [usize; 3]) = match model.as_str() {
+        "resnet18" => (maicc::nn::resnet::resnet18(1000), [64, 56, 56]),
+        "vgg11" => (maicc::nn::resnet::vgg11(1000), [64, 32, 32]),
+        "tinynet" => (maicc::nn::resnet::tinynet(10), [32, 32, 32]),
+        other => return Err(format!("unknown model `{other}`")),
+    };
+    let strategy = match flag(args, "--strategy").as_deref() {
+        None | Some("heuristic") => Strategy::Heuristic,
+        Some("greedy") => Strategy::Greedy,
+        Some("single") => Strategy::SingleLayer,
+        Some(other) => return Err(format!("unknown strategy `{other}`")),
+    };
+    let cores = match flag(args, "--cores") {
+        Some(c) => c.parse().map_err(|_| format!("bad core count `{c}`"))?,
+        None => 210,
+    };
+    let cfg = ExecConfig {
+        cores,
+        ..ExecConfig::default()
+    };
+    let run = run_network(&net, input, strategy, &cfg).map_err(|e| e.to_string())?;
+    println!("{model} under {strategy:?} on {cores} cores\n");
+    println!("{:<4}{:<12}{:>7}{:>5}{:>12}{:>12}", "#", "layer", "nodes", "seg", "period", "iters");
+    for (i, l) in run.layers.iter().enumerate() {
+        println!(
+            "{:<4}{:<12}{:>7}{:>5}{:>12.0}{:>12}",
+            i + 1,
+            l.name,
+            l.nodes,
+            l.segment,
+            l.effective_period,
+            l.timing.iterations
+        );
+    }
+    let e = EnergyBreakdown::from_counters(&run.counters);
+    println!(
+        "\nlatency {:.3} ms | throughput {:.1} samples/s | power {:.1} W | energy {:.1} mJ",
+        run.total_ms(&cfg),
+        run.throughput(&cfg),
+        e.average_power(run.counters.seconds),
+        e.total() * 1e3
+    );
+    // floor plan of the first segment's node groups (Figure 7(c) zig-zag)
+    use maicc::exec::mapping::{place_groups, render_ascii};
+    let seg0: Vec<usize> = run
+        .layers
+        .iter()
+        .filter(|l| l.segment == 0)
+        .map(|l| l.nodes - 1)
+        .collect();
+    if let Some(g) = place_groups(&seg0) {
+        println!("\nsegment 0 floor plan (DC upper-case, cores lower-case):");
+        print!("{}", render_ascii(&g));
+    }
+    Ok(())
+}
+
+fn cmd_node(args: &[String]) -> Result<(), String> {
+    let width = match flag(args, "--width").as_deref() {
+        None | Some("8") => VecWidth::W8,
+        Some("4") => VecWidth::W4,
+        Some("16") => VecWidth::W16,
+        Some(other) => return Err(format!("unsupported width `{other}`")),
+    };
+    let wl = if width == VecWidth::W16 {
+        ConvWorkload::tiny()
+    } else {
+        ConvWorkload::table4()
+    };
+    let kernel = CmemConvKernel::with_width(wl, width).map_err(|e| e.to_string())?;
+    let sched = kernel.with_program(kernel.scheduled_program());
+    let ifmap = wl.synthetic_ifmap();
+    let weights = wl.synthetic_weights();
+    let mut node = sched
+        .prepare(&ifmap, &weights, 4)
+        .map_err(|e| e.to_string())?;
+    let mut t = Timing::new(PipelineConfig::default());
+    node.run_with(200_000_000, |e| t.on_retire(e))
+        .map_err(|e| e.to_string())?;
+    let ok = sched.read_ofmap(&node).map_err(|e| e.to_string())? == wl.golden(&ifmap, &weights);
+    let r = t.finish();
+    println!(
+        "{}-bit conv {}x({}x{}x{}) on {}x{}x{}: {} cycles, IPC {:.2}",
+        width.bits(),
+        wl.filters,
+        wl.r,
+        wl.s,
+        wl.c,
+        wl.h,
+        wl.w,
+        wl.c,
+        r.total_cycles,
+        r.ipc(),
+    );
+    println!("functional check vs golden conv: {}", if ok { "PASS" } else { "FAIL" });
+    if !ok {
+        return Err("ofmap mismatch".into());
+    }
+    Ok(())
+}
+
+fn cmd_asm(args: &[String]) -> Result<(), String> {
+    use std::io::Write;
+    let path = args.first().ok_or("usage: maicc asm <file.s>")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let prog = assemble_text(&src).map_err(|e| e.to_string())?;
+    // ignore write failures so `maicc asm … | head` exits cleanly
+    let mut out = std::io::stdout().lock();
+    for (i, inst) in prog.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:08x}:  {:08x}  {}",
+            i * 4,
+            maicc::isa::encode::encode(inst),
+            inst
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: maicc run <file.s>")?;
+    let max_steps = match flag(args, "--max-steps") {
+        Some(v) => v.parse().map_err(|_| format!("bad step count `{v}`"))?,
+        None => 10_000_000u64,
+    };
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let prog = assemble_text(&src).map_err(|e| e.to_string())?;
+    let mut node = Node::new(prog, Box::new(NullPort::default()));
+    let mut timing = Timing::new(PipelineConfig::default());
+    node.run_with(max_steps, |e| timing.on_retire(e))
+        .map_err(|e| e.to_string())?;
+    let r = timing.finish();
+    println!(
+        "halted after {} instructions, {} cycles (IPC {:.2})",
+        r.instructions, r.total_cycles, r.ipc()
+    );
+    if !node.output().is_empty() {
+        println!("output: {:?}", node.output());
+    }
+    // ignore write failures so `maicc run … | head` exits cleanly
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    for chunk in Reg::ALL.chunks(4) {
+        let row: Vec<String> = chunk
+            .iter()
+            .map(|&r| format!("{:<5}= {:#010x}", r.to_string(), node.reg(r)))
+            .collect();
+        let _ = writeln!(out, "  {}", row.join("  "));
+    }
+    Ok(())
+}
+
+fn cmd_stream() -> Result<(), String> {
+    use maicc::sim::stream::{StreamConfig, StreamSim};
+    let cfg = StreamConfig::two_layer_test();
+    let mut sim = StreamSim::new(&cfg).map_err(|e| e.to_string())?;
+    let r = sim.run(50_000_000).map_err(|e| e.to_string())?;
+    let ok = r.ofmap == cfg.golden();
+    println!(
+        "2-layer conv pipeline over the mesh: {} cycles, {} packets, {} flit-hops",
+        r.cycles, r.noc.packets_delivered, r.noc.flit_hops
+    );
+    println!("golden match: {}", if ok { "PASS" } else { "FAIL" });
+    if !ok {
+        return Err("ofmap mismatch".into());
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Errors raised by tensor and graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Two shapes that must agree did not.
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: Vec<usize>,
+        /// What it received.
+        got: Vec<usize>,
+    },
+    /// A layer received an input of the wrong rank or dimensions.
+    BadInput {
+        /// Name of the layer reporting the problem.
+        layer: String,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The graph is malformed (dangling edge, cycle, missing producer).
+    BadGraph {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {got:?}")
+            }
+            NnError::BadInput { layer, reason } => {
+                write!(f, "bad input to layer {layer}: {reason}")
+            }
+            NnError::BadGraph { reason } => write!(f, "malformed graph: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = NnError::ShapeMismatch {
+            expected: vec![1, 2],
+            got: vec![3],
+        };
+        assert!(e.to_string().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn f<T: std::error::Error + Send + Sync>() {}
+        f::<NnError>();
+    }
+}

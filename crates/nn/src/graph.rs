@@ -1,0 +1,425 @@
+//! Layer DAG with residual edges and the golden reference executor.
+//!
+//! A [`Network`] is the paper's view of a DNN: a directed acyclic graph of
+//! *mixed layers* (§4.1), each a computational layer (CONV or FC) fused with
+//! its auxiliary functions. Residual (shortcut) additions are expressed as
+//! an edge from an earlier node. The executor here is the **golden model**:
+//! every hardware simulation in the workspace must reproduce its outputs
+//! bit-exactly.
+
+use crate::layer::{
+    add_i8, conv2d_i8, global_avgpool_i8, linear_i8, maxpool_i8, relu_i32, requantize, ConvLayer,
+    LinearLayer, PoolKind,
+};
+use crate::tensor::Tensor;
+use crate::NnError;
+use serde::{Deserialize, Serialize};
+
+/// The computational core of a mixed layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeOp {
+    /// A convolution (Table 6 rows `convX_Y` and `shortcut`).
+    Conv(ConvLayer),
+    /// A fully connected layer (Table 6 row `linear`).
+    Linear(LinearLayer),
+}
+
+/// Where a node takes its primary input from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeInput {
+    /// The network's external input tensor.
+    External,
+    /// The output of an earlier node.
+    Node(usize),
+}
+
+/// One mixed layer in the DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Display name (matching Table 6, e.g. `conv2_3`).
+    pub name: String,
+    /// The computational core.
+    pub op: NodeOp,
+    /// Primary input edge.
+    pub input: NodeInput,
+    /// Optional residual edge: that tensor is added (saturating, in i8)
+    /// after requantization, before the final ReLU.
+    pub residual: Option<NodeInput>,
+}
+
+/// Static shape information for one node, produced by shape propagation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerShape {
+    /// Node name.
+    pub name: String,
+    /// Input channels.
+    pub in_c: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Output channels (filter count `M` for convs).
+    pub out_c: usize,
+    /// Output height (1 for linear).
+    pub out_h: usize,
+    /// Output width (1 for linear).
+    pub out_w: usize,
+    /// Kernel height (`R`; 1 for linear).
+    pub kernel_h: usize,
+    /// Kernel width (`S`; 1 for linear).
+    pub kernel_w: usize,
+    /// Stride (1 for linear).
+    pub stride: usize,
+    /// Multiply-accumulate count.
+    pub macs: u64,
+    /// Whether this is the fully connected layer.
+    pub is_linear: bool,
+}
+
+/// A layer DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl Network {
+    /// Creates a network from nodes, validating edge sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadGraph`] if any edge points at this node or a
+    /// later one (the graph must be topologically ordered), or if the node
+    /// list is empty.
+    pub fn new(name: impl Into<String>, nodes: Vec<Node>) -> Result<Self, NnError> {
+        if nodes.is_empty() {
+            return Err(NnError::BadGraph {
+                reason: "network has no layers".into(),
+            });
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            if let NodeInput::Node(j) = n.input {
+                if j >= i {
+                    return Err(NnError::BadGraph {
+                        reason: format!("node {i} ({}) takes input from node {j}", n.name),
+                    });
+                }
+            }
+            if let Some(NodeInput::Node(j)) = n.residual {
+                if j >= i {
+                    return Err(NnError::BadGraph {
+                        reason: format!("node {i} ({}) takes residual from node {j}", n.name),
+                    });
+                }
+            }
+        }
+        Ok(Network {
+            name: name.into(),
+            nodes,
+        })
+    }
+
+    /// The network's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The mixed layers in topological order.
+    #[must_use]
+    pub fn layers(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Golden inference on an i8 `[C, H, W]` input; returns the final
+    /// node's output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn infer(&self, input: &Tensor<i8>) -> Result<Tensor<i8>, NnError> {
+        let mut outputs: Vec<Tensor<i8>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let src = match node.input {
+                NodeInput::External => input,
+                NodeInput::Node(j) => &outputs[j],
+            };
+            let mut out = match &node.op {
+                NodeOp::Conv(conv) => {
+                    let acc = conv2d_i8(src, conv)?;
+                    let acc = if conv.relu && node.residual.is_none() {
+                        relu_i32(&acc)
+                    } else {
+                        acc
+                    };
+                    let mut q = requantize(&acc, &conv.requant);
+                    if let Some(res) = node.residual {
+                        let res_t = match res {
+                            NodeInput::External => input,
+                            NodeInput::Node(j) => &outputs[j],
+                        };
+                        q = add_i8(&q, res_t)?;
+                        if conv.relu {
+                            q = q.map(|x| x.max(0));
+                        }
+                    }
+                    match conv.pool {
+                        Some(PoolKind::Max { k }) => maxpool_i8(&q, k)?,
+                        Some(PoolKind::GlobalAvg) => global_avgpool_i8(&q),
+                        None => q,
+                    }
+                }
+                NodeOp::Linear(lin) => {
+                    let flat = if src.shape().len() > 1 {
+                        src.reshape(&[src.len()])?
+                    } else {
+                        src.clone()
+                    };
+                    let acc = linear_i8(&flat, lin)?;
+                    let acc = if lin.relu { relu_i32(&acc) } else { acc };
+                    requantize(&acc, &lin.requant)
+                }
+            };
+            // keep saturation invariant for the next consumer
+            if out.is_empty() {
+                return Err(NnError::BadGraph {
+                    reason: format!("node {} produced an empty tensor", node.name),
+                });
+            }
+            outputs.push(std::mem::take(&mut out));
+        }
+        Ok(outputs.pop().expect("non-empty network"))
+    }
+
+    /// Propagates shapes from an external `[C, H, W]` input, returning one
+    /// [`LayerShape`] per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] if channel counts mismatch along the way.
+    pub fn shapes(&self, input: [usize; 3]) -> Result<Vec<LayerShape>, NnError> {
+        let mut out_shapes: Vec<[usize; 3]> = Vec::with_capacity(self.nodes.len());
+        let mut infos = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let src = match node.input {
+                NodeInput::External => input,
+                NodeInput::Node(j) => out_shapes[j],
+            };
+            let (info, out) = match &node.op {
+                NodeOp::Conv(conv) => {
+                    let s = &conv.shape;
+                    if src[0] != s.in_channels {
+                        return Err(NnError::BadInput {
+                            layer: node.name.clone(),
+                            reason: format!(
+                                "expects {} input channels, got {}",
+                                s.in_channels, src[0]
+                            ),
+                        });
+                    }
+                    let (oh, ow) = s.output_hw(src[1], src[2]);
+                    let (ph, pw) = match conv.pool {
+                        Some(PoolKind::Max { k }) => (oh / k, ow / k),
+                        Some(PoolKind::GlobalAvg) => (1, 1),
+                        None => (oh, ow),
+                    };
+                    (
+                        LayerShape {
+                            name: node.name.clone(),
+                            in_c: src[0],
+                            in_h: src[1],
+                            in_w: src[2],
+                            out_c: s.out_channels,
+                            out_h: oh,
+                            out_w: ow,
+                            kernel_h: s.kernel_h,
+                            kernel_w: s.kernel_w,
+                            stride: s.stride,
+                            macs: s.macs(src[1], src[2]),
+                            is_linear: false,
+                        },
+                        [s.out_channels, ph, pw],
+                    )
+                }
+                NodeOp::Linear(lin) => {
+                    let in_f = src.iter().product::<usize>();
+                    if in_f != lin.in_features() {
+                        return Err(NnError::BadInput {
+                            layer: node.name.clone(),
+                            reason: format!(
+                                "expects {} input features, got {in_f}",
+                                lin.in_features()
+                            ),
+                        });
+                    }
+                    (
+                        LayerShape {
+                            name: node.name.clone(),
+                            in_c: in_f,
+                            in_h: 1,
+                            in_w: 1,
+                            out_c: lin.out_features(),
+                            out_h: 1,
+                            out_w: 1,
+                            kernel_h: 1,
+                            kernel_w: 1,
+                            stride: 1,
+                            macs: (lin.in_features() * lin.out_features()) as u64,
+                            is_linear: true,
+                        },
+                        [lin.out_features(), 1, 1],
+                    )
+                }
+            };
+            infos.push(info);
+            out_shapes.push(out);
+        }
+        Ok(infos)
+    }
+
+    /// Total MAC count for a given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-propagation errors.
+    pub fn total_macs(&self, input: [usize; 3]) -> Result<u64, NnError> {
+        Ok(self.shapes(input)?.iter().map(|s| s.macs).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::Requantizer;
+    use crate::tensor::ConvShape;
+
+    fn conv_node(name: &str, c: usize, m: usize, k: usize, stride: usize, input: NodeInput) -> Node {
+        Node {
+            name: name.into(),
+            op: NodeOp::Conv(ConvLayer {
+                shape: ConvShape {
+                    out_channels: m,
+                    in_channels: c,
+                    kernel_h: k,
+                    kernel_w: k,
+                    stride,
+                    padding: k / 2,
+                },
+                weights: Tensor::filled(&[m, c, k, k], 1),
+                bias: vec![0; m],
+                requant: Requantizer::from_real_multiplier(0.01, 0),
+                relu: true,
+                pool: None,
+            }),
+            input,
+            residual: None,
+        }
+    }
+
+    #[test]
+    fn forward_edge_required() {
+        let bad = vec![Node {
+            input: NodeInput::Node(0),
+            ..conv_node("a", 2, 2, 1, 1, NodeInput::External)
+        }];
+        assert!(Network::new("bad", bad).is_err());
+    }
+
+    #[test]
+    fn residual_must_point_backward() {
+        let mut n = conv_node("a", 2, 2, 1, 1, NodeInput::External);
+        n.residual = Some(NodeInput::Node(3));
+        assert!(Network::new("bad", vec![n]).is_err());
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert!(Network::new("empty", vec![]).is_err());
+    }
+
+    #[test]
+    fn two_layer_inference_shapes() {
+        let net = Network::new(
+            "tiny",
+            vec![
+                conv_node("c1", 2, 4, 3, 1, NodeInput::External),
+                conv_node("c2", 4, 8, 3, 2, NodeInput::Node(0)),
+            ],
+        )
+        .unwrap();
+        let out = net.infer(&Tensor::filled(&[2, 8, 8], 1)).unwrap();
+        assert_eq!(out.shape(), &[8, 4, 4]);
+    }
+
+    #[test]
+    fn shape_propagation_reports_macs() {
+        let net = Network::new(
+            "tiny",
+            vec![conv_node("c1", 2, 4, 3, 1, NodeInput::External)],
+        )
+        .unwrap();
+        let shapes = net.shapes([2, 8, 8]).unwrap();
+        assert_eq!(shapes.len(), 1);
+        assert_eq!(shapes[0].out_h, 8);
+        assert_eq!(shapes[0].macs, (8 * 8 * 4 * 2 * 9) as u64);
+        assert_eq!(net.total_macs([2, 8, 8]).unwrap(), shapes[0].macs);
+    }
+
+    #[test]
+    fn residual_add_applies() {
+        // c1 then c2 with residual from c1; weights make c2 output zero so
+        // the result equals c1's output (positive, relu keeps it).
+        let c1 = conv_node("c1", 1, 1, 1, 1, NodeInput::External);
+        let mut c2 = conv_node("c2", 1, 1, 1, 1, NodeInput::Node(0));
+        if let NodeOp::Conv(ref mut l) = c2.op {
+            l.weights = Tensor::filled(&[1, 1, 1, 1], 0);
+            l.requant = Requantizer::from_real_multiplier(0.5, 0);
+        }
+        c2.residual = Some(NodeInput::Node(0));
+        let net = Network::new("res", vec![c1, c2]).unwrap();
+        let input = Tensor::filled(&[1, 2, 2], 100i8);
+        let out = net.infer(&input).unwrap();
+        // c1: acc 100, requant(0.01) → 1; c2: 0 + residual 1 = 1
+        assert!(out.data().iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn linear_flattens_input() {
+        let lin = Node {
+            name: "fc".into(),
+            op: NodeOp::Linear(LinearLayer {
+                weights: Tensor::filled(&[3, 8], 1),
+                bias: vec![0; 3],
+                requant: Requantizer::from_real_multiplier(0.5, 0),
+                relu: false,
+            }),
+            input: NodeInput::External,
+            residual: None,
+        };
+        let net = Network::new("fc", vec![lin]).unwrap();
+        let out = net.infer(&Tensor::filled(&[2, 2, 2], 2)).unwrap();
+        assert_eq!(out.shape(), &[3]);
+        assert!(out.data().iter().all(|&x| x == 8)); // 8 * 2 * 0.5
+    }
+
+    #[test]
+    fn shapes_reject_channel_mismatch() {
+        let net = Network::new(
+            "tiny",
+            vec![conv_node("c1", 4, 4, 3, 1, NodeInput::External)],
+        )
+        .unwrap();
+        assert!(net.shapes([2, 8, 8]).is_err());
+    }
+
+    #[test]
+    fn pooling_halves_shape_in_propagation() {
+        let mut n = conv_node("c1", 1, 1, 3, 1, NodeInput::External);
+        if let NodeOp::Conv(ref mut l) = n.op {
+            l.pool = Some(PoolKind::Max { k: 2 });
+        }
+        let net = Network::new("pool", vec![n]).unwrap();
+        let out = net.infer(&Tensor::filled(&[1, 8, 8], 1)).unwrap();
+        assert_eq!(out.shape(), &[1, 4, 4]);
+    }
+}

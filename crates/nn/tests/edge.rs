@@ -1,0 +1,75 @@
+//! Edge-case tests for the DNN substrate.
+
+use maicc_nn::layer::{conv2d_i8, global_avgpool_i8, maxpool_i8, ConvLayer};
+use maicc_nn::quant::{QuantParams, Requantizer};
+use maicc_nn::tensor::{ConvShape, Tensor};
+
+fn layer(m: usize, c: usize, kh: usize, kw: usize) -> ConvLayer {
+    ConvLayer {
+        shape: ConvShape {
+            out_channels: m,
+            in_channels: c,
+            kernel_h: kh,
+            kernel_w: kw,
+            stride: 1,
+            padding: 0,
+        },
+        weights: Tensor::filled(&[m, c, kh, kw], 1),
+        bias: vec![0; m],
+        requant: Requantizer::from_real_multiplier(0.5, 0),
+        relu: false,
+        pool: None,
+    }
+}
+
+#[test]
+fn kernel_equals_input_gives_single_output() {
+    let l = layer(3, 2, 4, 4);
+    let x = Tensor::filled(&[2, 4, 4], 2i8);
+    let out = conv2d_i8(&x, &l).unwrap();
+    assert_eq!(out.shape(), &[3, 1, 1]);
+    assert!(out.data().iter().all(|&v| v == 2 * 2 * 16));
+}
+
+#[test]
+fn rectangular_kernels_work() {
+    let l = layer(1, 1, 1, 3);
+    let x = Tensor::filled(&[1, 4, 6], 1i8);
+    let out = conv2d_i8(&x, &l).unwrap();
+    assert_eq!(out.shape(), &[1, 4, 4]);
+}
+
+#[test]
+fn single_pixel_global_avgpool() {
+    let x = Tensor::from_vec(&[3, 1, 1], vec![-7i8, 0, 9]).unwrap();
+    assert_eq!(global_avgpool_i8(&x).data(), &[-7, 0, 9]);
+}
+
+#[test]
+fn maxpool_window_equal_to_image() {
+    let x = Tensor::from_fn(&[1, 4, 4], |i| (i[1] * 4 + i[2]) as i8);
+    let out = maxpool_i8(&x, 4).unwrap();
+    assert_eq!(out.data(), &[15]);
+}
+
+#[test]
+fn requantizer_extreme_accumulators() {
+    let r = Requantizer::from_real_multiplier(0.9999, 0);
+    assert_eq!(r.apply(i32::MAX), 127);
+    assert_eq!(r.apply(i32::MIN), -128);
+    assert_eq!(r.apply(0), 0);
+}
+
+#[test]
+fn quant_params_degenerate_range() {
+    // min == max == 0: scale floors at epsilon, roundtrip of 0 is 0
+    let q = QuantParams::from_range(0.0, 0.0);
+    let z = q.quantize(0.0);
+    assert!(q.dequantize(z).abs() < 1e-3);
+}
+
+#[test]
+#[should_panic(expected = "min <= max")]
+fn quant_params_reject_inverted_range() {
+    let _ = QuantParams::from_range(1.0, -1.0);
+}

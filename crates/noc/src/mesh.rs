@@ -1,0 +1,550 @@
+//! The cycle-stepped wormhole mesh.
+//!
+//! Movement is evaluated in two phases per cycle — arbitration, then a
+//! simultaneous move of at most one flit per link — so results are
+//! independent of router iteration order. Backpressure is buffer-credit:
+//! a flit advances only if the downstream input FIFO has space after all
+//! moves planned this cycle.
+
+use crate::router::{xy_route, Coord, Direction, Flit, Router};
+use crate::stats::NocStats;
+use crate::DEFAULT_BUFFER;
+use std::collections::{HashMap, VecDeque};
+
+/// A message travelling through the mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet<T> {
+    /// Source tile.
+    pub src: Coord,
+    /// Destination tile.
+    pub dst: Coord,
+    /// Length in flits (≥ 1).
+    pub flits: usize,
+    /// The carried payload (delivered with the tail flit).
+    pub payload: T,
+}
+
+impl<T> Packet<T> {
+    /// Creates a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flits` is zero.
+    #[must_use]
+    pub fn new(src: Coord, dst: Coord, flits: usize, payload: T) -> Self {
+        assert!(flits >= 1, "packets have at least one flit");
+        Packet {
+            src,
+            dst,
+            flits,
+            payload,
+        }
+    }
+}
+
+/// A packet that reached its destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivered<T> {
+    /// The packet, payload included.
+    pub packet: Packet<T>,
+    /// Cycle the packet was injected.
+    pub sent_at: u64,
+    /// Cycle the tail flit left the destination router.
+    pub arrived_at: u64,
+}
+
+struct InFlight<T> {
+    packet: Packet<T>,
+    sent_at: u64,
+    delivered_flits: usize,
+}
+
+/// The mesh network.
+pub struct Mesh<T> {
+    width: u8,
+    height: u8,
+    buffer_cap: usize,
+    routers: Vec<Router>,
+    /// Per-tile injection queues (unbounded; drain into local input ports).
+    inject: Vec<VecDeque<Flit>>,
+    flights: HashMap<u64, InFlight<T>>,
+    next_id: u64,
+    cycle: u64,
+    stats: NocStats,
+    /// Flits carried per (router index, output port index).
+    link_load: HashMap<(usize, usize), u64>,
+}
+
+impl<T> std::fmt::Debug for Mesh<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mesh")
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .field("cycle", &self.cycle)
+            .field("in_flight", &self.flights.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> Mesh<T> {
+    /// Creates a `width × height` mesh with the default buffer depth.
+    #[must_use]
+    pub fn new(width: u8, height: u8) -> Self {
+        Self::with_buffer(width, height, DEFAULT_BUFFER)
+    }
+
+    /// Creates a mesh with an explicit per-port buffer depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `buffer_cap` is zero.
+    #[must_use]
+    pub fn with_buffer(width: u8, height: u8, buffer_cap: usize) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+        assert!(buffer_cap > 0, "buffers need at least one slot");
+        let mut routers = Vec::with_capacity(width as usize * height as usize);
+        for y in 0..height {
+            for x in 0..width {
+                routers.push(Router::new(Coord::new(x, y)));
+            }
+        }
+        let n = routers.len();
+        Mesh {
+            width,
+            height,
+            buffer_cap,
+            routers,
+            inject: vec![VecDeque::new(); n],
+            flights: HashMap::new(),
+            next_id: 0,
+            cycle: 0,
+            stats: NocStats::default(),
+            link_load: HashMap::new(),
+        }
+    }
+
+    /// Mesh width.
+    #[must_use]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Mesh height.
+    #[must_use]
+    pub fn height(&self) -> u8 {
+        self.height
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    fn idx(&self, c: Coord) -> usize {
+        c.y as usize * self.width as usize + c.x as usize
+    }
+
+    fn neighbor(&self, c: Coord, d: Direction) -> Option<Coord> {
+        match d {
+            Direction::North => (c.y > 0).then(|| Coord::new(c.x, c.y - 1)),
+            Direction::South => (c.y + 1 < self.height).then(|| Coord::new(c.x, c.y + 1)),
+            Direction::East => (c.x + 1 < self.width).then(|| Coord::new(c.x + 1, c.y)),
+            Direction::West => (c.x > 0).then(|| Coord::new(c.x - 1, c.y)),
+            Direction::Local => None,
+        }
+    }
+
+    /// Injects a packet; flits enter the network as buffer space allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is outside the mesh.
+    pub fn send(&mut self, packet: Packet<T>) {
+        assert!(
+            packet.src.x < self.width
+                && packet.src.y < self.height
+                && packet.dst.x < self.width
+                && packet.dst.y < self.height,
+            "endpoint outside the mesh"
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        let src = self.idx(packet.src);
+        for i in 0..packet.flits {
+            self.inject[src].push_back(Flit {
+                packet: id,
+                dst: packet.dst,
+                is_head: i == 0,
+                is_tail: i + 1 == packet.flits,
+            });
+        }
+        self.flights.insert(
+            id,
+            InFlight {
+                packet,
+                sent_at: self.cycle,
+                delivered_flits: 0,
+            },
+        );
+        self.stats.packets_sent += 1;
+    }
+
+    /// Whether any flit is buffered or awaiting injection.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.flights.is_empty()
+            && self.inject.iter().all(VecDeque::is_empty)
+            && self.routers.iter().all(|r| r.occupancy() == 0)
+    }
+
+    /// Advances one cycle; returns packets fully delivered this cycle.
+    pub fn tick(&mut self) -> Vec<Delivered<T>> {
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        let n = self.routers.len();
+
+        // phase 0: drain injection queues into local input ports
+        for i in 0..n {
+            while !self.inject[i].is_empty()
+                && self.routers[i].inputs[Direction::Local.index()].len() < self.buffer_cap
+            {
+                let f = self.inject[i].pop_front().expect("checked non-empty");
+                self.routers[i].inputs[Direction::Local.index()].push_back(f);
+            }
+        }
+
+        // phase 1: output arbitration (wormhole allocation)
+        for i in 0..n {
+            let here = self.routers[i].coord;
+            for out in Direction::ALL {
+                let oi = out.index();
+                if self.routers[i].outputs[oi].owner.is_some() {
+                    continue;
+                }
+                let rr = self.routers[i].outputs[oi].rr;
+                for k in 0..5 {
+                    let ii = (rr + k) % 5;
+                    if let Some(f) = self.routers[i].inputs[ii].front() {
+                        if f.is_head && xy_route(here, f.dst) == out {
+                            self.routers[i].outputs[oi].owner = Some(f.packet);
+                            self.routers[i].outputs[oi].rr = (ii + 1) % 5;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // phase 2: plan at most one flit move per output port, respecting
+        // downstream space after all moves planned this cycle
+        let mut planned_in: HashMap<(usize, usize), usize> = HashMap::new();
+        // (router, input_port, output_dir)
+        let mut moves: Vec<(usize, usize, Direction)> = Vec::new();
+        for i in 0..n {
+            let here = self.routers[i].coord;
+            for out in Direction::ALL {
+                let oi = out.index();
+                let Some(owner) = self.routers[i].outputs[oi].owner else {
+                    continue;
+                };
+                // the owning packet's next flit must be at some input head
+                let Some(ii) = (0..5).find(|&ii| {
+                    self.routers[i].inputs[ii]
+                        .front()
+                        .is_some_and(|f| f.packet == owner && xy_route(here, f.dst) == out)
+                }) else {
+                    continue;
+                };
+                if out == Direction::Local {
+                    moves.push((i, ii, out));
+                } else {
+                    let nb = self.neighbor(here, out).expect("routing stays in mesh");
+                    let nbi = self.idx(nb);
+                    let in_port = match out {
+                        Direction::North => Direction::South,
+                        Direction::South => Direction::North,
+                        Direction::East => Direction::West,
+                        Direction::West => Direction::East,
+                        Direction::Local => unreachable!(),
+                    };
+                    let key = (nbi, in_port.index());
+                    let planned = planned_in.get(&key).copied().unwrap_or(0);
+                    if self.routers[nbi].inputs[in_port.index()].len() + planned < self.buffer_cap
+                    {
+                        *planned_in.entry(key).or_insert(0) += 1;
+                        moves.push((i, ii, out));
+                    }
+                }
+            }
+        }
+
+        // phase 3: apply moves simultaneously
+        let mut delivered = Vec::new();
+        for (i, ii, out) in moves {
+            let f = self.routers[i].inputs[ii]
+                .pop_front()
+                .expect("planned move has a flit");
+            if f.is_tail {
+                self.routers[i].outputs[out.index()].owner = None;
+            }
+            match out {
+                Direction::Local => {
+                    let fl = self
+                        .flights
+                        .get_mut(&f.packet)
+                        .expect("flit belongs to a live packet");
+                    fl.delivered_flits += 1;
+                    if f.is_tail {
+                        let fl = self.flights.remove(&f.packet).expect("present");
+                        debug_assert_eq!(fl.delivered_flits, fl.packet.flits);
+                        self.stats.packets_delivered += 1;
+                        self.stats.total_latency += self.cycle - fl.sent_at;
+                        delivered.push(Delivered {
+                            packet: fl.packet,
+                            sent_at: fl.sent_at,
+                            arrived_at: self.cycle,
+                        });
+                    }
+                }
+                _ => {
+                    let nb = self
+                        .neighbor(self.routers[i].coord, out)
+                        .expect("checked in planning");
+                    let nbi = self.idx(nb);
+                    let in_port = match out {
+                        Direction::North => Direction::South,
+                        Direction::South => Direction::North,
+                        Direction::East => Direction::West,
+                        Direction::West => Direction::East,
+                        Direction::Local => unreachable!(),
+                    };
+                    self.routers[nbi].inputs[in_port.index()].push_back(f);
+                    self.stats.flit_hops += 1;
+                    *self.link_load.entry((i, out.index())).or_insert(0) += 1;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Ticks until the mesh drains or `max_cycles` elapse, collecting all
+    /// deliveries.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> Vec<Delivered<T>> {
+        let mut all = Vec::new();
+        for _ in 0..max_cycles {
+            all.extend(self.tick());
+            if self.is_idle() {
+                break;
+            }
+        }
+        all
+    }
+
+    /// The most heavily used link's flit count — the congestion hotspot.
+    #[must_use]
+    pub fn max_link_load(&self) -> u64 {
+        self.link_load.values().copied().max().unwrap_or(0)
+    }
+
+    /// Flit counts per link, as ((router coord), output port index).
+    #[must_use]
+    pub fn link_loads(&self) -> Vec<(Coord, usize, u64)> {
+        let mut v: Vec<(Coord, usize, u64)> = self
+            .link_load
+            .iter()
+            .map(|(&(r, p), &n)| (self.routers[r].coord, p, n))
+            .collect();
+        v.sort_by_key(|&(c, p, _)| (c.y, c.x, p));
+        v
+    }
+
+    /// Analytic zero-load latency: one cycle per hop, one ejection cycle,
+    /// plus tail serialization (`hops + flits` in total).
+    #[must_use]
+    pub fn zero_load_latency(src: Coord, dst: Coord, flits: usize) -> u64 {
+        u64::from(src.hops_to(dst)) + 1 + (flits as u64 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_packet_zero_load_latency() {
+        let mut mesh: Mesh<u32> = Mesh::new(8, 8);
+        mesh.send(Packet::new(Coord::new(0, 0), Coord::new(5, 3), 1, 7));
+        let d = mesh.run_until_idle(100);
+        assert_eq!(d.len(), 1);
+        let lat = d[0].arrived_at - d[0].sent_at;
+        assert_eq!(lat, Mesh::<u32>::zero_load_latency(Coord::new(0, 0), Coord::new(5, 3), 1));
+    }
+
+    #[test]
+    fn multi_flit_serialization_adds_latency() {
+        let mut mesh: Mesh<u32> = Mesh::new(4, 4);
+        mesh.send(Packet::new(Coord::new(0, 0), Coord::new(3, 0), 9, 0));
+        let d = mesh.run_until_idle(100);
+        let lat = d[0].arrived_at - d[0].sent_at;
+        assert_eq!(lat, 3 + 1 + 8);
+    }
+
+    #[test]
+    fn local_delivery_same_tile() {
+        let mut mesh: Mesh<u32> = Mesh::new(2, 2);
+        mesh.send(Packet::new(Coord::new(1, 1), Coord::new(1, 1), 1, 5));
+        let d = mesh.run_until_idle(10);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn wormhole_packets_do_not_interleave() {
+        // two 9-flit packets fight for the same link; both must arrive whole
+        let mut mesh: Mesh<u32> = Mesh::new(4, 1);
+        mesh.send(Packet::new(Coord::new(0, 0), Coord::new(3, 0), 9, 1));
+        mesh.send(Packet::new(Coord::new(1, 0), Coord::new(3, 0), 9, 2));
+        let d = mesh.run_until_idle(200);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn contention_slows_but_delivers() {
+        // all tiles fire at one hotspot
+        let mut mesh: Mesh<u32> = Mesh::new(4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                if (x, y) != (3, 3) {
+                    mesh.send(Packet::new(Coord::new(x, y), Coord::new(3, 3), 2, 0));
+                }
+            }
+        }
+        let d = mesh.run_until_idle(1000);
+        assert_eq!(d.len(), 15);
+        assert!(mesh.stats().mean_latency() > 5.0);
+    }
+
+    #[test]
+    fn stats_count_flit_hops() {
+        let mut mesh: Mesh<u32> = Mesh::new(4, 1);
+        mesh.send(Packet::new(Coord::new(0, 0), Coord::new(3, 0), 2, 0));
+        mesh.run_until_idle(100);
+        // 2 flits × 3 hops
+        assert_eq!(mesh.stats().flit_hops, 6);
+        assert!(mesh.stats().dynamic_pj() > 0.0);
+    }
+
+    #[test]
+    fn is_idle_after_drain() {
+        let mut mesh: Mesh<u32> = Mesh::new(3, 3);
+        assert!(mesh.is_idle());
+        mesh.send(Packet::new(Coord::new(0, 0), Coord::new(2, 2), 3, 0));
+        assert!(!mesh.is_idle());
+        mesh.run_until_idle(100);
+        assert!(mesh.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the mesh")]
+    fn endpoint_bounds_checked() {
+        let mut mesh: Mesh<u32> = Mesh::new(2, 2);
+        mesh.send(Packet::new(Coord::new(0, 0), Coord::new(5, 5), 1, 0));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut mesh: Mesh<u32> = Mesh::new(4, 4);
+            for i in 0..10u32 {
+                mesh.send(Packet::new(
+                    Coord::new((i % 4) as u8, (i / 4) as u8),
+                    Coord::new(3, 3),
+                    3,
+                    i,
+                ));
+            }
+            let mut d = mesh.run_until_idle(1000);
+            d.sort_by_key(|x| (x.arrived_at, x.packet.payload));
+            d.iter()
+                .map(|x| (x.packet.payload, x.arrived_at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bisection_traffic_loads_the_cut_evenly() {
+        // every west-half tile sends one packet straight east: under X-Y
+        // routing each row's middle link carries exactly its row's traffic
+        let mut mesh: Mesh<u32> = Mesh::new(8, 8);
+        for y in 0..8u8 {
+            for x in 0..4u8 {
+                mesh.send(Packet::new(Coord::new(x, y), Coord::new(x + 4, y), 2, 0));
+            }
+        }
+        let d = mesh.run_until_idle(10_000);
+        assert_eq!(d.len(), 32);
+        // links crossing the bisection: column 3 → 4, one per row
+        let crossing: Vec<u64> = mesh
+            .link_loads()
+            .into_iter()
+            .filter(|&(c, p, _)| c.x == 3 && p == Direction::East.index())
+            .map(|(_, _, n)| n)
+            .collect();
+        assert_eq!(crossing.len(), 8);
+        // each row's cut link carries its 4 packets × 2 flits = 8 flits
+        assert!(crossing.iter().all(|&n| n == 8), "{crossing:?}");
+        assert_eq!(mesh.max_link_load(), 8);
+    }
+
+    #[test]
+    fn hotspot_concentrates_link_load() {
+        let mut mesh: Mesh<u32> = Mesh::new(8, 1);
+        for x in 0..7u8 {
+            mesh.send(Packet::new(Coord::new(x, 0), Coord::new(7, 0), 1, 0));
+        }
+        mesh.run_until_idle(10_000);
+        // the last link before the hotspot carries all seven flits
+        assert_eq!(mesh.max_link_load(), 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_all_packets_delivered(
+            seeds in proptest::collection::vec((0u8..6, 0u8..6, 0u8..6, 0u8..6, 1usize..10), 1..30)
+        ) {
+            let mut mesh: Mesh<usize> = Mesh::new(6, 6);
+            for (i, &(sx, sy, dx, dy, flits)) in seeds.iter().enumerate() {
+                mesh.send(Packet::new(Coord::new(sx, sy), Coord::new(dx, dy), flits, i));
+            }
+            let d = mesh.run_until_idle(50_000);
+            prop_assert_eq!(d.len(), seeds.len(), "every packet must arrive");
+            prop_assert!(mesh.is_idle());
+            // payloads intact
+            let mut got: Vec<usize> = d.iter().map(|x| x.packet.payload).collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, (0..seeds.len()).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_latency_at_least_zero_load(
+            sx in 0u8..8, sy in 0u8..8, dx in 0u8..8, dy in 0u8..8, flits in 1usize..9
+        ) {
+            let mut mesh: Mesh<u32> = Mesh::new(8, 8);
+            let (s, t) = (Coord::new(sx, sy), Coord::new(dx, dy));
+            mesh.send(Packet::new(s, t, flits, 0));
+            let d = mesh.run_until_idle(10_000);
+            let lat = d[0].arrived_at - d[0].sent_at;
+            prop_assert!(lat >= Mesh::<u32>::zero_load_latency(s, t, flits));
+        }
+    }
+}

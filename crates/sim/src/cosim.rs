@@ -1,0 +1,444 @@
+//! Instruction-level co-simulation of multiple nodes.
+//!
+//! The streaming simulator ([`crate::stream`]) models node behaviour; this
+//! module runs *actual programs* on several [`maicc_core::node::Node`]s
+//! concurrently, interleaving them instruction by instruction over a
+//! [`crate::fabric::SharedFabric`]. That is the paper's MIMD execution
+//! mode at full fidelity: every core has its own control flow, and
+//! synchronization happens exactly as §4.2 describes — remote stores of
+//! data rows plus software-lock flags (`p` / `nextp` in Algorithm 1).
+//!
+//! The flagship test runs a two-node CONV node group: a data-collection
+//! program transposes and pushes ifmap vectors with `StoreRow.RC`, a
+//! computing program spins on the flag, MACs the vector against resident
+//! filters and accumulates the ofmap — and the result must equal the
+//! golden convolution.
+
+use crate::fabric::SharedFabric;
+use crate::SimError;
+use maicc_core::mem_map::{remote_addr, RowPtr};
+use maicc_core::node::Node;
+use maicc_isa::asm::Assembler;
+use maicc_isa::inst::{BranchKind, Instruction as I, OpImmKind, OpKind, VecWidth};
+use maicc_isa::reg::Reg;
+
+/// A set of nodes stepping in lockstep rounds.
+pub struct CoSim {
+    nodes: Vec<Node>,
+    steps: u64,
+}
+
+impl std::fmt::Debug for CoSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoSim")
+            .field("nodes", &self.nodes.len())
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+impl CoSim {
+    /// Creates a co-simulation over the given nodes.
+    #[must_use]
+    pub fn new(nodes: Vec<Node>) -> Self {
+        CoSim { nodes, steps: 0 }
+    }
+
+    /// Access to a node (for post-run inspection).
+    #[must_use]
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// Total instructions stepped across all nodes.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs round-robin (one instruction per live node per round) until
+    /// every node halts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] after `max_rounds`, or propagates the
+    /// first node error.
+    pub fn run(&mut self, max_rounds: u64) -> Result<(), SimError> {
+        for _ in 0..max_rounds {
+            let mut live = false;
+            for n in &mut self.nodes {
+                if !n.halted() {
+                    live = true;
+                    n.step().map_err(SimError::from)?;
+                    self.steps += 1;
+                }
+            }
+            if !live {
+                return Ok(());
+            }
+        }
+        Err(SimError::Timeout { budget: max_rounds })
+    }
+}
+
+/// Builds the two-node CONV node group of Algorithm 1 at ISA level and
+/// returns `(cosim, read_ofmap)` where the closure extracts the computing
+/// node's `[M, OH, OW]` i32 ofmap after the run.
+///
+/// Geometry: `filters ≤ 5` filters of `k×k×c` (c ≤ 256) over an
+/// `h×w×c` ifmap, 8-bit, valid convolution, one computing core.
+///
+/// The producer (node 0) holds the transposed ifmap vectors pre-staged in
+/// its own CMem (slices 1–7 unused; rows staged through the fabric). For
+/// each pixel it waits for the consumer's ready flag, `StoreRow.RC`s the
+/// 8 rows into the consumer's slice 0, and raises the valid flag. The
+/// consumer (node 1) mirrors Algorithm 1: spin on `p`, broadcast, MAC,
+/// accumulate, clear `p`.
+///
+/// # Errors
+///
+/// Returns [`SimError::DoesNotFit`] for geometry the single-group layout
+/// cannot hold.
+#[allow(clippy::too_many_lines)]
+pub fn build_conv_pair(
+    filters: usize,
+    k: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    ifmap: &[i8],
+    weights: &[i8],
+) -> Result<(CoSim, ConvPairLayout), SimError> {
+    if filters > 5 || c > 256 || filters * k * k > 49 {
+        return Err(SimError::DoesNotFit {
+            reason: "single computing core holds at most 5 small filters".into(),
+        });
+    }
+    let (oh, ow) = (h - k + 1, w - k + 1);
+    let fabric = SharedFabric::new();
+    // mesh positions: producer at (1,1), consumer at (2,1)
+    let (px, py) = (1u8, 1u8);
+    let (cx, cy) = (2u8, 1u8);
+    // flags in the consumer's window: 0x100 = p (vector valid),
+    // 0x104 = ready (consumer wants the next vector)
+    let p_flag = remote_addr(cx, cy, 0x100);
+    let ready_flag = remote_addr(cx, cy, 0x104);
+
+    // stage the transposed ifmap vectors in the fabric's DRAM rows
+    for y in 0..h {
+        for x in 0..w {
+            let pix = y * w + x;
+            let vec: Vec<u16> = (0..256)
+                .map(|ch| {
+                    if ch < c {
+                        ifmap[(ch * h + y) * w + x] as u8 as u16
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            for (i, plane) in maicc_sram::transpose::pack_words(&vec, 8, 256)
+                .into_iter()
+                .enumerate()
+            {
+                fabric.preload_row(
+                    RowPtr::Dram {
+                        offset: (pix * 256 + i * 32) as u32,
+                    },
+                    plane,
+                );
+            }
+        }
+    }
+    // initial state: consumer ready
+    {
+        let mut boot = fabric.port(0, 0);
+        use maicc_core::node::RemotePort;
+        boot.store(ready_flag, 1, 4);
+    }
+
+    // ---- producer program -------------------------------------------------
+    let mut p = Assembler::new();
+    // S0 = pixel counter, S1 = total pixels, S2 = DRAM row ptr,
+    // S3 = consumer row ptr base (slice 0 row 0), S4/S5 = flag addrs
+    p.inst(I::li(Reg::S0, 0));
+    p.inst(I::li(Reg::S1, (h * w) as i32));
+    p.li32(Reg::S2, RowPtr::Dram { offset: 0 }.pack() as i32);
+    p.li32(
+        Reg::S3,
+        RowPtr::Remote {
+            x: cx,
+            y: cy,
+            slice: 0,
+            row: 0,
+        }
+        .pack() as i32,
+    );
+    p.li32(Reg::S4, p_flag as i32);
+    p.li32(Reg::S5, ready_flag as i32);
+    p.label("pixel");
+    // wait for ready, then consume it
+    p.label("wait_ready");
+    p.inst(I::lw(Reg::T0, Reg::S5, 0));
+    p.branch(BranchKind::Beq, Reg::T0, Reg::Zero, "wait_ready");
+    p.inst(I::sw(Reg::Zero, Reg::S5, 0));
+    // fetch 8 rows from DRAM into local slice 0, then push to the consumer
+    for r in 0..8u8 {
+        p.inst(I::LoadRowRC {
+            rs1: Reg::S2,
+            slice: 0,
+            row: r,
+        });
+        p.inst(I::addi(Reg::S2, Reg::S2, 32));
+    }
+    for r in 0..8u8 {
+        // S3 + r·32 in the packed row-pointer encoding = row field + r
+        p.inst(I::addi(Reg::T1, Reg::S3, (r as i32) << 5));
+        p.inst(I::StoreRowRC {
+            rs1: Reg::T1,
+            slice: 0,
+            row: r,
+        });
+    }
+    // raise the valid flag
+    p.inst(I::li(Reg::T0, 1));
+    p.inst(I::sw(Reg::T0, Reg::S4, 0));
+    p.inst(I::addi(Reg::S0, Reg::S0, 1));
+    p.branch(BranchKind::Blt, Reg::S0, Reg::S1, "pixel");
+    p.inst(I::Ebreak);
+    let producer_prog = p.assemble().map_err(|e| SimError::Component {
+        reason: e.to_string(),
+    })?;
+
+    // ---- consumer program -------------------------------------------------
+    // mirrors CmemConvKernel's software-pipelined body, but the ifmap
+    // arrives through the fabric (LoadRow.RC from its own mailbox rows)
+    let mut q = Assembler::new();
+    let placement: Vec<(usize, usize, usize, u8, u8)> = (0..filters * k * k)
+        .map(|v| {
+            let f = v / (k * k);
+            let pix = v % (k * k);
+            (f, pix / k, pix % k, (1 + v % 7) as u8, (8 + 8 * (v / 7)) as u8)
+        })
+        .collect();
+    let guard = (k * w + k + 8) as i32;
+    let ofmap_base = guard * 4;
+    q.inst(I::li(Reg::S0, 0)); // x
+    q.inst(I::li(Reg::S1, 0)); // y
+    q.inst(I::li(Reg::S4, ow as i32));
+    q.inst(I::li(Reg::S5, w as i32));
+    q.inst(I::li(Reg::S6, h as i32));
+    q.li32(Reg::S10, p_flag as i32); // poll the mailbox flag through the fabric
+    q.li32(
+        Reg::S11,
+        RowPtr::Remote {
+            x: cx,
+            y: cy,
+            slice: 0,
+            row: 0,
+        }
+        .pack() as i32,
+    );
+    q.label("y_loop");
+    q.inst(I::li(Reg::S0, 0));
+    q.label("x_loop");
+    // spin on the mailbox flag the producer raises
+    q.label("wait_p");
+    q.inst(I::lw(Reg::T0, Reg::S10, 0));
+    q.branch(BranchKind::Beq, Reg::T0, Reg::Zero, "wait_p");
+    q.inst(I::sw(Reg::Zero, Reg::S10, 0));
+    // pull the 8 mailbox rows into slice 0
+    for r in 0..8u8 {
+        q.inst(I::addi(Reg::T1, Reg::S11, (r as i32) << 5));
+        q.inst(I::LoadRowRC {
+            rs1: Reg::T1,
+            slice: 0,
+            row: r,
+        });
+    }
+    // broadcast + MAC + masked accumulate (same shape as the node kernel)
+    let used: Vec<u8> = {
+        let mut s: Vec<u8> = placement.iter().map(|&(_, _, _, sl, _)| sl).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    for &slice in &used {
+        q.inst(I::MoveC {
+            src_slice: 0,
+            src_row: 0,
+            dst_slice: slice,
+            dst_row: 0,
+            width: VecWidth::W8,
+        });
+    }
+    // per-iteration ofmap base: A1 = base + 4*(y*OW + x); A2.. per filter
+    let bregs = [Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5];
+    q.inst(I::Op {
+        kind: OpKind::Mul,
+        rd: Reg::T0,
+        rs1: Reg::S1,
+        rs2: Reg::S4,
+    });
+    q.inst(I::add(Reg::T0, Reg::T0, Reg::S0));
+    q.inst(I::OpImm {
+        kind: OpImmKind::Slli,
+        rd: Reg::T0,
+        rs1: Reg::T0,
+        imm: 2,
+    });
+    q.li32(Reg::T2, ofmap_base);
+    q.inst(I::add(bregs[0], Reg::T0, Reg::T2));
+    for f in 1..filters {
+        q.inst(I::addi(bregs[f], bregs[f - 1], (4 * oh * ow) as i32));
+    }
+    for &(f, ky, kx, slice, row) in &placement {
+        q.inst(I::MacC {
+            rd: Reg::A0,
+            slice,
+            row_a: 0,
+            row_b: row,
+            width: VecWidth::W8,
+        });
+        q.inst(I::addi(Reg::T1, Reg::S1, -(ky as i32)));
+        q.inst(I::OpImm {
+            kind: OpImmKind::Sltiu,
+            rd: Reg::T3,
+            rs1: Reg::T1,
+            imm: oh as i32,
+        });
+        q.inst(I::addi(Reg::T2, Reg::S0, -(kx as i32)));
+        q.inst(I::OpImm {
+            kind: OpImmKind::Sltiu,
+            rd: Reg::T4,
+            rs1: Reg::T2,
+            imm: ow as i32,
+        });
+        q.inst(I::Op {
+            kind: OpKind::And,
+            rd: Reg::T3,
+            rs1: Reg::T3,
+            rs2: Reg::T4,
+        });
+        q.inst(I::Op {
+            kind: OpKind::Mul,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            rs2: Reg::T3,
+        });
+        let imm = -((ky * ow + kx) as i32) * 4;
+        q.inst(I::lw(Reg::T5, bregs[f], imm));
+        q.inst(I::add(Reg::T5, Reg::T5, Reg::A0));
+        q.inst(I::sw(Reg::T5, bregs[f], imm));
+    }
+    // signal ready for the next vector
+    q.inst(I::li(Reg::T0, 1));
+    q.li32(Reg::T1, ready_flag as i32);
+    q.inst(I::sw(Reg::T0, Reg::T1, 0));
+    q.inst(I::addi(Reg::S0, Reg::S0, 1));
+    q.branch(BranchKind::Bge, Reg::S0, Reg::S5, "x_done");
+    q.jump("x_loop");
+    q.label("x_done");
+    q.inst(I::addi(Reg::S1, Reg::S1, 1));
+    q.branch(BranchKind::Bge, Reg::S1, Reg::S6, "y_done");
+    q.jump("y_loop");
+    q.label("y_done");
+    q.inst(I::Ebreak);
+    let consumer_prog = q.assemble().map_err(|e| SimError::Component {
+        reason: e.to_string(),
+    })?;
+
+    let producer = Node::new(producer_prog, Box::new(fabric.port(px, py)));
+    let mut consumer = Node::new(consumer_prog, Box::new(fabric.port(cx, cy)));
+    // resident filters
+    for &(f, ky, kx, slice, row) in &placement {
+        let vec: Vec<i8> = (0..256)
+            .map(|ch| {
+                if ch < c {
+                    weights[((f * c + ch) * k + ky) * k + kx]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        consumer
+            .cmem_mut()
+            .write_vector_i8(slice as usize, row as usize, &vec)
+            .map_err(SimError::from)?;
+    }
+    // both flags live in the consumer's fabric window (mailbox semantics,
+    // crate::fabric): the producer stores and the consumer polls the same
+    // global address, exactly the p/nextp software locks of Algorithm 1
+    let layout = ConvPairLayout {
+        filters,
+        oh,
+        ow,
+        ofmap_base: ofmap_base as u32,
+    };
+    Ok((CoSim::new(vec![producer, consumer]), layout))
+}
+
+/// Where the consumer's results live after a [`build_conv_pair`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvPairLayout {
+    /// Filter count.
+    pub filters: usize,
+    /// Ofmap height.
+    pub oh: usize,
+    /// Ofmap width.
+    pub ow: usize,
+    /// Byte offset of the i32 ofmap in the consumer's data memory.
+    pub ofmap_base: u32,
+}
+
+impl ConvPairLayout {
+    /// Reads the ofmap from the consumer node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates local-memory range errors.
+    pub fn read_ofmap(&self, consumer: &Node) -> Result<Vec<i32>, SimError> {
+        (0..self.filters * self.oh * self.ow)
+            .map(|i| {
+                consumer
+                    .read_local(self.ofmap_base + (i * 4) as u32, 4)
+                    .map(|v| v as i32)
+                    .map_err(SimError::from)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maicc_core::kernels::ConvWorkload;
+
+    #[test]
+    fn two_node_conv_matches_golden() {
+        let wl = ConvWorkload {
+            filters: 2,
+            r: 3,
+            s: 3,
+            c: 16,
+            h: 5,
+            w: 5,
+        };
+        let ifmap = wl.synthetic_ifmap();
+        let weights = wl.synthetic_weights();
+        let (mut sim, layout) =
+            build_conv_pair(wl.filters, wl.r, wl.c, wl.h, wl.w, &ifmap, &weights).unwrap();
+        sim.run(10_000_000).unwrap();
+        assert_eq!(
+            layout.read_ofmap(sim.node(1)).unwrap(),
+            wl.golden(&ifmap, &weights)
+        );
+        assert!(sim.steps() > 1000);
+    }
+
+    #[test]
+    fn oversized_pair_rejected() {
+        let e = build_conv_pair(6, 3, 16, 5, 5, &[0; 400], &[0; 864 * 6 / 2]);
+        assert!(matches!(e, Err(SimError::DoesNotFit { .. })));
+    }
+}

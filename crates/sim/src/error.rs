@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Errors raised by the system simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The simulation did not finish within the cycle budget.
+    Timeout {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// A workload does not fit the configured array.
+    DoesNotFit {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// An underlying component failed.
+    Component {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Timeout { budget } => write!(f, "simulation exceeded {budget} cycles"),
+            SimError::DoesNotFit { reason } => write!(f, "workload does not fit: {reason}"),
+            SimError::Component { reason } => write!(f, "component failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<maicc_sram::SramError> for SimError {
+    fn from(e: maicc_sram::SramError) -> Self {
+        SimError::Component {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<maicc_core::CoreError> for SimError {
+    fn from(e: maicc_core::CoreError) -> Self {
+        SimError::Component {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<maicc_exec::ExecError> for SimError {
+    fn from(e: maicc_exec::ExecError) -> Self {
+        SimError::Component {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(SimError::Timeout { budget: 5 }.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,292 @@
+//! A shared remote-access fabric for instruction-level multi-core runs.
+//!
+//! Each [`maicc_core::node::Node`] owns its port by value, so cores cannot
+//! mutate each other directly. The fabric solves this with shared state:
+//! every remote window and the DRAM space live in one
+//! [`SharedFabric`], and each core gets a [`FabricPort`] handle that knows
+//! the core's mesh coordinate — remote accesses pay the X-Y hop distance
+//! as latency. Remote stores therefore behave as **mailboxes**: the
+//! consumer polls the same global address the producer wrote.
+
+use maicc_core::mem_map::RowPtr;
+use maicc_core::node::{amo_result, RemotePort};
+use maicc_isa::inst::AmoKind;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Base one-way latency of a remote access besides hop distance
+/// (injection, ejection, service).
+const BASE_LATENCY: u32 = 4;
+/// Extra latency for DRAM-space accesses (LLC + DRAM service).
+const DRAM_LATENCY: u32 = 30;
+
+#[derive(Debug, Default)]
+struct FabricInner {
+    words: HashMap<u32, u32>,
+    rows: HashMap<u32, Vec<u64>>,
+    accesses: u64,
+    row_transfers: u64,
+}
+
+/// The shared fabric.
+#[derive(Debug, Clone, Default)]
+pub struct SharedFabric {
+    inner: Rc<RefCell<FabricInner>>,
+}
+
+impl SharedFabric {
+    /// Creates an empty fabric.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A port handle for the core at mesh position (`x`, `y`).
+    #[must_use]
+    pub fn port(&self, x: u8, y: u8) -> FabricPort {
+        FabricPort {
+            inner: Rc::clone(&self.inner),
+            x,
+            y,
+        }
+    }
+
+    /// Pre-loads a row (e.g. DRAM-resident transposed ifmap data).
+    pub fn preload_row(&self, ptr: RowPtr, lanes: Vec<u64>) {
+        self.inner.borrow_mut().rows.insert(ptr.pack(), lanes);
+    }
+
+    /// Reads a word back for inspection.
+    #[must_use]
+    pub fn word(&self, addr: u32) -> Option<u32> {
+        self.inner.borrow().words.get(&(addr & !3)).copied()
+    }
+
+    /// Reads a row back for inspection.
+    #[must_use]
+    pub fn row(&self, ptr: RowPtr) -> Option<Vec<u64>> {
+        self.inner.borrow().rows.get(&ptr.pack()).cloned()
+    }
+
+    /// Total word accesses served.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.inner.borrow().accesses
+    }
+
+    /// Total row transfers served.
+    #[must_use]
+    pub fn row_transfers(&self) -> u64 {
+        self.inner.borrow().row_transfers
+    }
+}
+
+/// One core's handle onto the fabric.
+#[derive(Debug, Clone)]
+pub struct FabricPort {
+    inner: Rc<RefCell<FabricInner>>,
+    x: u8,
+    y: u8,
+}
+
+impl FabricPort {
+    fn latency_to(&self, addr: u32) -> u32 {
+        if addr >= 0x8000_0000 {
+            // DRAM window: to the nearest LLC row (top/bottom of the mesh)
+            let hops = (self.y.min(15u8.saturating_sub(self.y))) as u32 + 2;
+            BASE_LATENCY + hops + DRAM_LATENCY
+        } else {
+            let tx = ((addr >> 22) & 0xFF) as u8;
+            let ty = ((addr >> 14) & 0xFF) as u8;
+            let hops = self.x.abs_diff(tx) as u32 + self.y.abs_diff(ty) as u32;
+            BASE_LATENCY + hops
+        }
+    }
+}
+
+impl RemotePort for FabricPort {
+    fn load(&mut self, addr: u32, size: u8) -> (u32, u32) {
+        let lat = 2 * self.latency_to(addr); // round trip
+        let mut inner = self.inner.borrow_mut();
+        inner.accesses += 1;
+        let word = inner.words.get(&(addr & !3)).copied().unwrap_or(0);
+        let sh = (addr & 3) * 8;
+        let v = match size {
+            1 => (word >> sh) & 0xFF,
+            2 => (word >> sh) & 0xFFFF,
+            _ => word,
+        };
+        (v, lat)
+    }
+
+    fn store(&mut self, addr: u32, value: u32, size: u8) -> u32 {
+        let lat = self.latency_to(addr); // fire and forget
+        let mut inner = self.inner.borrow_mut();
+        inner.accesses += 1;
+        let word = inner.words.entry(addr & !3).or_insert(0);
+        let sh = (addr & 3) * 8;
+        match size {
+            1 => *word = (*word & !(0xFF << sh)) | ((value & 0xFF) << sh),
+            2 => *word = (*word & !(0xFFFF << sh)) | ((value & 0xFFFF) << sh),
+            _ => *word = value,
+        }
+        lat
+    }
+
+    fn amo(&mut self, kind: AmoKind, addr: u32, value: u32) -> (u32, u32) {
+        let lat = 2 * self.latency_to(addr);
+        let mut inner = self.inner.borrow_mut();
+        inner.accesses += 1;
+        let old = inner.words.get(&(addr & !3)).copied().unwrap_or(0);
+        if kind != AmoKind::LrW {
+            let new = amo_result(kind, old, value);
+            inner.words.insert(addr & !3, new);
+        }
+        (old, lat)
+    }
+
+    fn load_row(&mut self, ptr: RowPtr) -> (Vec<u64>, u32) {
+        let lat = 2 * self.latency_to(ptr.pack());
+        let mut inner = self.inner.borrow_mut();
+        inner.row_transfers += 1;
+        (
+            inner
+                .rows
+                .get(&ptr.pack())
+                .cloned()
+                .unwrap_or_else(|| vec![0; 4]),
+            lat,
+        )
+    }
+
+    fn store_row(&mut self, ptr: RowPtr, lanes: &[u64]) -> u32 {
+        let lat = self.latency_to(ptr.pack());
+        let mut inner = self.inner.borrow_mut();
+        inner.row_transfers += 1;
+        inner.rows.insert(ptr.pack(), lanes.to_vec());
+        lat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maicc_core::mem_map::remote_addr;
+    use maicc_core::node::Node;
+    use maicc_isa::asm::Assembler;
+    use maicc_isa::inst::{BranchKind, Instruction as I};
+    use maicc_isa::reg::Reg;
+
+    #[test]
+    fn two_ports_share_state() {
+        let fab = SharedFabric::new();
+        let mut a = fab.port(0, 0);
+        let mut b = fab.port(5, 5);
+        a.store(remote_addr(5, 5, 0x100), 99, 4);
+        let (v, _) = b.load(remote_addr(5, 5, 0x100), 4);
+        assert_eq!(v, 99);
+        assert_eq!(fab.accesses(), 2);
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let fab = SharedFabric::new();
+        let mut near = fab.port(5, 4);
+        let mut far = fab.port(0, 0);
+        let addr = remote_addr(5, 5, 0);
+        let l_near = near.store(addr, 1, 4);
+        let l_far = far.store(addr, 1, 4);
+        assert!(l_far > l_near);
+    }
+
+    #[test]
+    fn dram_accesses_cost_more() {
+        let fab = SharedFabric::new();
+        let mut p = fab.port(5, 5);
+        let l_core = p.store(remote_addr(5, 6, 0), 1, 4);
+        let l_dram = p.store(0x8000_0000, 1, 4);
+        assert!(l_dram > l_core);
+    }
+
+    #[test]
+    fn amo_add_is_atomic_rmw() {
+        let fab = SharedFabric::new();
+        let mut a = fab.port(0, 0);
+        let addr = remote_addr(1, 1, 0);
+        a.store(addr, 10, 4);
+        let (old, _) = a.amo(AmoKind::Add, addr, 5);
+        assert_eq!(old, 10);
+        assert_eq!(fab.word(addr), Some(15));
+    }
+
+    /// The paper's inter-node flow at ISA level: a producer core remote-
+    /// stores a row and raises a flag; a consumer core spins on the flag,
+    /// then loads the row into its CMem.
+    #[test]
+    fn producer_consumer_cores_synchronize_through_flags() {
+        let fab = SharedFabric::new();
+        let row_ptr = RowPtr::Remote {
+            x: 2,
+            y: 0,
+            slice: 0,
+            row: 3,
+        };
+        let flag_addr = remote_addr(2, 0, 0x200);
+
+        // producer at (1,0): write the row, then set the flag
+        let mut p = Assembler::new();
+        p.li32(Reg::A0, row_ptr.pack() as i32);
+        p.inst(I::StoreRowRC {
+            rs1: Reg::A0,
+            slice: 1,
+            row: 0,
+        });
+        p.li32(Reg::A1, flag_addr as i32);
+        p.inst(I::li(Reg::A2, 1));
+        p.inst(I::sw(Reg::A2, Reg::A1, 0));
+        p.inst(I::Ebreak);
+        let mut producer = Node::new(p.assemble().unwrap(), Box::new(fab.port(1, 0)));
+        producer
+            .cmem_mut()
+            .slice_mut(1)
+            .unwrap()
+            .array_mut()
+            .write_row(0, &[11, 22, 33, 44])
+            .unwrap();
+
+        // consumer at (2,0): spin on the flag, then fetch the row
+        let mut c = Assembler::new();
+        c.li32(Reg::A1, flag_addr as i32);
+        c.label("spin");
+        c.inst(I::lw(Reg::A2, Reg::A1, 0));
+        c.branch(BranchKind::Beq, Reg::A2, Reg::Zero, "spin");
+        c.li32(Reg::A0, row_ptr.pack() as i32);
+        c.inst(I::LoadRowRC {
+            rs1: Reg::A0,
+            slice: 2,
+            row: 7,
+        });
+        c.inst(I::Ebreak);
+        let mut consumer = Node::new(c.assemble().unwrap(), Box::new(fab.port(2, 0)));
+
+        // interleave: run the consumer a while (it spins), then the
+        // producer, then let the consumer finish
+        for _ in 0..20 {
+            consumer.step().unwrap();
+        }
+        assert!(!consumer.halted());
+        producer.run(100).unwrap();
+        consumer.run(1_000).unwrap();
+        assert_eq!(
+            consumer
+                .cmem()
+                .slice(2)
+                .unwrap()
+                .array()
+                .read_row(7)
+                .unwrap(),
+            &[11, 22, 33, 44]
+        );
+    }
+}

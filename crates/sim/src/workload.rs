@@ -1,0 +1,149 @@
+//! Continuous request streams over multi-DNN deployments.
+//!
+//! The autonomous-driving scenario of §1 is not one inference but a
+//! *stream*: every sensor fires at its own rate and each model must keep
+//! up. This module closes the loop on [`crate::multi_dnn`]: given each
+//! partition's batch-1 service time (from the execution model) and its
+//! request rate, it reports utilization and mean response time under an
+//! M/D/1 queue (Poisson arrivals, deterministic service — inference time
+//! on a fixed partition does not vary).
+
+use crate::multi_dnn::MultiDnnReport;
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+
+/// One model's steady-state behaviour under a request stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// The network's name.
+    pub name: String,
+    /// Offered request rate, requests/s.
+    pub rate: f64,
+    /// Deterministic service time, ms.
+    pub service_ms: f64,
+    /// Partition utilization `ρ = λ·s` (must stay below 1).
+    pub utilization: f64,
+    /// Mean response time (queueing + service), ms.
+    pub mean_response_ms: f64,
+}
+
+/// Steady-state report for a whole deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamReport {
+    /// Per-model statistics.
+    pub models: Vec<StreamStats>,
+    /// The busiest partition's utilization.
+    pub peak_utilization: f64,
+}
+
+/// Evaluates request streams against a spatial deployment.
+///
+/// `rates[i]` is model `i`'s arrival rate in requests per second. Mean
+/// response time follows M/D/1: `W = s·(1 + ρ / (2(1 − ρ)))`.
+///
+/// # Errors
+///
+/// Returns [`SimError::DoesNotFit`] if rates and models disagree in count,
+/// or if any partition is saturated (`ρ ≥ 1`) — the deployment cannot keep
+/// up and needs a different split.
+pub fn evaluate_streams(
+    deployment: &MultiDnnReport,
+    rates: &[f64],
+) -> Result<StreamReport, SimError> {
+    if rates.len() != deployment.models.len() {
+        return Err(SimError::DoesNotFit {
+            reason: format!(
+                "{} rates for {} models",
+                rates.len(),
+                deployment.models.len()
+            ),
+        });
+    }
+    let mut out = Vec::with_capacity(rates.len());
+    let mut peak = 0.0f64;
+    for (m, &rate) in deployment.models.iter().zip(rates) {
+        let service_s = m.latency_ms / 1e3;
+        let rho = rate * service_s;
+        if rho >= 1.0 {
+            return Err(SimError::DoesNotFit {
+                reason: format!(
+                    "{} saturated: {rate} req/s against {:.1} req/s capacity",
+                    m.name,
+                    1.0 / service_s
+                ),
+            });
+        }
+        let wait_s = service_s * rho / (2.0 * (1.0 - rho));
+        peak = peak.max(rho);
+        out.push(StreamStats {
+            name: m.name.clone(),
+            rate,
+            service_ms: m.latency_ms,
+            utilization: rho,
+            mean_response_ms: (service_s + wait_s) * 1e3,
+        });
+    }
+    Ok(StreamReport {
+        models: out,
+        peak_utilization: peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi_dnn::parallel_inference;
+    use maicc_exec::config::ExecConfig;
+    use maicc_nn::resnet::tinynet;
+
+    fn deployment() -> MultiDnnReport {
+        let a = tinynet(10);
+        let cfg = ExecConfig::default();
+        parallel_inference(
+            &[(&a, [32, 16, 16]), (&a, [32, 16, 16])],
+            210,
+            &cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn light_load_response_near_service_time() {
+        let d = deployment();
+        let light = vec![1.0; 2];
+        let r = evaluate_streams(&d, &light).unwrap();
+        for (s, m) in r.models.iter().zip(&d.models) {
+            assert!(s.utilization < 0.01);
+            assert!((s.mean_response_ms - m.latency_ms) / m.latency_ms < 0.01);
+        }
+    }
+
+    #[test]
+    fn response_time_grows_with_load() {
+        let d = deployment();
+        let cap = 1.0 / (d.models[0].latency_ms / 1e3);
+        let low = evaluate_streams(&d, &[0.2 * cap, 0.2 * cap]).unwrap();
+        let high = evaluate_streams(&d, &[0.9 * cap, 0.9 * cap]).unwrap();
+        assert!(high.models[0].mean_response_ms > 3.0 * low.models[0].mean_response_ms);
+        assert!(high.peak_utilization > 0.85);
+    }
+
+    #[test]
+    fn saturation_is_rejected_with_capacity_hint() {
+        let d = deployment();
+        let cap = 1.0 / (d.models[0].latency_ms / 1e3);
+        let err = evaluate_streams(&d, &[1.5 * cap, 0.1 * cap]);
+        match err {
+            Err(SimError::DoesNotFit { reason }) => {
+                assert!(reason.contains("saturated"), "{reason}");
+            }
+            other => panic!("expected saturation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rate_count_must_match() {
+        let d = deployment();
+        assert!(evaluate_streams(&d, &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,493 @@
+//! The full eight-slice computing memory of one MAICC node.
+//!
+//! [`Cmem`] bundles eight [`CmemSlice`]s (Figure 3(c)) behind the interface
+//! the extended ISA of Table 2 sees:
+//!
+//! * **slice 0** uses 8T cells, is *byte-addressable vertically* (ordinary
+//!   `load`/`store` land here, Figure 5) and row-addressable horizontally —
+//!   writing a vector byte-by-byte and reading rows out performs the
+//!   transpose for free;
+//! * **slices 1–7** are compute-only: row-indexed, reachable only through
+//!   `MAC.C` / `Move.C` / `SetRow.C` / `ShiftRow.C` / `LoadRow.RC` /
+//!   `StoreRow.RC`.
+//!
+//! Every operation updates an [`EnergyMeter`] so node- and chip-level models
+//! can report energy without re-deriving circuit constants.
+
+use crate::energy::EnergyMeter;
+use crate::slice::{CmemSlice, ShiftDir};
+use crate::{SramError, BITLINES, NUM_SLICES, SLICE_ROWS};
+
+/// Bytes addressable in slice 0 (2 KB).
+pub const SLICE0_BYTES: usize = SLICE_ROWS * BITLINES / 8;
+
+/// The computing memory of one MAICC node: eight 2 KB slices.
+///
+/// # Example
+///
+/// ```
+/// use maicc_sram::cmem::Cmem;
+///
+/// # fn main() -> Result<(), maicc_sram::SramError> {
+/// let mut cmem = Cmem::new();
+/// // Vertical byte writes into slice 0 build a transposed 8-bit vector...
+/// for k in 0..256 {
+///     cmem.store_byte(k, (k % 10) as u8)?;
+/// }
+/// // ...which Move.C broadcasts to computing slice 3.
+/// cmem.move_vector(0, 0, 3, 0, 8)?;
+/// cmem.write_vector_u8(3, 8, &[2u8; 256])?;
+/// let sum: u64 = (0..256).map(|k| (k % 10) as u64 * 2).sum();
+/// assert_eq!(cmem.mac_u8(3, 0, 8)?, sum);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cmem {
+    slices: Vec<CmemSlice>,
+    meter: EnergyMeter,
+}
+
+impl Default for Cmem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cmem {
+    /// Creates a zeroed CMem with all masks enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Cmem {
+            slices: (0..NUM_SLICES).map(|_| CmemSlice::new()).collect(),
+            meter: EnergyMeter::new(),
+        }
+    }
+
+    fn check_slice(&self, slice: usize) -> Result<(), SramError> {
+        if slice < NUM_SLICES {
+            Ok(())
+        } else {
+            Err(SramError::SliceOutOfRange { slice })
+        }
+    }
+
+    /// Immutable access to one slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::SliceOutOfRange`] for `slice >= 8`.
+    pub fn slice(&self, slice: usize) -> Result<&CmemSlice, SramError> {
+        self.check_slice(slice)?;
+        Ok(&self.slices[slice])
+    }
+
+    /// Mutable access to one slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::SliceOutOfRange`] for `slice >= 8`.
+    pub fn slice_mut(&mut self, slice: usize) -> Result<&mut CmemSlice, SramError> {
+        self.check_slice(slice)?;
+        Ok(&mut self.slices[slice])
+    }
+
+    /// Accumulated energy meter.
+    #[must_use]
+    pub fn energy(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Resets the energy meter to zero.
+    pub fn reset_energy(&mut self) {
+        self.meter = EnergyMeter::new();
+    }
+
+    // ------------------------------------------------------------------
+    // Slice-0 byte addressing (Figure 5)
+    // ------------------------------------------------------------------
+
+    /// Stores one byte at slice-0 byte address `addr` (vertical write).
+    ///
+    /// Address `a` maps to bit-line `a % 256`, word-lines
+    /// `8*(a/256) .. 8*(a/256)+8`; storing bytes `0..=255` therefore lays an
+    /// 8-bit, 256-element vector out *already transposed* in rows `0..8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::ByteAddrOutOfRange`] for `addr >= 2048`.
+    pub fn store_byte(&mut self, addr: usize, value: u8) -> Result<(), SramError> {
+        if addr >= SLICE0_BYTES {
+            return Err(SramError::ByteAddrOutOfRange { addr });
+        }
+        let col = addr % BITLINES;
+        let row_base = (addr / BITLINES) * 8;
+        for i in 0..8 {
+            self.slices[0]
+                .array_mut()
+                .write_bit(row_base + i, col, (value >> i) & 1 == 1)?;
+        }
+        self.meter.count_vertical_write(1);
+        Ok(())
+    }
+
+    /// Loads one byte from slice-0 byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::ByteAddrOutOfRange`] for `addr >= 2048`.
+    pub fn load_byte(&self, addr: usize) -> Result<u8, SramError> {
+        if addr >= SLICE0_BYTES {
+            return Err(SramError::ByteAddrOutOfRange { addr });
+        }
+        let col = addr % BITLINES;
+        let row_base = (addr / BITLINES) * 8;
+        let mut v = 0u8;
+        for i in 0..8 {
+            if self.slices[0].array().read_bit(row_base + i, col)? {
+                v |= 1 << i;
+            }
+        }
+        Ok(v)
+    }
+
+    // ------------------------------------------------------------------
+    // Table-2 primitives
+    // ------------------------------------------------------------------
+
+    /// `Move.C`: copies an n-bit vector (n word-lines) from
+    /// (`src_slice`, `src_row`) to (`dst_slice`, `dst_row`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates slice/row range errors from the underlying arrays.
+    pub fn move_vector(
+        &mut self,
+        src_slice: usize,
+        src_row: usize,
+        dst_slice: usize,
+        dst_row: usize,
+        bits: usize,
+    ) -> Result<(), SramError> {
+        self.check_slice(src_slice)?;
+        self.check_slice(dst_slice)?;
+        if !(1..=16).contains(&bits) {
+            return Err(SramError::UnsupportedWidth { bits });
+        }
+        for i in 0..bits {
+            let lanes = self.slices[src_slice]
+                .array()
+                .read_row(src_row + i)?
+                .to_vec();
+            if src_slice == dst_slice {
+                self.slices[src_slice]
+                    .array_mut()
+                    .write_row(dst_row + i, &lanes)?;
+            } else {
+                self.slices[dst_slice]
+                    .array_mut()
+                    .write_row(dst_row + i, &lanes)?;
+            }
+        }
+        self.meter.count_move(1);
+        Ok(())
+    }
+
+    /// `MAC.C`: inner product of two transposed vectors in one slice;
+    /// the scalar result is destined for a core register.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the domain errors of [`CmemSlice::mac`].
+    pub fn mac(
+        &mut self,
+        slice: usize,
+        base_a: usize,
+        base_b: usize,
+        bits: usize,
+        signed: bool,
+    ) -> Result<i64, SramError> {
+        self.check_slice(slice)?;
+        let r = self.slices[slice].mac(base_a, base_b, bits, signed)?;
+        self.meter.count_mac(1);
+        Ok(r)
+    }
+
+    /// `SetRow.C`: clears or sets one row of one slice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates slice/row range errors.
+    pub fn set_row(&mut self, slice: usize, row: usize, value: bool) -> Result<(), SramError> {
+        self.check_slice(slice)?;
+        self.slices[slice].set_row(row, value)?;
+        self.meter.count_set_row(1);
+        Ok(())
+    }
+
+    /// `ShiftRow.C`: shifts one row by `granules × 32` bit-lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates slice/row range errors.
+    pub fn shift_row(
+        &mut self,
+        slice: usize,
+        row: usize,
+        dir: ShiftDir,
+        granules: usize,
+    ) -> Result<(), SramError> {
+        self.check_slice(slice)?;
+        self.slices[slice].shift_row(row, dir, granules)?;
+        self.meter.count_shift_row(1);
+        Ok(())
+    }
+
+    /// Reads one raw row — the local half of `StoreRow.RC` (the packet body
+    /// that `maicc-noc` will carry to another node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates slice/row range errors.
+    pub fn read_row_remote(&mut self, slice: usize, row: usize) -> Result<Vec<u64>, SramError> {
+        self.check_slice(slice)?;
+        let lanes = self.slices[slice].array().read_row(row)?.to_vec();
+        self.meter.count_remote_row(1);
+        Ok(lanes)
+    }
+
+    /// Writes one raw row — the local half of `LoadRow.RC` (a row arriving
+    /// from another node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates slice/row range errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not exactly four `u64` words (256 bit-lines).
+    pub fn write_row_remote(
+        &mut self,
+        slice: usize,
+        row: usize,
+        lanes: &[u64],
+    ) -> Result<(), SramError> {
+        self.check_slice(slice)?;
+        self.slices[slice].array_mut().write_row(row, lanes)?;
+        self.meter.count_remote_row(1);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience views used by the execution framework and tests
+    // ------------------------------------------------------------------
+
+    /// Writes an unsigned 8-bit vector transposed at (`slice`, `base`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates slice/vector range errors.
+    pub fn write_vector_u8(&mut self, slice: usize, base: usize, v: &[u8]) -> Result<(), SramError> {
+        self.check_slice(slice)?;
+        let words: Vec<u16> = v.iter().map(|&x| x as u16).collect();
+        self.slices[slice].write_vector(base, &words, 8)
+    }
+
+    /// Writes a signed 8-bit vector (two's complement) at (`slice`, `base`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates slice/vector range errors.
+    pub fn write_vector_i8(&mut self, slice: usize, base: usize, v: &[i8]) -> Result<(), SramError> {
+        self.check_slice(slice)?;
+        let words: Vec<u16> = v.iter().map(|&x| x as u8 as u16).collect();
+        self.slices[slice].write_vector(base, &words, 8)
+    }
+
+    /// Unsigned 8-bit MAC returning the non-negative dot product.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the domain errors of [`Self::mac`].
+    pub fn mac_u8(&mut self, slice: usize, base_a: usize, base_b: usize) -> Result<u64, SramError> {
+        Ok(self.mac(slice, base_a, base_b, 8, false)? as u64)
+    }
+
+    /// Signed 8-bit MAC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the domain errors of [`Self::mac`].
+    pub fn mac_i8(&mut self, slice: usize, base_a: usize, base_b: usize) -> Result<i64, SramError> {
+        self.mac(slice, base_a, base_b, 8, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn byte_roundtrip_all_addresses_sampled() {
+        let mut c = Cmem::new();
+        for addr in (0..SLICE0_BYTES).step_by(37) {
+            c.store_byte(addr, (addr % 251) as u8).unwrap();
+        }
+        for addr in (0..SLICE0_BYTES).step_by(37) {
+            assert_eq!(c.load_byte(addr).unwrap(), (addr % 251) as u8);
+        }
+    }
+
+    #[test]
+    fn byte_addr_out_of_range() {
+        let mut c = Cmem::new();
+        assert!(matches!(
+            c.store_byte(SLICE0_BYTES, 1),
+            Err(SramError::ByteAddrOutOfRange { .. })
+        ));
+        assert!(matches!(
+            c.load_byte(usize::MAX),
+            Err(SramError::ByteAddrOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn vertical_write_transposes_for_free() {
+        // Bytes 0..256 written vertically appear as a transposed vector in
+        // rows 0..8 — the Figure-5 mechanism.
+        let mut c = Cmem::new();
+        let v: Vec<u8> = (0..=255).collect();
+        for (k, &b) in v.iter().enumerate() {
+            c.store_byte(k, b).unwrap();
+        }
+        let read = c.slice(0).unwrap().read_vector(0, 8, 256).unwrap();
+        assert_eq!(read, v.iter().map(|&b| b as u16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn second_row_group_maps_to_rows_8_16() {
+        let mut c = Cmem::new();
+        c.store_byte(256, 0xFF).unwrap();
+        let read = c.slice(0).unwrap().read_vector(8, 8, 1).unwrap();
+        assert_eq!(read[0], 0xFF);
+    }
+
+    #[test]
+    fn move_between_slices() {
+        let mut c = Cmem::new();
+        c.write_vector_u8(0, 0, &[9u8; 256]).unwrap();
+        c.move_vector(0, 0, 5, 24, 8).unwrap();
+        let got = c.slice(5).unwrap().read_vector(24, 8, 256).unwrap();
+        assert!(got.iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn move_within_slice() {
+        let mut c = Cmem::new();
+        c.write_vector_u8(2, 0, &[5u8; 256]).unwrap();
+        c.move_vector(2, 0, 2, 16, 8).unwrap();
+        let got = c.slice(2).unwrap().read_vector(16, 8, 256).unwrap();
+        assert!(got.iter().all(|&x| x == 5));
+    }
+
+    #[test]
+    fn mac_after_move_broadcast() {
+        // The Algorithm-1 pattern: ifmap enters slice 0, broadcast to the
+        // seven computing slices, MAC against resident filters.
+        let mut c = Cmem::new();
+        let ifmap: Vec<u8> = (0..256).map(|i| (i % 23) as u8).collect();
+        c.write_vector_u8(0, 0, &ifmap).unwrap();
+        for s in 1..8 {
+            c.move_vector(0, 0, s, 0, 8).unwrap();
+            let filt: Vec<u8> = (0..256).map(|i| ((i + s) % 11) as u8).collect();
+            c.write_vector_u8(s, 8, &filt).unwrap();
+            let expect: u64 = ifmap
+                .iter()
+                .zip(&filt)
+                .map(|(&x, &y)| x as u64 * y as u64)
+                .sum();
+            assert_eq!(c.mac_u8(s, 0, 8).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn remote_row_roundtrip() {
+        let mut c1 = Cmem::new();
+        let mut c2 = Cmem::new();
+        c1.write_vector_u8(0, 0, &[7u8; 256]).unwrap();
+        // StoreRow.RC from node 1 to node 2, row by row
+        for i in 0..8 {
+            let lanes = c1.read_row_remote(0, i).unwrap();
+            c2.write_row_remote(0, i, &lanes).unwrap();
+        }
+        assert_eq!(
+            c2.slice(0).unwrap().read_vector(0, 8, 256).unwrap(),
+            vec![7u16; 256]
+        );
+        assert_eq!(c1.energy().remote_rows(), 8);
+        assert_eq!(c2.energy().remote_rows(), 8);
+    }
+
+    #[test]
+    fn slice_out_of_range() {
+        let mut c = Cmem::new();
+        assert!(matches!(
+            c.mac(8, 0, 8, 8, false),
+            Err(SramError::SliceOutOfRange { slice: 8 })
+        ));
+        assert!(c.slice(9).is_err());
+    }
+
+    #[test]
+    fn energy_accounts_each_primitive() {
+        let mut c = Cmem::new();
+        c.store_byte(0, 1).unwrap();
+        c.write_vector_u8(1, 0, &[1u8; 256]).unwrap();
+        c.write_vector_u8(1, 8, &[1u8; 256]).unwrap();
+        c.mac_u8(1, 0, 8).unwrap();
+        c.move_vector(1, 0, 2, 0, 8).unwrap();
+        c.set_row(3, 0, true).unwrap();
+        c.shift_row(3, 0, ShiftDir::Left, 1).unwrap();
+        let pj = c.energy().total_pj();
+        let expect = crate::energy::VERTICAL_WRITE_PJ
+            + crate::energy::MAC_PJ
+            + crate::energy::MOVE_PJ
+            + crate::energy::SET_ROW_PJ
+            + crate::energy::SHIFT_ROW_PJ;
+        assert!((pj - expect).abs() < 1e-9, "{pj} vs {expect}");
+    }
+
+    #[test]
+    fn reset_energy_zeroes_meter() {
+        let mut c = Cmem::new();
+        c.store_byte(0, 1).unwrap();
+        c.reset_energy();
+        assert_eq!(c.energy().total_pj(), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_byte_roundtrip(addr in 0usize..SLICE0_BYTES, v in any::<u8>()) {
+            let mut c = Cmem::new();
+            c.store_byte(addr, v).unwrap();
+            prop_assert_eq!(c.load_byte(addr).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_signed_mac_through_full_path(
+            ifmap in proptest::collection::vec(any::<i8>(), 256),
+            filt in proptest::collection::vec(any::<i8>(), 256),
+        ) {
+            let mut c = Cmem::new();
+            c.write_vector_i8(0, 0, &ifmap).unwrap();
+            c.move_vector(0, 0, 4, 0, 8).unwrap();
+            c.write_vector_i8(4, 8, &filt).unwrap();
+            let expect: i64 = ifmap.iter().zip(&filt)
+                .map(|(&x, &y)| x as i64 * y as i64).sum();
+            prop_assert_eq!(c.mac_i8(4, 0, 8).unwrap(), expect);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-operation energy constants (§5, "System Model") and an accumulator.
+//!
+//! The paper measures the SRAM array with HSPICE (40 nm, 1.1 V) and scales to
+//! 28 nm; the published per-operation energies are reproduced here as
+//! constants. [`EnergyMeter`] counts primitive invocations and converts them
+//! to picojoules so higher layers (node model, chip model) can report energy
+//! without knowing circuit details.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy of one vertical (byte) write into slice 0, in pJ.
+pub const VERTICAL_WRITE_PJ: f64 = 4.75;
+/// Energy of one `Move.C` (8-bit vector between slices), in pJ.
+pub const MOVE_PJ: f64 = 52.75;
+/// Energy of one `MAC.C` (8-bit vectors), in pJ.
+pub const MAC_PJ: f64 = 28.25;
+/// Energy of one remote `LoadRow.RC`/`StoreRow.RC` row transfer, in pJ.
+pub const REMOTE_ROW_PJ: f64 = 53.01;
+/// Energy of one `SetRow.C` — modelled as a plain row write (half a move).
+pub const SET_ROW_PJ: f64 = 3.3;
+/// Energy of one `ShiftRow.C` — one row read + one row write.
+pub const SHIFT_ROW_PJ: f64 = 6.6;
+/// Energy of one single-row activation inside a bit-serial loop, in pJ.
+///
+/// Derived from the `MAC.C` figure: an 8-bit MAC performs 64 row-pair
+/// activations plus adder-tree work for 28.25 pJ, ≈0.44 pJ per activation.
+/// Used to price Neural Cache's element-wise loops on equal footing.
+pub const ACTIVATION_PJ: f64 = 0.44;
+
+/// Counters for every energy-bearing CMem primitive.
+///
+/// # Example
+///
+/// ```
+/// use maicc_sram::energy::EnergyMeter;
+///
+/// let mut m = EnergyMeter::new();
+/// m.count_mac(10);
+/// m.count_move(2);
+/// assert!((m.total_pj() - (10.0 * 28.25 + 2.0 * 52.75)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    macs: u64,
+    moves: u64,
+    vertical_writes: u64,
+    set_rows: u64,
+    shift_rows: u64,
+    remote_rows: u64,
+    raw_activations: u64,
+}
+
+impl EnergyMeter {
+    /// Creates a zeroed meter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` `MAC.C` operations.
+    pub fn count_mac(&mut self, n: u64) {
+        self.macs += n;
+    }
+
+    /// Records `n` `Move.C` operations.
+    pub fn count_move(&mut self, n: u64) {
+        self.moves += n;
+    }
+
+    /// Records `n` vertical byte writes into slice 0.
+    pub fn count_vertical_write(&mut self, n: u64) {
+        self.vertical_writes += n;
+    }
+
+    /// Records `n` `SetRow.C` operations.
+    pub fn count_set_row(&mut self, n: u64) {
+        self.set_rows += n;
+    }
+
+    /// Records `n` `ShiftRow.C` operations.
+    pub fn count_shift_row(&mut self, n: u64) {
+        self.shift_rows += n;
+    }
+
+    /// Records `n` remote row transfers (`LoadRow.RC`/`StoreRow.RC`).
+    pub fn count_remote_row(&mut self, n: u64) {
+        self.remote_rows += n;
+    }
+
+    /// Records `n` raw single/multi-row activations (bit-serial loops that
+    /// bypass the MAC primitive, e.g. the Neural Cache baseline).
+    pub fn count_activation(&mut self, n: u64) {
+        self.raw_activations += n;
+    }
+
+    /// Number of `MAC.C` operations recorded so far.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.macs
+    }
+
+    /// Number of remote row transfers recorded so far.
+    #[must_use]
+    pub fn remote_rows(&self) -> u64 {
+        self.remote_rows
+    }
+
+    /// Total accumulated energy in picojoules.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.macs as f64 * MAC_PJ
+            + self.moves as f64 * MOVE_PJ
+            + self.vertical_writes as f64 * VERTICAL_WRITE_PJ
+            + self.set_rows as f64 * SET_ROW_PJ
+            + self.shift_rows as f64 * SHIFT_ROW_PJ
+            + self.remote_rows as f64 * REMOTE_ROW_PJ
+            + self.raw_activations as f64 * ACTIVATION_PJ
+    }
+
+    /// Total accumulated energy in joules.
+    #[must_use]
+    pub fn total_joules(&self) -> f64 {
+        self.total_pj() * 1e-12
+    }
+
+    /// Merges another meter's counts into this one.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        self.macs += other.macs;
+        self.moves += other.moves;
+        self.vertical_writes += other.vertical_writes;
+        self.set_rows += other.set_rows;
+        self.shift_rows += other.shift_rows;
+        self.remote_rows += other.remote_rows;
+        self.raw_activations += other.raw_activations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_meter_is_zero() {
+        assert_eq!(EnergyMeter::new().total_pj(), 0.0);
+    }
+
+    #[test]
+    fn accumulates_each_category() {
+        let mut m = EnergyMeter::new();
+        m.count_mac(1);
+        m.count_move(1);
+        m.count_vertical_write(1);
+        m.count_set_row(1);
+        m.count_shift_row(1);
+        m.count_remote_row(1);
+        m.count_activation(1);
+        let expect =
+            MAC_PJ + MOVE_PJ + VERTICAL_WRITE_PJ + SET_ROW_PJ + SHIFT_ROW_PJ + REMOTE_ROW_PJ
+                + ACTIVATION_PJ;
+        assert!((m.total_pj() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = EnergyMeter::new();
+        a.count_mac(3);
+        let mut b = EnergyMeter::new();
+        b.count_mac(4);
+        b.count_remote_row(2);
+        a.merge(&b);
+        assert_eq!(a.macs(), 7);
+        assert_eq!(a.remote_rows(), 2);
+    }
+
+    #[test]
+    fn joules_scale() {
+        let mut m = EnergyMeter::new();
+        m.count_mac(1);
+        assert!((m.total_joules() - MAC_PJ * 1e-12).abs() < 1e-24);
+    }
+}

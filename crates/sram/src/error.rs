@@ -1,0 +1,124 @@
+use std::fmt;
+
+/// Errors raised by the SRAM / CMem model.
+///
+/// Every public fallible operation in this crate returns `Result<_, SramError>`.
+/// The variants mirror the hardware's illegal conditions: indexing a word-line
+/// or slice that does not exist, or issuing a computing-slice operation that
+/// the slice's peripheral logic cannot perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SramError {
+    /// A word-line index was out of range for the array.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// Number of rows in the array.
+        rows: usize,
+    },
+    /// A slice index was outside `0..NUM_SLICES`.
+    SliceOutOfRange {
+        /// The offending slice index.
+        slice: usize,
+    },
+    /// A byte address into slice 0 was outside its 2 KB window.
+    ByteAddrOutOfRange {
+        /// The offending byte address.
+        addr: usize,
+    },
+    /// A vector operation would spill past the last word-line of the slice.
+    VectorOverflow {
+        /// First row of the vector.
+        base: usize,
+        /// Bit width of the elements.
+        bits: usize,
+        /// Number of rows in the slice.
+        rows: usize,
+    },
+    /// An operand bit width was not one of the supported 1..=16.
+    UnsupportedWidth {
+        /// The offending width.
+        bits: usize,
+    },
+    /// The two operands of an in-slice operation overlap in rows.
+    OperandOverlap {
+        /// First row of operand A.
+        a: usize,
+        /// First row of operand B.
+        b: usize,
+        /// Bit width of the elements.
+        bits: usize,
+    },
+    /// A byte-addressed access targeted a computing slice (1–7), which only
+    /// supports row indexing (§3.3).
+    NotByteAddressable {
+        /// The offending slice index.
+        slice: usize,
+    },
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SramError::RowOutOfRange { row, rows } => {
+                write!(f, "word-line {row} out of range for {rows}-row array")
+            }
+            SramError::SliceOutOfRange { slice } => {
+                write!(f, "slice {slice} out of range for 8-slice CMem")
+            }
+            SramError::ByteAddrOutOfRange { addr } => {
+                write!(f, "byte address {addr:#x} outside slice 0's 2 KB window")
+            }
+            SramError::VectorOverflow { base, bits, rows } => {
+                write!(
+                    f,
+                    "{bits}-bit vector at row {base} spills past the {rows}-row slice"
+                )
+            }
+            SramError::UnsupportedWidth { bits } => {
+                write!(f, "unsupported element width of {bits} bits")
+            }
+            SramError::OperandOverlap { a, b, bits } => {
+                write!(f, "{bits}-bit operands at rows {a} and {b} overlap")
+            }
+            SramError::NotByteAddressable { slice } => {
+                write!(f, "computing slice {slice} is not byte-addressable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            SramError::RowOutOfRange { row: 70, rows: 64 },
+            SramError::SliceOutOfRange { slice: 9 },
+            SramError::ByteAddrOutOfRange { addr: 4096 },
+            SramError::VectorOverflow {
+                base: 60,
+                bits: 8,
+                rows: 64,
+            },
+            SramError::UnsupportedWidth { bits: 33 },
+            SramError::OperandOverlap { a: 0, b: 4, bits: 8 },
+            SramError::NotByteAddressable { slice: 3 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.chars().next().unwrap().is_uppercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SramError>();
+    }
+}

@@ -1,0 +1,178 @@
+//! In-place bit-line logic operations (Compute Caches, HPCA 2017).
+//!
+//! §2.2 of the MAICC paper traces the CMem's lineage: bit-line computing
+//! first provided **logic** operations — activate two word-lines, read
+//! `AND`/`NOR` off the bit-line pairs, write the result back to a third
+//! row. The CMem keeps this capability (its slices are ordinary bit-line
+//! computing arrays plus the MAC peripherals), and the execution framework
+//! uses it for masks and predicates. This module implements the classic
+//! in-place row operations over any [`SramArray`], each costing one
+//! activation plus one write-back (2 cycles).
+
+use crate::array::SramArray;
+use crate::SramError;
+
+/// A two-operand bit-line logic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowOp {
+    /// Per-bit-line AND (read directly from BL).
+    And,
+    /// Per-bit-line NOR (read directly from BLB).
+    Nor,
+    /// Per-bit-line OR (complement of NOR).
+    Or,
+    /// Per-bit-line XOR (`!(AND | NOR)`).
+    Xor,
+    /// Per-bit-line NAND (complement of AND).
+    Nand,
+}
+
+/// Cycles for one in-place logic operation: a multi-row activation plus a
+/// write-back.
+pub const ROW_OP_CYCLES: u64 = 2;
+
+/// Computes `dst = op(row_a, row_b)` in place, using only what the
+/// bit-lines provide plus the sense-amplifier complementing the Compute
+/// Caches peripherals add.
+///
+/// # Errors
+///
+/// Propagates [`SramError::RowOutOfRange`] /
+/// [`SramError::OperandOverlap`] from the underlying array.
+pub fn row_op(
+    array: &mut SramArray,
+    op: RowOp,
+    row_a: usize,
+    row_b: usize,
+    dst: usize,
+) -> Result<(), SramError> {
+    let readout = array.activate_pair(row_a, row_b)?;
+    let lanes: Vec<u64> = match op {
+        RowOp::And => readout.and.clone(),
+        RowOp::Nor => readout.nor.clone(),
+        RowOp::Or => readout.nor.iter().map(|&n| !n).collect(),
+        RowOp::Xor => readout.xor(),
+        RowOp::Nand => readout.and.iter().map(|&a| !a).collect(),
+    };
+    array.write_row(dst, &lanes)
+}
+
+/// Computes `dst = !src` (single-row activation, sense from BLB).
+///
+/// # Errors
+///
+/// Propagates [`SramError::RowOutOfRange`].
+pub fn row_not(array: &mut SramArray, src: usize, dst: usize) -> Result<(), SramError> {
+    let lanes: Vec<u64> = array.read_row(src)?.iter().map(|&l| !l).collect();
+    array.write_row(dst, &lanes)
+}
+
+/// Bit-line equality search: returns a bit-line mask of the columns where
+/// rows `row_a` and `row_b` agree — the TCAM-style lookup of Jeloka et al.
+///
+/// # Errors
+///
+/// Propagates the underlying array errors.
+pub fn row_match(array: &SramArray, row_a: usize, row_b: usize) -> Result<Vec<u64>, SramError> {
+    let readout = array.activate_pair(row_a, row_b)?;
+    // equal bits are those where XOR is 0
+    Ok(readout.xor().iter().map(|&x| !x).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arr_with(a: u64, b: u64) -> SramArray {
+        let mut arr = SramArray::new(8, 64);
+        arr.write_row(0, &[a]).unwrap();
+        arr.write_row(1, &[b]).unwrap();
+        arr
+    }
+
+    #[test]
+    fn all_ops_match_boolean_algebra() {
+        let (a, b) = (0b1100u64, 0b1010u64);
+        for (op, expect) in [
+            (RowOp::And, a & b),
+            (RowOp::Or, a | b),
+            (RowOp::Xor, a ^ b),
+            (RowOp::Nor, !(a | b)),
+            (RowOp::Nand, !(a & b)),
+        ] {
+            let mut arr = arr_with(a, b);
+            row_op(&mut arr, op, 0, 1, 2).unwrap();
+            let got = arr.read_row(2).unwrap()[0];
+            // the array masks to its 64 valid columns
+            assert_eq!(got, expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn not_inverts_within_width() {
+        let mut arr = SramArray::new(4, 16);
+        arr.write_row(0, &[0b1010]).unwrap();
+        row_not(&mut arr, 0, 1).unwrap();
+        assert_eq!(arr.read_row(1).unwrap()[0], !0b1010u64 & 0xFFFF);
+    }
+
+    #[test]
+    fn operands_are_preserved() {
+        let mut arr = arr_with(0xF0F0, 0x0FF0);
+        row_op(&mut arr, RowOp::Xor, 0, 1, 3).unwrap();
+        assert_eq!(arr.read_row(0).unwrap()[0], 0xF0F0);
+        assert_eq!(arr.read_row(1).unwrap()[0], 0x0FF0);
+    }
+
+    #[test]
+    fn in_place_overwrite_of_operand_allowed() {
+        // writing the result onto one operand is the classic compute-cache
+        // idiom (read happens before write-back)
+        let mut arr = arr_with(0b1100, 0b1010);
+        row_op(&mut arr, RowOp::And, 0, 1, 0).unwrap();
+        assert_eq!(arr.read_row(0).unwrap()[0], 0b1000);
+    }
+
+    #[test]
+    fn match_mask_finds_equal_columns() {
+        let mut arr = SramArray::new(4, 8);
+        arr.write_row(0, &[0b1100_1010]).unwrap();
+        arr.write_row(1, &[0b1010_1010]).unwrap();
+        let m = row_match(&arr, 0, 1).unwrap();
+        // differing bits are positions 5 and 6
+        assert_eq!(m[0] & 0xFF, 0b1001_1111);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ops_match_u64_semantics(a in any::<u64>(), b in any::<u64>()) {
+            for (op, expect) in [
+                (RowOp::And, a & b),
+                (RowOp::Or, a | b),
+                (RowOp::Xor, a ^ b),
+                (RowOp::Nor, !(a | b)),
+                (RowOp::Nand, !(a & b)),
+            ] {
+                let mut arr = SramArray::new(4, 64);
+                arr.write_row(0, &[a]).unwrap();
+                arr.write_row(1, &[b]).unwrap();
+                row_op(&mut arr, op, 0, 1, 2).unwrap();
+                prop_assert_eq!(arr.read_row(2).unwrap()[0], expect);
+            }
+        }
+
+        #[test]
+        fn prop_demorgan_holds_on_bitlines(a in any::<u64>(), b in any::<u64>()) {
+            // NOT(a AND b) == (NOT a) OR (NOT b), computed entirely in-array
+            let mut arr = SramArray::new(8, 64);
+            arr.write_row(0, &[a]).unwrap();
+            arr.write_row(1, &[b]).unwrap();
+            row_op(&mut arr, RowOp::Nand, 0, 1, 2).unwrap();
+            row_not(&mut arr, 0, 3).unwrap();
+            row_not(&mut arr, 1, 4).unwrap();
+            row_op(&mut arr, RowOp::Or, 3, 4, 5).unwrap();
+            prop_assert_eq!(arr.read_row(2).unwrap(), arr.read_row(5).unwrap());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Edge-case tests exercising the public SRAM/CMem API at its boundaries.
+
+use maicc_sram::cmem::{Cmem, SLICE0_BYTES};
+use maicc_sram::neural_cache::NcArray;
+use maicc_sram::slice::{CmemSlice, ShiftDir};
+
+#[test]
+fn shift_row_full_width_wipes() {
+    let mut s = CmemSlice::new();
+    s.write_vector(0, &vec![1u16; 256], 1).unwrap();
+    s.shift_row(0, ShiftDir::Right, 8).unwrap();
+    assert!(s.read_vector(0, 1, 256).unwrap().iter().all(|&x| x == 0));
+}
+
+#[test]
+fn shift_by_zero_granules_is_identity() {
+    let mut s = CmemSlice::new();
+    let v: Vec<u16> = (0..256).map(|i| (i % 2) as u16).collect();
+    s.write_vector(3, &v, 1).unwrap();
+    s.shift_row(3, ShiftDir::Left, 0).unwrap();
+    assert_eq!(s.read_vector(3, 1, 256).unwrap(), v);
+}
+
+#[test]
+fn zero_mask_macs_to_zero() {
+    let mut s = CmemSlice::new();
+    s.write_vector(0, &vec![255u16; 256], 8).unwrap();
+    s.write_vector(8, &vec![255u16; 256], 8).unwrap();
+    s.set_mask(0);
+    assert_eq!(s.mac(0, 8, 8, false).unwrap(), 0);
+}
+
+#[test]
+fn vector_at_last_legal_rows() {
+    let mut s = CmemSlice::new();
+    s.write_vector(56, &vec![7u16; 256], 8).unwrap();
+    assert_eq!(s.read_vector(56, 8, 1).unwrap()[0], 7);
+    assert!(s.write_vector(57, &[0u16], 8).is_err());
+}
+
+#[test]
+fn slice0_last_byte_roundtrips() {
+    let mut c = Cmem::new();
+    c.store_byte(SLICE0_BYTES - 1, 0xAB).unwrap();
+    assert_eq!(c.load_byte(SLICE0_BYTES - 1).unwrap(), 0xAB);
+}
+
+#[test]
+fn mac_of_extremes_is_exact() {
+    // the worst-case signed dot product: 256 × (-128 × -128)
+    let mut c = Cmem::new();
+    c.write_vector_i8(1, 0, &[-128i8; 256]).unwrap();
+    c.write_vector_i8(1, 8, &[-128i8; 256]).unwrap();
+    assert_eq!(c.mac_i8(1, 0, 8).unwrap(), 256 * 128 * 128);
+    // and the most negative: -128 × 127
+    c.write_vector_i8(2, 0, &[-128i8; 256]).unwrap();
+    c.write_vector_i8(2, 8, &[127i8; 256]).unwrap();
+    assert_eq!(c.mac_i8(2, 0, 8).unwrap(), -(256 * 128 * 127));
+}
+
+#[test]
+fn nc_array_forty_bit_ceiling() {
+    let mut a = NcArray::new();
+    assert!(a.write_vector(0, &[1], 41).is_err());
+    a.write_vector(0, &[(1u64 << 39) - 1], 40).unwrap();
+    assert_eq!(a.read_vector(0, 40, 1).unwrap()[0], (1u64 << 39) - 1);
+}
+
+#[test]
+fn move_vector_to_same_location_is_identity() {
+    let mut c = Cmem::new();
+    let v: Vec<u8> = (0..=255).collect();
+    c.write_vector_u8(4, 16, &v).unwrap();
+    c.move_vector(4, 16, 4, 16, 8).unwrap();
+    let got = c.slice(4).unwrap().read_vector(16, 8, 256).unwrap();
+    assert_eq!(got, v.iter().map(|&b| b as u16).collect::<Vec<_>>());
+}

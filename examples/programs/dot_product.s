@@ -1,0 +1,13 @@
+# In-cache dot product: two vectors resident in slice 1 (rows 0 and 8)
+# are MAC-ed by the CMem while the scalar core scales the result.
+#
+# Assemble:  maicc asm examples/programs/dot_product.s
+# Execute:   maicc run examples/programs/dot_product.s
+# (the CMem is zeroed at reset, so a bare run returns 0 in a0 —
+#  load vectors first when embedding this in a host program)
+
+    mac.c   a0, s1[0], s1[8], n8    # a0 = <row0 , row8>
+    srai    a0, a0, 1               # halve it in the scalar pipeline
+    li      a7, 1                   # ecall service 1: print a0
+    ecall
+    ebreak

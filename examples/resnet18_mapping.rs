@@ -1,0 +1,56 @@
+//! ResNet-18 layer mapping under the three segmentation strategies —
+//! a live regeneration of the paper's Table 6.
+//!
+//! Run with: `cargo run --release --example resnet18_mapping`
+
+use maicc::exec::config::ExecConfig;
+use maicc::exec::pipeline_model::{run_network, IterBreakdown};
+use maicc::exec::segment::Strategy;
+use maicc::nn::resnet::resnet18;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = resnet18(1000);
+    let cfg = ExecConfig::default();
+
+    println!("Table 6 — layer mapping strategies on ResNet-18 (210 cores)\n");
+    println!(
+        "{:<4}{:<11}{:>14}{:>14}{:>14}",
+        "#", "layer", "single-layer", "greedy", "heuristic"
+    );
+
+    let runs: Vec<_> = Strategy::ALL
+        .iter()
+        .map(|&s| run_network(&net, [64, 56, 56], s, &cfg))
+        .collect::<Result<_, _>>()?;
+
+    for i in 0..runs[0].layers.len() {
+        println!(
+            "{:<4}{:<11}{:>14}{:>14}{:>14}",
+            i + 1,
+            runs[0].layers[i].name,
+            format!("{} nodes", runs[0].layers[i].nodes),
+            format!("{} nodes", runs[1].layers[i].nodes),
+            format!("{} nodes", runs[2].layers[i].nodes),
+        );
+    }
+    println!();
+    for (s, r) in Strategy::ALL.iter().zip(&runs) {
+        println!(
+            "{:?}: total latency {:.3} ms over {} segments",
+            s,
+            r.total_ms(&cfg),
+            r.segments.len()
+        );
+    }
+
+    // Figure 9: per-iteration breakdown of layer 9 (conv2_4)
+    println!("\nFigure 9 — cycle breakdown per iteration, layer conv2_4:");
+    for (s, r) in Strategy::ALL.iter().zip(&runs) {
+        let b = IterBreakdown::of(&r.layers[8]);
+        println!(
+            "  {:?}: wait {:.0}, compute {:.0}, recv {:.0}, send-ifmap {:.0}, send-ofmap {:.0}",
+            s, b.wait, b.compute, b.recv, b.send_ifmap, b.send_ofmap
+        );
+    }
+    Ok(())
+}
