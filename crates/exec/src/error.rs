@@ -18,6 +18,16 @@ pub enum ExecError {
         /// Human-readable description.
         reason: String,
     },
+    /// Node-group placement ran out of healthy tiles: the groups need more
+    /// tiles than the compute region has left after failures.
+    PlacementOverflow {
+        /// Tiles the groups need (computing cores plus their DCs).
+        requested: usize,
+        /// Healthy tiles remaining in the compute region.
+        healthy: usize,
+        /// Tiles marked failed inside the compute region.
+        failed: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -32,6 +42,15 @@ impl fmt::Display for ExecError {
                 "layer {layer} needs {needed} cores but only {available} exist"
             ),
             ExecError::BadShapes { reason } => write!(f, "bad shapes: {reason}"),
+            ExecError::PlacementOverflow {
+                requested,
+                healthy,
+                failed,
+            } => write!(
+                f,
+                "placement needs {requested} tiles but only {healthy} healthy \
+                 tiles remain ({failed} failed)"
+            ),
         }
     }
 }
@@ -58,5 +77,16 @@ mod tests {
             available: 210,
         };
         assert!(e.to_string().contains("conv4_2"));
+    }
+
+    #[test]
+    fn display_counts_placement_overflow() {
+        let e = ExecError::PlacementOverflow {
+            requested: 200,
+            healthy: 180,
+            failed: 30,
+        };
+        let s = e.to_string();
+        assert!(s.contains("200") && s.contains("180") && s.contains("30"), "{s}");
     }
 }

@@ -4,7 +4,15 @@
 //! consecutive cores of a node group are physically adjacent — each ifmap
 //! forward is then a single-hop NoC transfer — and a layer's last cores
 //! sit near the next layer's data-collection core.
+//!
+//! When tiles are marked **failed**, [`place_groups_avoiding`] remaps the
+//! node groups onto the same serpentine with the dead tiles removed: the
+//! zig-zag ordering is preserved, chains simply hop over holes. The extra
+//! hop cost is observable through [`mean_placement_hops`] and feeds the
+//! degraded-latency model in
+//! [`pipeline_model`](crate::pipeline_model::run_network_degraded).
 
+use crate::ExecError;
 use serde::{Deserialize, Serialize};
 
 /// Compute-array width (the 16×16 mesh minus the host column).
@@ -75,14 +83,54 @@ impl GroupPlacement {
     }
 }
 
+/// The serpentine visit order with failed tiles removed: the healthy
+/// tiles, still in zig-zag order.
+#[must_use]
+pub fn healthy_order(failed: &[Tile]) -> Vec<Tile> {
+    zigzag_order()
+        .into_iter()
+        .filter(|t| !failed.contains(t))
+        .collect()
+}
+
 /// Places consecutive node groups (sized `1 + computing_cores` each) along
 /// the serpentine. Returns `None` if the groups exceed the array.
 #[must_use]
 pub fn place_groups(group_sizes: &[usize]) -> Option<Vec<GroupPlacement>> {
-    let order = zigzag_order();
+    try_place_groups(group_sizes).ok()
+}
+
+/// [`place_groups`] with a typed error instead of `None`.
+///
+/// # Errors
+///
+/// Returns [`ExecError::PlacementOverflow`] if the groups exceed the
+/// array.
+pub fn try_place_groups(group_sizes: &[usize]) -> Result<Vec<GroupPlacement>, ExecError> {
+    place_groups_avoiding(group_sizes, &[])
+}
+
+/// Places node groups along the serpentine while routing around failed
+/// tiles: dead tiles are removed from the visit order, so chains keep the
+/// zig-zag shape but hop over holes (degrading adjacency from 1 hop to 2+
+/// where a tile died).
+///
+/// # Errors
+///
+/// Returns [`ExecError::PlacementOverflow`] if the groups need more tiles
+/// than remain healthy.
+pub fn place_groups_avoiding(
+    group_sizes: &[usize],
+    failed: &[Tile],
+) -> Result<Vec<GroupPlacement>, ExecError> {
+    let order = healthy_order(failed);
     let total: usize = group_sizes.iter().map(|&c| c + 1).sum();
     if total > order.len() {
-        return None;
+        return Err(ExecError::PlacementOverflow {
+            requested: total,
+            healthy: order.len(),
+            failed: ARRAY_W * ARRAY_H - order.len(),
+        });
     }
     let mut cursor = 0;
     let mut out = Vec::with_capacity(group_sizes.len());
@@ -92,7 +140,32 @@ pub fn place_groups(group_sizes: &[usize]) -> Option<Vec<GroupPlacement>> {
         cursor += cc + 1;
         out.push(GroupPlacement { dc, computing });
     }
-    Some(out)
+    Ok(out)
+}
+
+/// Mean hop count per chain link across all placements, weighted by chain
+/// length: exactly 1.0 on a healthy array, above 1.0 when chains hop over
+/// failed tiles. This is the NoC-latency degradation factor of a remapped
+/// placement.
+#[must_use]
+pub fn mean_placement_hops(groups: &[GroupPlacement]) -> f64 {
+    let mut hops = 0.0;
+    let mut links = 0usize;
+    for g in groups {
+        if g.computing.is_empty() {
+            continue;
+        }
+        hops += g.dc.hops_to(g.computing[0]) as f64;
+        for w in g.computing.windows(2) {
+            hops += w[0].hops_to(w[1]) as f64;
+        }
+        links += g.computing.len();
+    }
+    if links == 0 {
+        1.0
+    } else {
+        hops / links as f64
+    }
 }
 
 /// Renders group placements as an ASCII floor plan of the compute region:
@@ -182,6 +255,94 @@ mod tests {
         assert!(map.lines().all(|l| l.len() == ARRAY_W));
         // the zig-zag: group A occupies the start of row 0
         assert!(map.lines().next().unwrap().starts_with("Aaaaa"));
+    }
+
+    #[test]
+    fn remap_skips_failed_tiles_and_keeps_groups_disjoint() {
+        let failed = [
+            Tile { x: 2, y: 0 },
+            Tile { x: 7, y: 0 },
+            Tile { x: 14, y: 1 },
+        ];
+        let groups = place_groups_avoiding(&[10, 20, 30], &failed).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            assert!(!failed.contains(&g.dc), "DC placed on dead tile");
+            assert!(seen.insert(g.dc));
+            for t in &g.computing {
+                assert!(!failed.contains(t), "computing core on dead tile");
+                assert!(seen.insert(*t));
+            }
+        }
+    }
+
+    #[test]
+    fn remap_around_hole_costs_extra_hops() {
+        // clean chain in row 0 is perfectly adjacent...
+        let clean = try_place_groups(&[6]).unwrap();
+        assert!((mean_placement_hops(&clean) - 1.0).abs() < 1e-9);
+        // ...but a dead tile mid-chain forces a 2-hop skip
+        let degraded = place_groups_avoiding(&[6], &[Tile { x: 2, y: 0 }]).unwrap();
+        assert!(
+            mean_placement_hops(&degraded) > 1.0,
+            "hop penalty missing: {}",
+            mean_placement_hops(&degraded)
+        );
+        // the zig-zag shape is respected: placement is the serpentine
+        // minus the hole
+        assert_eq!(degraded[0].dc, Tile { x: 0, y: 0 });
+        assert_eq!(degraded[0].computing[0], Tile { x: 1, y: 0 });
+        assert_eq!(degraded[0].computing[1], Tile { x: 3, y: 0 });
+    }
+
+    #[test]
+    fn remap_overflow_is_typed() {
+        let failed: Vec<Tile> = zigzag_order().into_iter().take(20).collect();
+        let err = place_groups_avoiding(&[ARRAY_W * ARRAY_H - 20], &failed).unwrap_err();
+        match err {
+            ExecError::PlacementOverflow {
+                requested,
+                healthy,
+                failed,
+            } => {
+                assert_eq!(requested, ARRAY_W * ARRAY_H - 19);
+                assert_eq!(healthy, ARRAY_W * ARRAY_H - 20);
+                assert_eq!(failed, 20);
+            }
+            other => panic!("expected PlacementOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_failures_matches_legacy_placement() {
+        let sizes = [4, 13, 26, 52];
+        assert_eq!(
+            place_groups_avoiding(&sizes, &[]).unwrap(),
+            place_groups(&sizes).unwrap()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_remap_avoids_dead_tiles(
+            sizes in proptest::collection::vec(1usize..30, 1..5),
+            dead_idx in proptest::collection::vec(0usize..(ARRAY_W * ARRAY_H), 0..8),
+        ) {
+            let order = zigzag_order();
+            let failed: Vec<Tile> = dead_idx.iter().map(|&i| order[i]).collect();
+            if let Ok(groups) = place_groups_avoiding(&sizes, &failed) {
+                let mut seen = std::collections::HashSet::new();
+                for g in &groups {
+                    prop_assert!(!failed.contains(&g.dc));
+                    prop_assert!(seen.insert(g.dc));
+                    for t in &g.computing {
+                        prop_assert!(!failed.contains(t));
+                        prop_assert!(seen.insert(*t));
+                    }
+                }
+                prop_assert!(mean_placement_hops(&groups) >= 1.0 - 1e-9);
+            }
+        }
     }
 
     proptest! {

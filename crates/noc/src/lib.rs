@@ -27,10 +27,12 @@
 //! assert!(delivered[0].arrived_at >= 6);
 //! ```
 
+pub mod fault;
 pub mod mesh;
 pub mod router;
 pub mod stats;
 
+pub use fault::{NocError, NocFaultPlan, NocFaultStats};
 pub use mesh::{Delivered, Mesh, Packet};
 pub use router::{Coord, Direction};
 pub use stats::NocStats;

@@ -6,10 +6,17 @@
 //! a flit advances only if the downstream input FIFO has space after all
 //! moves planned this cycle.
 
-use crate::router::{xy_route, Coord, Direction, Flit, Router};
+use crate::fault::{NocError, NocFaultPlan, NocFaultState, NocFaultStats};
+use crate::router::{Coord, Direction, Flit, Router};
 use crate::stats::NocStats;
 use crate::DEFAULT_BUFFER;
 use std::collections::{HashMap, VecDeque};
+
+/// Stall-trace slots per router: the five input ports plus the injection
+/// queue.
+const STALL_SLOTS: usize = 6;
+/// Stall-trace slot of the injection queue.
+const INJECT_SLOT: usize = 5;
 
 /// A message travelling through the mesh.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +64,15 @@ struct InFlight<T> {
     packet: Packet<T>,
     sent_at: u64,
     delivered_flits: usize,
+    /// Last cycle any flit of this packet moved (fault-retry bookkeeping).
+    last_progress: u64,
+    /// Recalls performed so far.
+    retries: u32,
+    /// Dimension order of the current attempt (false = X-Y).
+    yx: bool,
+    /// A flit of this packet was lost in transit; recall at the next
+    /// maintenance step.
+    damaged: bool,
 }
 
 /// The mesh network.
@@ -73,6 +89,16 @@ pub struct Mesh<T> {
     stats: NocStats,
     /// Flits carried per (router index, output port index).
     link_load: HashMap<(usize, usize), u64>,
+    /// Fault-injection state; `None` (the default) is the zero-overhead,
+    /// bit-identical path.
+    fault: Option<NocFaultState>,
+    /// Cycles each queue's head has been unable to move, per
+    /// `router * STALL_SLOTS + slot` (credit-stall tracing for the
+    /// watchdog).
+    stall: Vec<u64>,
+    /// Typed failures observed so far (lost packets); drained by
+    /// [`Mesh::take_errors`].
+    errors: Vec<NocError>,
 }
 
 impl<T> std::fmt::Debug for Mesh<T> {
@@ -95,13 +121,17 @@ impl<T> Mesh<T> {
 
     /// Creates a mesh with an explicit per-port buffer depth.
     ///
+    /// A `buffer_cap` of zero is legal but starves every router of
+    /// credits: nothing can ever be injected, and the watchdog
+    /// ([`Mesh::run_guarded`]) reports the first sender's injection queue
+    /// as wedged. Useful for exercising deadlock detection.
+    ///
     /// # Panics
     ///
-    /// Panics if any dimension is zero or `buffer_cap` is zero.
+    /// Panics if any dimension is zero.
     #[must_use]
     pub fn with_buffer(width: u8, height: u8, buffer_cap: usize) -> Self {
         assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
-        assert!(buffer_cap > 0, "buffers need at least one slot");
         let mut routers = Vec::with_capacity(width as usize * height as usize);
         for y in 0..height {
             for x in 0..width {
@@ -120,7 +150,35 @@ impl<T> Mesh<T> {
             cycle: 0,
             stats: NocStats::default(),
             link_load: HashMap::new(),
+            fault: None,
+            stall: vec![0; n * STALL_SLOTS],
+            errors: Vec::new(),
         }
+    }
+
+    /// Attaches (or replaces) a fault plan; injection starts immediately.
+    ///
+    /// Attaching [`NocFaultPlan::none`] is equivalent to no plan at all.
+    pub fn attach_fault_plan(&mut self, plan: NocFaultPlan) {
+        self.fault = Some(NocFaultState::new(plan));
+    }
+
+    /// The attached fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&NocFaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
+    }
+
+    /// Fault events observed so far (zero when no plan is attached).
+    #[must_use]
+    pub fn fault_stats(&self) -> NocFaultStats {
+        self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Drains the typed failures (lost packets) recorded since the last
+    /// call.
+    pub fn take_errors(&mut self) -> Vec<NocError> {
+        std::mem::take(&mut self.errors)
     }
 
     /// Mesh width.
@@ -183,6 +241,7 @@ impl<T> Mesh<T> {
                 dst: packet.dst,
                 is_head: i == 0,
                 is_tail: i + 1 == packet.flits,
+                yx: false,
             });
         }
         self.flights.insert(
@@ -191,6 +250,10 @@ impl<T> Mesh<T> {
                 packet,
                 sent_at: self.cycle,
                 delivered_flits: 0,
+                last_progress: self.cycle,
+                retries: 0,
+                yx: false,
+                damaged: false,
             },
         );
         self.stats.packets_sent += 1;
@@ -211,11 +274,20 @@ impl<T> Mesh<T> {
         let n = self.routers.len();
 
         // phase 0: drain injection queues into local input ports
-        for i in 0..n {
-            while !self.inject[i].is_empty()
+        let mut progressed: Vec<u64> = Vec::new();
+        let mut drained = vec![false; n];
+        for (i, was_drained) in drained.iter_mut().enumerate() {
+            let dead = self
+                .fault
+                .as_ref()
+                .is_some_and(|f| f.router_failed(self.routers[i].coord));
+            while !dead
+                && !self.inject[i].is_empty()
                 && self.routers[i].inputs[Direction::Local.index()].len() < self.buffer_cap
             {
                 let f = self.inject[i].pop_front().expect("checked non-empty");
+                progressed.push(f.packet);
+                *was_drained = true;
                 self.routers[i].inputs[Direction::Local.index()].push_back(f);
             }
         }
@@ -232,7 +304,7 @@ impl<T> Mesh<T> {
                 for k in 0..5 {
                     let ii = (rr + k) % 5;
                     if let Some(f) = self.routers[i].inputs[ii].front() {
-                        if f.is_head && xy_route(here, f.dst) == out {
+                        if f.is_head && f.route_from(here) == out {
                             self.routers[i].outputs[oi].owner = Some(f.packet);
                             self.routers[i].outputs[oi].rr = (ii + 1) % 5;
                             break;
@@ -249,6 +321,10 @@ impl<T> Mesh<T> {
         let mut moves: Vec<(usize, usize, Direction)> = Vec::new();
         for i in 0..n {
             let here = self.routers[i].coord;
+            // a dead router forwards nothing
+            if self.fault.as_ref().is_some_and(|f| f.router_failed(here)) {
+                continue;
+            }
             for out in Direction::ALL {
                 let oi = out.index();
                 let Some(owner) = self.routers[i].outputs[oi].owner else {
@@ -258,15 +334,23 @@ impl<T> Mesh<T> {
                 let Some(ii) = (0..5).find(|&ii| {
                     self.routers[i].inputs[ii]
                         .front()
-                        .is_some_and(|f| f.packet == owner && xy_route(here, f.dst) == out)
+                        .is_some_and(|f| f.packet == owner && f.route_from(here) == out)
                 }) else {
                     continue;
                 };
                 if out == Direction::Local {
                     moves.push((i, ii, out));
                 } else {
+                    // a cut link or dead neighbour blocks the move; the
+                    // flit waits and the stall trace ages
+                    if self.fault.as_ref().is_some_and(|f| f.link_failed(here, out)) {
+                        continue;
+                    }
                     let nb = self.neighbor(here, out).expect("routing stays in mesh");
                     let nbi = self.idx(nb);
+                    if self.fault.as_ref().is_some_and(|f| f.router_failed(nb)) {
+                        continue;
+                    }
                     let in_port = match out {
                         Direction::North => Direction::South,
                         Direction::South => Direction::North,
@@ -286,6 +370,8 @@ impl<T> Mesh<T> {
         }
 
         // phase 3: apply moves simultaneously
+        let moved_slots: std::collections::HashSet<(usize, usize)> =
+            moves.iter().map(|&(i, ii, _)| (i, ii)).collect();
         let mut delivered = Vec::new();
         for (i, ii, out) in moves {
             let f = self.routers[i].inputs[ii]
@@ -296,6 +382,7 @@ impl<T> Mesh<T> {
             }
             match out {
                 Direction::Local => {
+                    progressed.push(f.packet);
                     let fl = self
                         .flights
                         .get_mut(&f.packet)
@@ -314,6 +401,18 @@ impl<T> Mesh<T> {
                     }
                 }
                 _ => {
+                    // transient link fault: the flit vanishes in transit
+                    // and the wormhole is recalled at maintenance time
+                    if let Some(fs) = self.fault.as_mut() {
+                        if fs.rng.chance(fs.plan.drop_rate) {
+                            fs.stats.flits_dropped += 1;
+                            if let Some(fl) = self.flights.get_mut(&f.packet) {
+                                fl.damaged = true;
+                            }
+                            continue;
+                        }
+                    }
+                    progressed.push(f.packet);
                     let nb = self
                         .neighbor(self.routers[i].coord, out)
                         .expect("checked in planning");
@@ -331,7 +430,116 @@ impl<T> Mesh<T> {
                 }
             }
         }
+
+        // credit-stall tracing: age every non-empty queue whose head could
+        // not move this cycle; reset the rest
+        for (i, &was_drained) in drained.iter().enumerate() {
+            for p in 0..5 {
+                let slot = i * STALL_SLOTS + p;
+                if self.routers[i].inputs[p].is_empty() || moved_slots.contains(&(i, p)) {
+                    self.stall[slot] = 0;
+                } else {
+                    self.stall[slot] += 1;
+                }
+            }
+            let slot = i * STALL_SLOTS + INJECT_SLOT;
+            if self.inject[i].is_empty() || was_drained {
+                self.stall[slot] = 0;
+            } else {
+                self.stall[slot] += 1;
+            }
+        }
+
+        // phase 4 (fault mode only): recall packets that lost a flit or
+        // made no progress for the plan's retry horizon
+        if self.fault.is_some() {
+            for id in progressed {
+                if let Some(fl) = self.flights.get_mut(&id) {
+                    fl.last_progress = self.cycle;
+                }
+            }
+            self.retry_maintenance();
+        }
         delivered
+    }
+
+    /// Recalls stalled/damaged packets: purge, then retry on the alternate
+    /// dimension order or retire as [`NocError::PacketLost`].
+    fn retry_maintenance(&mut self) {
+        let Some(fs) = self.fault.as_ref() else {
+            return;
+        };
+        // a quiet plan can never lose a flit, so a long stall is ordinary
+        // congestion — recalling would break the identity guarantee
+        if fs.plan.is_quiet() {
+            return;
+        }
+        let retry_after = fs.plan.retry_after;
+        let max_retries = fs.plan.max_retries;
+        let cycle = self.cycle;
+        let stale: Vec<u64> = self
+            .flights
+            .iter()
+            .filter(|(_, fl)| fl.damaged || cycle.saturating_sub(fl.last_progress) >= retry_after)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in stale {
+            self.purge_packet(id);
+            let fl = self.flights.get(&id).expect("stale id is live");
+            let (src, dst, flits, retries) =
+                (fl.packet.src, fl.packet.dst, fl.packet.flits, fl.retries);
+            if retries < max_retries {
+                let src_i = self.idx(src);
+                let fl = self.flights.get_mut(&id).expect("present");
+                fl.retries += 1;
+                fl.damaged = false;
+                fl.delivered_flits = 0;
+                fl.last_progress = cycle;
+                fl.yx = !fl.yx;
+                let yx = fl.yx;
+                for k in 0..flits {
+                    self.inject[src_i].push_back(Flit {
+                        packet: id,
+                        dst,
+                        is_head: k == 0,
+                        is_tail: k + 1 == flits,
+                        yx,
+                    });
+                }
+                if let Some(fs) = self.fault.as_mut() {
+                    fs.stats.retries += 1;
+                }
+            } else {
+                let fl = self.flights.remove(&id).expect("present");
+                if let Some(fs) = self.fault.as_mut() {
+                    fs.stats.packets_lost += 1;
+                }
+                self.errors.push(NocError::PacketLost {
+                    packet: id,
+                    src: fl.packet.src,
+                    dst: fl.packet.dst,
+                    retries: fl.retries,
+                });
+            }
+        }
+    }
+
+    /// Removes every buffered flit of packet `id` and releases its
+    /// wormhole ownerships.
+    fn purge_packet(&mut self, id: u64) {
+        for r in &mut self.routers {
+            for q in &mut r.inputs {
+                q.retain(|f| f.packet != id);
+            }
+            for o in &mut r.outputs {
+                if o.owner == Some(id) {
+                    o.owner = None;
+                }
+            }
+        }
+        for q in &mut self.inject {
+            q.retain(|f| f.packet != id);
+        }
     }
 
     /// Ticks until the mesh drains or `max_cycles` elapse, collecting all
@@ -345,6 +553,96 @@ impl<T> Mesh<T> {
             }
         }
         all
+    }
+
+    /// Runs with a cycle budget and a no-progress watchdog.
+    ///
+    /// Delivers like [`Mesh::run_until_idle`], but instead of silently
+    /// spinning on a deadlock or livelock it returns a typed [`NocError`]:
+    ///
+    /// * [`NocError::Wedged`] after `horizon` consecutive cycles with zero
+    ///   progress (no flit movement, injection, delivery, retry or
+    ///   retirement) — the credit-stall trace names the router and port
+    ///   whose queue has waited longest;
+    /// * [`NocError::Budget`] when `max_cycles` elapse while the mesh is
+    ///   still (slowly) making progress.
+    ///
+    /// Lost packets are *not* errors here: they are degraded outcomes
+    /// recorded in [`Mesh::fault_stats`] and drained via
+    /// [`Mesh::take_errors`]. When using fault retries, pick a `horizon`
+    /// larger than the plan's `retry_after` so recalls count as progress
+    /// before the watchdog fires.
+    ///
+    /// # Errors
+    ///
+    /// [`NocError::Wedged`] on stall, [`NocError::Budget`] on timeout.
+    pub fn run_guarded(
+        &mut self,
+        max_cycles: u64,
+        horizon: u64,
+    ) -> Result<Vec<Delivered<T>>, NocError> {
+        let mut all = Vec::new();
+        let mut last = self.progress_metric();
+        let mut stalled = 0u64;
+        for _ in 0..max_cycles {
+            all.extend(self.tick());
+            if self.is_idle() {
+                return Ok(all);
+            }
+            let now = self.progress_metric();
+            if now == last {
+                stalled += 1;
+                if stalled >= horizon {
+                    return Err(self.wedge_report());
+                }
+            } else {
+                stalled = 0;
+                last = now;
+            }
+        }
+        Err(NocError::Budget {
+            budget: max_cycles,
+            in_flight: self.flights.len(),
+        })
+    }
+
+    /// Snapshot of everything that changes when the mesh makes progress.
+    fn progress_metric(&self) -> (u64, u64, u64, u64, usize, usize) {
+        let (retries, lost) = self
+            .fault
+            .as_ref()
+            .map_or((0, 0), |f| (f.stats.retries, f.stats.packets_lost));
+        (
+            self.stats.flit_hops,
+            self.stats.packets_delivered,
+            retries,
+            lost,
+            self.routers.iter().map(Router::occupancy).sum(),
+            self.inject.iter().map(VecDeque::len).sum(),
+        )
+    }
+
+    /// Names the router/port whose queue has stalled longest.
+    fn wedge_report(&self) -> NocError {
+        let (slot, &age) = self
+            .stall
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &a)| a)
+            .expect("mesh has routers");
+        let i = slot / STALL_SLOTS;
+        let p = slot % STALL_SLOTS;
+        let (port, occupancy) = if p == INJECT_SLOT {
+            (Direction::Local, self.inject[i].len())
+        } else {
+            (Direction::ALL[p], self.routers[i].inputs[p].len())
+        };
+        NocError::Wedged {
+            router: self.routers[i].coord,
+            port,
+            stalled_for: age,
+            occupancy,
+        }
     }
 
     /// The most heavily used link's flit count — the congestion hotspot.

@@ -88,6 +88,23 @@ pub fn xy_route(here: Coord, dst: Coord) -> Direction {
     }
 }
 
+/// Y-X routing decision: the alternate dimension order (Y first, then X),
+/// used when a recalled packet retries around a failed X-path link.
+#[must_use]
+pub fn yx_route(here: Coord, dst: Coord) -> Direction {
+    if dst.y > here.y {
+        Direction::South
+    } else if dst.y < here.y {
+        Direction::North
+    } else if dst.x > here.x {
+        Direction::East
+    } else if dst.x < here.x {
+        Direction::West
+    } else {
+        Direction::Local
+    }
+}
+
 /// One flit in flight. Head flits carry the destination; body/tail flits
 /// follow their packet's wormhole.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +117,22 @@ pub struct Flit {
     pub is_head: bool,
     /// Last flit of the packet.
     pub is_tail: bool,
+    /// Route Y-first instead of X-first (set on fault-retry re-injection;
+    /// always `false` on the default path).
+    pub yx: bool,
+}
+
+impl Flit {
+    /// The output port this flit wants at `here`, honouring its dimension
+    /// order.
+    #[must_use]
+    pub fn route_from(&self, here: Coord) -> Direction {
+        if self.yx {
+            yx_route(here, self.dst)
+        } else {
+            xy_route(here, self.dst)
+        }
+    }
 }
 
 /// Per-output wormhole allocation state.
@@ -175,5 +208,29 @@ mod tests {
     fn router_starts_empty() {
         let r = Router::new(Coord::new(1, 1));
         assert_eq!(r.occupancy(), 0);
+    }
+
+    #[test]
+    fn yx_goes_y_first() {
+        let here = Coord::new(2, 2);
+        assert_eq!(yx_route(here, Coord::new(5, 0)), Direction::North);
+        assert_eq!(yx_route(here, Coord::new(0, 5)), Direction::South);
+        assert_eq!(yx_route(here, Coord::new(5, 2)), Direction::East);
+        assert_eq!(yx_route(here, Coord::new(0, 2)), Direction::West);
+        assert_eq!(yx_route(here, here), Direction::Local);
+    }
+
+    #[test]
+    fn flit_route_honours_dimension_order() {
+        let f = |yx| Flit {
+            packet: 0,
+            dst: Coord::new(4, 4),
+            is_head: true,
+            is_tail: true,
+            yx,
+        };
+        let here = Coord::new(1, 1);
+        assert_eq!(f(false).route_from(here), Direction::East);
+        assert_eq!(f(true).route_from(here), Direction::South);
     }
 }

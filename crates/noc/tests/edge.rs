@@ -1,6 +1,8 @@
-//! Mesh edge cases: degenerate shapes, self-delivery, saturation.
+//! Mesh edge cases: degenerate shapes, self-delivery, saturation, and the
+//! fault/watchdog paths (failed links and routers, zero-credit deadlock,
+//! dropped replies).
 
-use maicc_noc::{Coord, Mesh, Packet};
+use maicc_noc::{Coord, Direction, Mesh, NocError, NocFaultPlan, Packet};
 
 #[test]
 fn one_by_n_mesh_works() {
@@ -47,4 +49,237 @@ fn tiny_buffers_still_deliver() {
     }
     let d = mesh.run_until_idle(100_000);
     assert_eq!(d.len(), 20);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection and watchdog paths
+// ---------------------------------------------------------------------
+
+#[test]
+fn quiet_fault_plan_is_cycle_identical() {
+    let run = |faulty: bool| {
+        let mut mesh: Mesh<u32> = Mesh::new(6, 6);
+        if faulty {
+            mesh.attach_fault_plan(NocFaultPlan::with_seed(99));
+        }
+        for i in 0..12u32 {
+            mesh.send(Packet::new(
+                Coord::new((i % 6) as u8, (i / 6) as u8),
+                Coord::new(5, 5),
+                3,
+                i,
+            ));
+        }
+        let mut d = mesh.run_until_idle(10_000);
+        d.sort_by_key(|x| (x.arrived_at, x.packet.payload));
+        let arrivals: Vec<(u32, u64)> =
+            d.iter().map(|x| (x.packet.payload, x.arrived_at)).collect();
+        (arrivals, mesh.cycle(), mesh.stats().flit_hops)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn quiet_plan_never_recalls_congested_traffic() {
+    // tiny buffers + converging traffic stall packets far past the
+    // retry horizon; a quiet plan must treat that as ordinary congestion
+    let run = |faulty: bool| {
+        let mut mesh: Mesh<u32> = Mesh::with_buffer(6, 6, 1);
+        if faulty {
+            mesh.attach_fault_plan(NocFaultPlan::with_seed(4).retry_after(8).max_retries(0));
+        }
+        for i in 0..30u32 {
+            mesh.send(Packet::new(
+                Coord::new((i % 6) as u8, (i / 6) as u8),
+                Coord::new(5, 5),
+                9,
+                i,
+            ));
+        }
+        let d = mesh.run_until_idle(200_000);
+        assert_eq!(mesh.fault_stats().packets_lost, 0);
+        assert_eq!(mesh.fault_stats().retries, 0);
+        (d.len(), mesh.cycle(), mesh.stats().flit_hops)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn single_row_mesh_survives_a_cut_link() {
+    // 1×N mesh: cutting the only eastward path makes delivery impossible;
+    // the packet must degrade to a typed loss, not a hang.
+    let mut mesh: Mesh<u32> = Mesh::new(8, 1);
+    mesh.attach_fault_plan(
+        NocFaultPlan::none()
+            .fail_link(Coord::new(3, 0), Direction::East)
+            .retry_after(16)
+            .max_retries(1),
+    );
+    mesh.send(Packet::new(Coord::new(0, 0), Coord::new(7, 0), 2, 5));
+    let d = mesh
+        .run_guarded(5_000, 200)
+        .expect("degrades, does not wedge");
+    assert!(d.is_empty(), "no path exists on a single row");
+    let errs = mesh.take_errors();
+    assert_eq!(errs.len(), 1);
+    assert!(
+        matches!(errs[0], NocError::PacketLost { retries: 1, .. }),
+        "{errs:?}"
+    );
+    assert_eq!(mesh.fault_stats().packets_lost, 1);
+    assert!(mesh.is_idle(), "lost packet leaves no residue");
+}
+
+#[test]
+fn failed_x_link_reroutes_via_yx_retry() {
+    // In a 2D mesh the Y-X dimension order bypasses a cut X-path link.
+    let mut mesh: Mesh<u32> = Mesh::new(4, 4);
+    mesh.attach_fault_plan(
+        NocFaultPlan::none()
+            .fail_link(Coord::new(1, 0), Direction::East)
+            .retry_after(8)
+            .max_retries(2),
+    );
+    mesh.send(Packet::new(Coord::new(0, 0), Coord::new(3, 2), 3, 9));
+    let d = mesh.run_guarded(5_000, 500).expect("rerouted delivery");
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].packet.payload, 9);
+    assert!(mesh.fault_stats().retries >= 1);
+    assert_eq!(mesh.fault_stats().packets_lost, 0);
+}
+
+#[test]
+fn failed_router_loses_traffic_through_it_only() {
+    // Row 0 traffic must cross the dead router at (2, 0) and dies after
+    // retries; a flow in row 3 is untouched.
+    let mut mesh: Mesh<u32> = Mesh::new(4, 4);
+    mesh.attach_fault_plan(
+        NocFaultPlan::none()
+            .fail_router(Coord::new(2, 0))
+            .retry_after(8)
+            .max_retries(1),
+    );
+    // destination *is* the dead tile: undeliverable on any route
+    mesh.send(Packet::new(Coord::new(0, 0), Coord::new(2, 0), 2, 1));
+    mesh.send(Packet::new(Coord::new(0, 3), Coord::new(3, 3), 2, 2));
+    let d = mesh.run_guarded(5_000, 500).expect("degrades");
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].packet.payload, 2);
+    let errs = mesh.take_errors();
+    assert_eq!(errs.len(), 1);
+    assert!(matches!(
+        errs[0],
+        NocError::PacketLost { src: Coord { x: 0, y: 0 }, .. }
+    ));
+}
+
+#[test]
+fn certain_drops_exhaust_retries_into_typed_loss() {
+    let mut mesh: Mesh<u32> = Mesh::new(4, 1);
+    mesh.attach_fault_plan(
+        NocFaultPlan::with_seed(7)
+            .drop_rate(1.0)
+            .retry_after(32)
+            .max_retries(2),
+    );
+    mesh.send(Packet::new(Coord::new(0, 0), Coord::new(3, 0), 4, 0));
+    let d = mesh.run_guarded(5_000, 300).expect("degrades");
+    assert!(d.is_empty());
+    assert_eq!(mesh.fault_stats().packets_lost, 1);
+    assert!(mesh.fault_stats().flits_dropped >= 1);
+    assert_eq!(mesh.fault_stats().retries, 2);
+}
+
+#[test]
+fn occasional_drops_recover_by_retry() {
+    // 10% per-hop loss: some wormholes are recalled, but every packet must
+    // eventually arrive or be reported — never silently vanish.
+    let mut mesh: Mesh<u32> = Mesh::new(5, 5);
+    mesh.attach_fault_plan(
+        NocFaultPlan::with_seed(21)
+            .drop_rate(0.10)
+            .retry_after(64)
+            .max_retries(8),
+    );
+    for i in 0..10u32 {
+        mesh.send(Packet::new(
+            Coord::new((i % 5) as u8, (i / 5) as u8),
+            Coord::new(4, 4),
+            3,
+            i,
+        ));
+    }
+    let d = mesh.run_guarded(100_000, 2_000).expect("drains");
+    let lost = mesh.take_errors().len();
+    assert_eq!(d.len() + lost, 10, "each packet delivered or reported");
+    assert!(d.len() >= 5, "10% loss with retries should deliver most");
+}
+
+#[test]
+fn zero_credit_mesh_wedges_naming_the_injection_queue() {
+    // buffer_cap = 0: no router ever has a credit, so the very first
+    // sender's injection queue is the wedge the watchdog must name.
+    let mut mesh: Mesh<u32> = Mesh::with_buffer(3, 3, 0);
+    mesh.send(Packet::new(Coord::new(1, 1), Coord::new(2, 2), 2, 0));
+    let err = mesh.run_guarded(1_000, 50).expect_err("cannot progress");
+    match err {
+        NocError::Wedged {
+            router,
+            port,
+            stalled_for,
+            occupancy,
+        } => {
+            assert_eq!(router, Coord::new(1, 1), "names the stuck sender");
+            assert_eq!(port, Direction::Local, "the injection queue");
+            assert!(stalled_for >= 50);
+            assert_eq!(occupancy, 2);
+        }
+        other => panic!("expected Wedged, got {other:?}"),
+    }
+}
+
+#[test]
+fn dropped_reply_wedges_waiting_router_not_generic_timeout() {
+    // Request/reply over a cut reply path with retries disabled: the
+    // requester's reply never arrives. The watchdog must name the router
+    // actually wedged on the dead link — not report a generic budget
+    // timeout.
+    let mut mesh: Mesh<u32> = Mesh::new(4, 1);
+    mesh.attach_fault_plan(
+        NocFaultPlan::none()
+            .fail_link(Coord::new(2, 0), Direction::West)
+            // retries off: the stall must surface through the watchdog
+            .retry_after(u64::MAX)
+            .max_retries(0),
+    );
+    // request 0→3 arrives fine
+    mesh.send(Packet::new(Coord::new(0, 0), Coord::new(3, 0), 2, 1));
+    let d = mesh.run_guarded(1_000, 100).expect("request delivers");
+    assert_eq!(d.len(), 1);
+    // the reply 3→0 hits the cut westward link at router (2, 0)
+    mesh.send(Packet::new(Coord::new(3, 0), Coord::new(0, 0), 2, 2));
+    let err = mesh.run_guarded(10_000, 100).expect_err("reply is stuck");
+    match err {
+        NocError::Wedged { router, stalled_for, .. } => {
+            assert_eq!(router, Coord::new(2, 0), "the router at the cut link");
+            assert!(stalled_for >= 100);
+        }
+        other => panic!("expected Wedged naming the router, got {other:?}"),
+    }
+}
+
+#[test]
+fn budget_error_reports_in_flight_traffic() {
+    // a healthy but heavily loaded mesh that simply runs out of budget
+    let mut mesh: Mesh<u32> = Mesh::new(8, 8);
+    for i in 0..64u32 {
+        mesh.send(Packet::new(
+            Coord::new((i % 8) as u8, (i / 8) as u8),
+            Coord::new(7, 7),
+            9,
+            i,
+        ));
+    }
+    let err = mesh.run_guarded(3, 100).expect_err("3 cycles is not enough");
+    assert!(matches!(err, NocError::Budget { budget: 3, in_flight } if in_flight > 0));
 }

@@ -1,0 +1,349 @@
+//! Fault-injection campaigns over the streaming simulator.
+//!
+//! A [`FaultCampaign`] sweeps fault rates over one workload — by default a
+//! downscaled ResNet-18 segment ([`StreamConfig::resnet18_segment`]) —
+//! running the full bit-level streaming simulation once per
+//! [`CampaignPoint`] and comparing every completed run against the golden
+//! `maicc-nn` reference. Each run is classified:
+//!
+//! * **masked** — the run completed and the output is bit-identical to the
+//!   golden model (the injected faults were architecturally absorbed);
+//! * **SDC** — silent data corruption: the run completed but the output
+//!   differs;
+//! * **detected** — a component reported the fault as a typed error (a
+//!   dead CMem slice answering a read, or the cycle-budget watchdog);
+//! * **degraded** — injected NoC faults lost traffic, so the workload
+//!   quiesced early with a typed [`SimError::Degraded`] instead of
+//!   hanging.
+//!
+//! The report is serde-serialisable and additionally renders itself as
+//! JSON via [`CampaignReport::to_json`]. A zero-fault point is guaranteed
+//! bit- and cycle-identical to the clean baseline.
+
+use crate::stream::{StreamConfig, StreamSim};
+use crate::SimError;
+use maicc_exec::mapping::Tile;
+use maicc_noc::NocFaultPlan;
+use maicc_sram::fault::FaultPlan;
+use serde::{Deserialize, Serialize};
+
+/// One point of a fault-rate sweep. All rates default to zero: the
+/// default point reproduces the clean run exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignPoint {
+    /// Seed for every RNG-driven fault source at this point.
+    pub seed: u64,
+    /// Per-read/MAC transient bit-flip probability in the CMems.
+    pub transient_flip_rate: f64,
+    /// Stuck-at cells scattered over each CC's CMem.
+    pub stuck_cells: usize,
+    /// A dead CMem slice (1–7), if any.
+    pub dead_slice: Option<usize>,
+    /// Per-hop transient flit-drop probability in the mesh.
+    pub noc_drop_rate: f64,
+    /// Compute tiles marked failed before placement (remapped around).
+    pub failed_tiles: usize,
+}
+
+impl CampaignPoint {
+    /// The zero-fault point: running it must be bit- and cycle-identical
+    /// to the clean baseline.
+    #[must_use]
+    pub fn clean(seed: u64) -> Self {
+        CampaignPoint {
+            seed,
+            transient_flip_rate: 0.0,
+            stuck_cells: 0,
+            dead_slice: None,
+            noc_drop_rate: 0.0,
+            failed_tiles: 0,
+        }
+    }
+}
+
+/// Classification of one campaign run against the golden model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Run completed, output bit-identical to golden.
+    Masked,
+    /// Run completed, output differs — silent data corruption.
+    Sdc,
+    /// A typed error reported the fault (component or watchdog).
+    Detected,
+    /// Lost traffic forced early, typed quiescence.
+    Degraded,
+}
+
+impl Outcome {
+    /// Stable lower-case label (used in the JSON report).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Masked => "masked",
+            Outcome::Sdc => "sdc",
+            Outcome::Detected => "detected",
+            Outcome::Degraded => "degraded",
+        }
+    }
+}
+
+/// One run's record in the campaign report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The sweep point that produced this run.
+    pub point: CampaignPoint,
+    /// Golden-comparison classification.
+    pub outcome: Outcome,
+    /// Fault events actually injected (CMem flips + stuck bits forced +
+    /// dead-slice hits + NoC drops + lost packets).
+    pub faults_injected: u64,
+    /// Total cycles, for runs that completed.
+    pub cycles: Option<u64>,
+    /// Degraded-latency factor vs the clean baseline, for completed runs.
+    pub latency_penalty: Option<f64>,
+    /// The typed error's message, for detected/degraded runs.
+    pub detail: String,
+}
+
+/// Aggregate result of a fault campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Cycles of the clean (fault-free) baseline run.
+    pub clean_cycles: u64,
+    /// One record per sweep point, in input order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl CampaignReport {
+    /// Runs with the given outcome.
+    #[must_use]
+    pub fn count(&self, outcome: Outcome) -> usize {
+        self.runs.iter().filter(|r| r.outcome == outcome).count()
+    }
+
+    /// Renders the report as a JSON document (hand-written so it works
+    /// without a serde backend).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{{\"clean_cycles\":{},\"masked\":{},\"sdc\":{},\"detected\":{},\"degraded\":{},\"runs\":[",
+            self.clean_cycles,
+            self.count(Outcome::Masked),
+            self.count(Outcome::Sdc),
+            self.count(Outcome::Detected),
+            self.count(Outcome::Degraded),
+        ));
+        for (i, r) in self.runs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let p = &r.point;
+            s.push_str(&format!(
+                "{{\"seed\":{},\"transient_flip_rate\":{},\"stuck_cells\":{},\
+                 \"dead_slice\":{},\"noc_drop_rate\":{},\"failed_tiles\":{},\
+                 \"outcome\":\"{}\",\"faults_injected\":{},\"cycles\":{},\
+                 \"latency_penalty\":{},\"detail\":{:?}}}",
+                p.seed,
+                p.transient_flip_rate,
+                p.stuck_cells,
+                p.dead_slice.map_or("null".to_string(), |d| d.to_string()),
+                p.noc_drop_rate,
+                p.failed_tiles,
+                r.outcome.label(),
+                r.faults_injected,
+                r.cycles.map_or("null".to_string(), |c| c.to_string()),
+                r.latency_penalty
+                    .map_or("null".to_string(), |l| format!("{l:.4}")),
+                r.detail,
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// A fault-injection campaign: one workload, a list of sweep points, a
+/// cycle budget per run.
+#[derive(Debug, Clone)]
+pub struct FaultCampaign {
+    /// The workload every point runs.
+    pub workload: StreamConfig,
+    /// The sweep points.
+    pub points: Vec<CampaignPoint>,
+    /// Cycle budget per run.
+    pub budget: u64,
+}
+
+impl FaultCampaign {
+    /// A default sweep over the ResNet-18 segment: clean, rising transient
+    /// rates, stuck cells, a dead slice, NoC drops, and failed tiles.
+    #[must_use]
+    pub fn resnet18_default(seed: u64) -> Self {
+        let mut points = vec![CampaignPoint::clean(seed)];
+        points.push(CampaignPoint {
+            transient_flip_rate: 1e-5,
+            ..CampaignPoint::clean(seed.wrapping_add(1))
+        });
+        points.push(CampaignPoint {
+            transient_flip_rate: 1e-3,
+            ..CampaignPoint::clean(seed.wrapping_add(2))
+        });
+        points.push(CampaignPoint {
+            stuck_cells: 6,
+            ..CampaignPoint::clean(seed.wrapping_add(3))
+        });
+        points.push(CampaignPoint {
+            dead_slice: Some(3),
+            ..CampaignPoint::clean(seed.wrapping_add(4))
+        });
+        points.push(CampaignPoint {
+            noc_drop_rate: 0.02,
+            ..CampaignPoint::clean(seed.wrapping_add(5))
+        });
+        points.push(CampaignPoint {
+            failed_tiles: 2,
+            ..CampaignPoint::clean(seed.wrapping_add(6))
+        });
+        FaultCampaign {
+            workload: StreamConfig::resnet18_segment(),
+            points,
+            budget: 40_000_000,
+        }
+    }
+
+    /// Runs every point and classifies each run against the golden model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors of the *clean* baseline (which must succeed) and
+    /// genuine non-fault errors of the swept runs; typed fault outcomes
+    /// ([`SimError::Fault`], [`SimError::Degraded`], timeouts) are
+    /// recorded, not propagated.
+    pub fn run(&self) -> Result<CampaignReport, SimError> {
+        let golden = self.workload.golden();
+        let clean = StreamSim::new(&self.workload)?.run(self.budget)?;
+        let mut runs = Vec::with_capacity(self.points.len());
+        for point in &self.points {
+            // deterministic scatter of dead tiles over the first rows
+            let failed: Vec<Tile> = (0..point.failed_tiles)
+                .map(|i| Tile {
+                    x: (2 + 3 * (i % 4)) as u8,
+                    y: (i / 4) as u8,
+                })
+                .collect();
+            let mut sim = StreamSim::new_avoiding(&self.workload, &failed)?;
+            let mut plan = FaultPlan::with_seed(point.seed).transient(point.transient_flip_rate);
+            if point.stuck_cells > 0 {
+                plan = plan.scatter_stuck(point.stuck_cells);
+            }
+            if let Some(s) = point.dead_slice {
+                plan = plan.dead_slice(s);
+            }
+            sim.attach_cmem_fault_plan(&plan);
+            if point.noc_drop_rate > 0.0 {
+                sim.attach_noc_fault_plan(
+                    NocFaultPlan::with_seed(point.seed ^ 0xD1F7_31AB)
+                        .drop_rate(point.noc_drop_rate)
+                        .retry_after(256)
+                        .max_retries(4),
+                );
+            }
+            let (outcome, cycles, detail) = match sim.run(self.budget) {
+                Ok(r) => {
+                    let outcome = if r.ofmap == golden {
+                        Outcome::Masked
+                    } else {
+                        Outcome::Sdc
+                    };
+                    (outcome, Some(r.cycles), String::new())
+                }
+                Err(e @ SimError::Fault { .. }) => (Outcome::Detected, None, e.to_string()),
+                Err(e @ SimError::Timeout { .. }) => (Outcome::Detected, None, e.to_string()),
+                Err(e @ SimError::Degraded { .. }) => (Outcome::Degraded, None, e.to_string()),
+                Err(e) => return Err(e),
+            };
+            let noc = sim.noc_fault_stats();
+            let faults_injected =
+                sim.cmem_fault_stats().total() + noc.flits_dropped + noc.packets_lost;
+            runs.push(RunRecord {
+                point: point.clone(),
+                outcome,
+                faults_injected,
+                cycles,
+                latency_penalty: cycles.map(|c| c as f64 / clean.cycles as f64),
+                detail,
+            });
+        }
+        Ok(CampaignReport {
+            clean_cycles: clean.cycles,
+            runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fault_point_is_bit_and_cycle_identical() {
+        // the FaultPlan::none() regression: quiet plans attached at every
+        // level must leave the run bit- and cycle-identical
+        let cfg = StreamConfig::small_test();
+        let clean = StreamSim::new(&cfg).unwrap().run(5_000_000).unwrap();
+        let mut quiet = StreamSim::new_avoiding(&cfg, &[]).unwrap();
+        quiet.attach_cmem_fault_plan(&FaultPlan::none());
+        quiet.attach_noc_fault_plan(NocFaultPlan::none());
+        let r = quiet.run(5_000_000).unwrap();
+        assert_eq!(r.ofmap, clean.ofmap, "bit-identity");
+        assert_eq!(r.cycles, clean.cycles, "cycle-identity");
+        assert_eq!(r.noc, clean.noc, "NoC statistics identity");
+        assert_eq!(r.ofmap, cfg.golden());
+    }
+
+    #[test]
+    fn dead_slice_point_is_detected() {
+        let cfg = StreamConfig::small_test();
+        let campaign = FaultCampaign {
+            workload: cfg,
+            points: vec![CampaignPoint {
+                dead_slice: Some(2),
+                ..CampaignPoint::clean(11)
+            }],
+            budget: 5_000_000,
+        };
+        let report = campaign.run().unwrap();
+        assert_eq!(report.runs[0].outcome, Outcome::Detected);
+        assert!(report.runs[0].detail.contains("slice 2"), "{}", report.runs[0].detail);
+        assert!(report.runs[0].faults_injected > 0);
+    }
+
+    #[test]
+    fn campaign_over_resnet18_segment_completes() {
+        let campaign = FaultCampaign::resnet18_default(42);
+        let report = campaign.run().expect("campaign must not panic or fail");
+        assert_eq!(report.runs.len(), campaign.points.len());
+        // the clean point is masked at exactly the baseline latency
+        let clean = &report.runs[0];
+        assert_eq!(clean.outcome, Outcome::Masked);
+        assert_eq!(clean.cycles, Some(report.clean_cycles));
+        assert_eq!(clean.faults_injected, 0);
+        assert!((clean.latency_penalty.unwrap() - 1.0).abs() < 1e-12);
+        // the dead-slice point is detected with a typed message
+        let dead = &report.runs[4];
+        assert_eq!(dead.outcome, Outcome::Detected);
+        // remapping around failed tiles still completes correctly
+        let remapped = &report.runs[6];
+        assert_eq!(remapped.outcome, Outcome::Masked);
+        // every outcome is accounted for
+        let total = report.count(Outcome::Masked)
+            + report.count(Outcome::Sdc)
+            + report.count(Outcome::Detected)
+            + report.count(Outcome::Degraded);
+        assert_eq!(total, report.runs.len());
+        let json = report.to_json();
+        assert!(json.contains("\"clean_cycles\""), "{json}");
+        assert!(json.contains("\"outcome\":\"masked\""), "{json}");
+    }
+}

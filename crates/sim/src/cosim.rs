@@ -206,9 +206,7 @@ pub fn build_conv_pair(
     p.inst(I::addi(Reg::S0, Reg::S0, 1));
     p.branch(BranchKind::Blt, Reg::S0, Reg::S1, "pixel");
     p.inst(I::Ebreak);
-    let producer_prog = p.assemble().map_err(|e| SimError::Component {
-        reason: e.to_string(),
-    })?;
+    let producer_prog = p.assemble().map_err(SimError::from)?;
 
     // ---- consumer program -------------------------------------------------
     // mirrors CmemConvKernel's software-pipelined body, but the ifmap
@@ -344,9 +342,7 @@ pub fn build_conv_pair(
     q.jump("y_loop");
     q.label("y_done");
     q.inst(I::Ebreak);
-    let consumer_prog = q.assemble().map_err(|e| SimError::Component {
-        reason: e.to_string(),
-    })?;
+    let consumer_prog = q.assemble().map_err(SimError::from)?;
 
     let producer = Node::new(producer_prog, Box::new(fabric.port(px, py)));
     let mut consumer = Node::new(consumer_prog, Box::new(fabric.port(cx, cy)));

@@ -1,5 +1,50 @@
 use std::fmt;
 
+/// A typed failure from one of the simulated components, preserved as the
+/// source of a [`SimError`] instead of being flattened to a string.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ComponentError {
+    /// The compute SRAM / CMem model.
+    Sram(maicc_sram::SramError),
+    /// The RISC-V core model.
+    Core(maicc_core::CoreError),
+    /// The ISA / assembler layer.
+    Isa(maicc_isa::IsaError),
+    /// The golden NN reference.
+    Nn(maicc_nn::NnError),
+    /// The execution framework.
+    Exec(maicc_exec::ExecError),
+    /// The mesh network-on-chip.
+    Noc(maicc_noc::NocError),
+}
+
+impl fmt::Display for ComponentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComponentError::Sram(e) => write!(f, "sram: {e}"),
+            ComponentError::Core(e) => write!(f, "core: {e}"),
+            ComponentError::Isa(e) => write!(f, "isa: {e}"),
+            ComponentError::Nn(e) => write!(f, "nn: {e}"),
+            ComponentError::Exec(e) => write!(f, "exec: {e}"),
+            ComponentError::Noc(e) => write!(f, "noc: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ComponentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ComponentError::Sram(e) => Some(e),
+            ComponentError::Core(e) => Some(e),
+            ComponentError::Isa(e) => Some(e),
+            ComponentError::Nn(e) => Some(e),
+            ComponentError::Exec(e) => Some(e),
+            ComponentError::Noc(e) => Some(e),
+        }
+    }
+}
+
 /// Errors raised by the system simulator.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -14,10 +59,33 @@ pub enum SimError {
         /// Human-readable description.
         reason: String,
     },
-    /// An underlying component failed.
+    /// An underlying component failed; the typed error is preserved and
+    /// reachable through [`std::error::Error::source`].
     Component {
-        /// Human-readable description.
+        /// The component failure.
+        source: ComponentError,
+    },
+    /// A message arrived somewhere the streaming protocol never sends it —
+    /// an internal invariant violation, not a data condition.
+    Protocol {
+        /// What arrived where.
         reason: String,
+    },
+    /// An *injected* fault was detected by a component as a typed error
+    /// (e.g. a dead CMem slice answered a read). Detection is the desired
+    /// outcome of a fault campaign; the source names the faulting
+    /// component.
+    Fault {
+        /// The component that detected the fault.
+        source: ComponentError,
+    },
+    /// The run ended degraded: injected NoC faults lost traffic, so the
+    /// workload could not complete at full fidelity but did not hang.
+    Degraded {
+        /// Packets the mesh abandoned after exhausting retries.
+        lost_packets: u64,
+        /// Cycle at which the simulation quiesced.
+        cycles: u64,
     },
 }
 
@@ -26,17 +94,42 @@ impl fmt::Display for SimError {
         match self {
             SimError::Timeout { budget } => write!(f, "simulation exceeded {budget} cycles"),
             SimError::DoesNotFit { reason } => write!(f, "workload does not fit: {reason}"),
-            SimError::Component { reason } => write!(f, "component failure: {reason}"),
+            SimError::Component { source } => write!(f, "component failure: {source}"),
+            SimError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            SimError::Fault { source } => write!(f, "injected fault detected: {source}"),
+            SimError::Degraded {
+                lost_packets,
+                cycles,
+            } => write!(
+                f,
+                "degraded completion: {lost_packets} packets lost, quiesced at cycle {cycles}"
+            ),
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Component { source } | SimError::Fault { source } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<maicc_sram::SramError> for SimError {
+    /// Dead-slice errors only ever come from injected faults, so they map
+    /// to [`SimError::Fault`]; every other SRAM error is a genuine
+    /// [`SimError::Component`] failure.
     fn from(e: maicc_sram::SramError) -> Self {
-        SimError::Component {
-            reason: e.to_string(),
+        let source = ComponentError::Sram(e);
+        if matches!(
+            source,
+            ComponentError::Sram(maicc_sram::SramError::SliceFailed { .. })
+        ) {
+            SimError::Fault { source }
+        } else {
+            SimError::Component { source }
         }
     }
 }
@@ -44,7 +137,23 @@ impl From<maicc_sram::SramError> for SimError {
 impl From<maicc_core::CoreError> for SimError {
     fn from(e: maicc_core::CoreError) -> Self {
         SimError::Component {
-            reason: e.to_string(),
+            source: ComponentError::Core(e),
+        }
+    }
+}
+
+impl From<maicc_isa::IsaError> for SimError {
+    fn from(e: maicc_isa::IsaError) -> Self {
+        SimError::Component {
+            source: ComponentError::Isa(e),
+        }
+    }
+}
+
+impl From<maicc_nn::NnError> for SimError {
+    fn from(e: maicc_nn::NnError) -> Self {
+        SimError::Component {
+            source: ComponentError::Nn(e),
         }
     }
 }
@@ -52,7 +161,15 @@ impl From<maicc_core::CoreError> for SimError {
 impl From<maicc_exec::ExecError> for SimError {
     fn from(e: maicc_exec::ExecError) -> Self {
         SimError::Component {
-            reason: e.to_string(),
+            source: ComponentError::Exec(e),
+        }
+    }
+}
+
+impl From<maicc_noc::NocError> for SimError {
+    fn from(e: maicc_noc::NocError) -> Self {
+        SimError::Component {
+            source: ComponentError::Noc(e),
         }
     }
 }
@@ -60,9 +177,50 @@ impl From<maicc_exec::ExecError> for SimError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn displays() {
         assert!(SimError::Timeout { budget: 5 }.to_string().contains('5'));
+    }
+
+    #[test]
+    fn component_preserves_typed_source() {
+        let e: SimError = maicc_exec::ExecError::BadShapes {
+            reason: "x".into(),
+        }
+        .into();
+        let src = e.source().expect("chained source");
+        let comp = src.downcast_ref::<ComponentError>().expect("ComponentError");
+        assert!(matches!(
+            comp,
+            ComponentError::Exec(maicc_exec::ExecError::BadShapes { .. })
+        ));
+        // one level deeper: the original ExecError is still reachable
+        let inner = comp.source().expect("leaf source");
+        assert!(inner.downcast_ref::<maicc_exec::ExecError>().is_some());
+    }
+
+    #[test]
+    fn dead_slice_becomes_fault_not_component() {
+        let e: SimError = maicc_sram::SramError::SliceFailed { slice: 3 }.into();
+        assert!(matches!(
+            e,
+            SimError::Fault {
+                source: ComponentError::Sram(maicc_sram::SramError::SliceFailed { slice: 3 })
+            }
+        ));
+        assert!(e.to_string().contains("injected fault"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn degraded_reports_loss_and_cycle() {
+        let e = SimError::Degraded {
+            lost_packets: 4,
+            cycles: 1234,
+        };
+        let s = e.to_string();
+        assert!(s.contains('4') && s.contains("1234"), "{s}");
     }
 }

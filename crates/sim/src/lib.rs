@@ -23,7 +23,10 @@
 //!   onto disjoint core regions of one array (or time-sharing the whole
 //!   array), the scenario MAICC's MIMD control mode exists for (§1, §8);
 //! * [`workload`] — continuous request streams over a deployment:
-//!   utilization and mean response time per model partition.
+//!   utilization and mean response time per model partition;
+//! * [`campaign`] — fault-injection campaigns: sweep CMem/NoC fault rates
+//!   over a ResNet-18 segment, compare each run against the golden model,
+//!   and classify outcomes (masked / SDC / detected / degraded).
 //!
 //! ## Example — one streaming CONV group, checked against the golden conv
 //!
@@ -40,6 +43,7 @@
 //! # }
 //! ```
 
+pub mod campaign;
 pub mod cosim;
 pub mod fabric;
 pub mod multi_dnn;
@@ -48,4 +52,4 @@ pub mod workload;
 
 mod error;
 
-pub use error::SimError;
+pub use error::{ComponentError, SimError};

@@ -56,24 +56,18 @@ pub fn parallel_inference(
     }
     let macs: Vec<u64> = models
         .iter()
-        .map(|(net, input)| net.total_macs(*input).map_err(|e| SimError::Component {
-            reason: e.to_string(),
-        }))
+        .map(|(net, input)| net.total_macs(*input).map_err(SimError::from))
         .collect::<Result<_, _>>()?;
     let total_macs: u64 = macs.iter().sum();
     // each model needs at least its largest layer's node group
     let minima: Vec<usize> = models
         .iter()
         .map(|(net, input)| {
-            let shapes = net.shapes(*input).map_err(|e| SimError::Component {
-                reason: e.to_string(),
-            })?;
+            let shapes = net.shapes(*input).map_err(SimError::from)?;
             let mut need = 2usize;
             for s in &shapes {
                 let cap = maicc_exec::alloc::LayerCapacity::of(s);
-                let min = cap.min_cores(&s.name).map_err(|e| SimError::Component {
-                    reason: e.to_string(),
-                })?;
+                let min = cap.min_cores(&s.name).map_err(SimError::from)?;
                 need = need.max(min + 1);
             }
             Ok(need)
@@ -184,9 +178,7 @@ pub fn time_shared_inference(
         // swapping in reloads every weight byte from DRAM
         let weight_bytes: f64 = net
             .shapes(*input)
-            .map_err(|e| SimError::Component {
-                reason: e.to_string(),
-            })?
+            .map_err(SimError::from)?
             .iter()
             .map(|s| (s.out_c * s.in_c * s.kernel_h * s.kernel_w) as f64)
             .sum();

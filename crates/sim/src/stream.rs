@@ -20,11 +20,15 @@
 //! for any number of chained layers.
 
 use crate::SimError;
-use maicc_exec::mapping::{place_groups, Tile};
+use maicc_exec::mapping::{place_groups_avoiding, Tile};
 use maicc_nn::layer::ConvLayer;
 use maicc_nn::tensor::Tensor;
-use maicc_noc::{Coord, Mesh, NocStats, Packet, ROW_PACKET_FLITS, WORD_PACKET_FLITS};
+use maicc_noc::{
+    Coord, Mesh, NocFaultPlan, NocFaultStats, NocStats, Packet, ROW_PACKET_FLITS,
+    WORD_PACKET_FLITS,
+};
 use maicc_sram::cmem::Cmem;
+use maicc_sram::fault::{FaultPlan, FaultStats};
 use maicc_sram::{timing, transpose};
 use std::collections::{HashMap, VecDeque};
 
@@ -65,6 +69,20 @@ impl StreamConfig {
         StreamConfig {
             layers: vec![test_layer(16, 8, 0), test_layer(8, 4, 1)],
             input: test_input(16, 8, 8),
+        }
+    }
+
+    /// A downscaled ResNet-18 stage segment: the stride-2 head of a stage
+    /// followed by a stride-1 conv — the `conv3_1`/`conv3_2` pattern at
+    /// reduced channel count so the bit-level simulation stays tractable.
+    /// This is the default fault-campaign workload.
+    #[must_use]
+    pub fn resnet18_segment() -> Self {
+        let mut head = test_layer(16, 8, 9);
+        head.shape.stride = 2;
+        StreamConfig {
+            layers: vec![head, test_layer(8, 8, 10)],
+            input: test_input(16, 11, 11),
         }
     }
 
@@ -243,6 +261,25 @@ impl StreamSim {
     /// Returns [`SimError::DoesNotFit`] if a layer needs more vector slots
     /// than the chain's cores provide or the placement overflows the array.
     pub fn new(cfg: &StreamConfig) -> Result<Self, SimError> {
+        Self::new_avoiding(cfg, &[])
+    }
+
+    /// Like [`StreamSim::new`], but remaps every node group around the
+    /// given failed tiles: the zig-zag placement skips the holes, so a
+    /// marked-dead tile hosts neither a DC, a computing core, nor the
+    /// sink. The simulation then runs on the degraded placement.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StreamSim::new`], plus a typed
+    /// [`maicc_exec::ExecError::PlacementOverflow`] (chained through
+    /// [`SimError::Component`]) when too few healthy tiles remain.
+    pub fn new_avoiding(cfg: &StreamConfig, failed: &[Tile]) -> Result<Self, SimError> {
+        if cfg.layers.is_empty() {
+            return Err(SimError::DoesNotFit {
+                reason: "streaming workload has no layers".into(),
+            });
+        }
         // shapes along the chain
         let mut dims = Vec::new();
         let mut cur = (cfg.input.shape()[0], cfg.input.shape()[1], cfg.input.shape()[2]);
@@ -284,9 +321,7 @@ impl StreamSim {
         // one extra tile for the sink
         let mut sizes_with_sink = group_sizes.clone();
         sizes_with_sink.push(0); // the sink "group" is just its DC tile
-        let placed = place_groups(&sizes_with_sink).ok_or_else(|| SimError::DoesNotFit {
-            reason: "node groups exceed the 15×14 array".into(),
-        })?;
+        let placed = place_groups_avoiding(&sizes_with_sink, failed)?;
 
         let mut nodes = Vec::new();
         let mut tile_of = HashMap::new();
@@ -424,24 +459,76 @@ impl StreamSim {
         self.fault = Some((layer, pixel));
     }
 
+    /// Attaches a CMem fault plan to every computing core. Each core's
+    /// copy gets a distinct RNG stream derived from the plan's seed, so
+    /// cores fault independently but the whole run stays deterministic. A
+    /// quiet plan leaves behaviour bit-identical.
+    pub fn attach_cmem_fault_plan(&mut self, plan: &FaultPlan) {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if let Role::Cc { cmem, .. } = &mut node.role {
+                let mut p = plan.clone();
+                p.seed = plan
+                    .seed
+                    .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                cmem.attach_fault_plan(p);
+            }
+        }
+    }
+
+    /// Attaches a NoC fault plan to the underlying mesh.
+    pub fn attach_noc_fault_plan(&mut self, plan: NocFaultPlan) {
+        self.mesh.attach_fault_plan(plan);
+    }
+
+    /// Merged CMem fault statistics across all computing cores.
+    #[must_use]
+    pub fn cmem_fault_stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for node in &self.nodes {
+            if let Role::Cc { cmem, .. } = &node.role {
+                total.merge(&cmem.fault_stats());
+            }
+        }
+        total
+    }
+
+    /// NoC fault statistics (zero when no plan is attached).
+    #[must_use]
+    pub fn noc_fault_stats(&self) -> NocFaultStats {
+        self.mesh.fault_stats()
+    }
+
     /// Runs to completion.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Timeout`] if the workload does not drain within
-    /// `budget` cycles.
+    /// `budget` cycles, or [`SimError::Degraded`] if injected NoC faults
+    /// lost traffic the workload cannot complete without — the degraded
+    /// alternative to burning the whole budget on a hang. Typed component
+    /// errors (e.g. a dead CMem slice detected as [`SimError::Fault`])
+    /// propagate from the computing cores.
     pub fn run(&mut self, budget: u64) -> Result<StreamResult, SimError> {
         let dims = self.layer_dims();
         loop {
             let now = self.mesh.cycle();
             if now >= budget {
+                let lost = self.mesh.fault_stats().packets_lost;
+                if lost > 0 {
+                    return Err(SimError::Degraded {
+                        lost_packets: lost,
+                        cycles: now,
+                    });
+                }
                 return Err(SimError::Timeout { budget });
             }
             // deliver mesh traffic
             let delivered = self.mesh.tick();
             for d in delivered {
                 let key = (d.packet.dst.x, d.packet.dst.y);
-                let idx = *self.tile_of.get(&key).expect("delivery to a known tile");
+                let idx = *self.tile_of.get(&key).ok_or_else(|| SimError::Protocol {
+                    reason: format!("delivery to unknown tile {}", d.packet.dst),
+                })?;
                 let mut payload = d.packet.payload;
                 if let (Some((fl, fp)), Msg::Row { layer, pixel, row, lanes }) =
                     (self.fault, &mut payload)
@@ -464,12 +551,34 @@ impl StreamSim {
                 }
                 step_node(node, now, &dims, &self.cfg, &mut outgoing)?;
             }
+            let injected = !outgoing.is_empty();
             for p in outgoing {
                 self.mesh.send(p);
             }
             // completion check
             if self.finished() && self.mesh.is_idle() {
                 break;
+            }
+            // quiescence: nothing in flight, nothing queued, nobody busy —
+            // no future event can occur, so don't burn the rest of the
+            // budget
+            if !injected
+                && self.mesh.is_idle()
+                && self
+                    .nodes
+                    .iter()
+                    .all(|n| n.inbox.is_empty() && n.busy_until <= now)
+            {
+                let lost = self.mesh.fault_stats().packets_lost;
+                if lost > 0 {
+                    return Err(SimError::Degraded {
+                        lost_packets: lost,
+                        cycles: self.mesh.cycle(),
+                    });
+                }
+                return Err(SimError::Protocol {
+                    reason: "simulation quiesced before completion".into(),
+                });
             }
         }
         let cycles = self.mesh.cycle();
@@ -577,7 +686,7 @@ fn step_node(
                         *in_flight = in_flight.saturating_sub(1);
                     }
                     Msg::Row { .. } => {
-                        return Err(SimError::Component {
+                        return Err(SimError::Protocol {
                             reason: "row delivered to a DC".into(),
                         })
                     }
@@ -632,7 +741,7 @@ fn step_node(
                 return Ok(());
             };
             let Msg::Row { pixel, row, lanes, .. } = msg else {
-                return Err(SimError::Component {
+                return Err(SimError::Protocol {
                     reason: "cc received a non-row message".into(),
                 });
             };
@@ -771,6 +880,7 @@ fn step_node(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn single_layer_matches_golden() {
@@ -911,5 +1021,102 @@ mod tests {
             StreamSim::new(&cfg),
             Err(SimError::DoesNotFit { .. })
         ));
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let cfg = StreamConfig {
+            layers: vec![],
+            input: test_input(4, 4, 4),
+        };
+        assert!(matches!(
+            StreamSim::new(&cfg),
+            Err(SimError::DoesNotFit { .. })
+        ));
+    }
+
+    #[test]
+    fn remapped_placement_avoids_failed_tiles_and_matches_golden() {
+        // kill two tiles the default placement would have used: the
+        // groups remap around them and the result stays bit-exact
+        let cfg = StreamConfig::small_test();
+        let failed = [Tile { x: 1, y: 0 }, Tile { x: 3, y: 0 }];
+        let mut sim = StreamSim::new_avoiding(&cfg, &failed).unwrap();
+        for t in &failed {
+            assert!(
+                !sim.tile_of.contains_key(&(t.x, t.y)),
+                "dead tile ({}, {}) still hosts a node",
+                t.x,
+                t.y
+            );
+        }
+        let r = sim.run(5_000_000).unwrap();
+        assert_eq!(r.ofmap, cfg.golden());
+        // the remapped chain is longer than the clean one
+        let clean = StreamSim::new(&cfg).unwrap().run(5_000_000).unwrap();
+        assert!(
+            r.noc.flit_hops >= clean.noc.flit_hops,
+            "degraded placement cannot shorten routes: {} vs {}",
+            r.noc.flit_hops,
+            clean.noc.flit_hops
+        );
+    }
+
+    #[test]
+    fn lost_traffic_degrades_instead_of_hanging() {
+        // certain flit loss with retries exhausted: the run must end in a
+        // typed Degraded error well before the budget
+        let cfg = StreamConfig::small_test();
+        let mut sim = StreamSim::new(&cfg).unwrap();
+        sim.attach_noc_fault_plan(
+            NocFaultPlan::with_seed(5)
+                .drop_rate(1.0)
+                .retry_after(32)
+                .max_retries(1),
+        );
+        let err = sim.run(5_000_000).unwrap_err();
+        assert!(
+            matches!(err, SimError::Degraded { lost_packets, .. } if lost_packets > 0),
+            "{err:?}"
+        );
+        assert!(sim.noc_fault_stats().packets_lost > 0);
+    }
+
+    #[test]
+    fn dead_slice_surfaces_as_typed_fault() {
+        let cfg = StreamConfig::small_test();
+        let mut sim = StreamSim::new(&cfg).unwrap();
+        sim.attach_cmem_fault_plan(&FaultPlan::none().dead_slice(1));
+        let err = sim.run(5_000_000).unwrap_err();
+        assert!(matches!(err, SimError::Fault { .. }), "{err:?}");
+        assert!(sim.cmem_fault_stats().dead_slice_hits > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// Satellite regression: with empty fault plans attached, the
+        /// fabric stream output and total cycle count are identical to the
+        /// no-injection path for random small CONV workloads.
+        #[test]
+        fn prop_quiet_fault_plans_never_diverge(
+            in_c in 4usize..12,
+            out_c in 1usize..4,
+            hw in 4usize..6,
+            salt in 0usize..8,
+        ) {
+            let cfg = StreamConfig {
+                layers: vec![test_layer(in_c, out_c, salt)],
+                input: test_input(in_c, hw, hw),
+            };
+            let clean = StreamSim::new(&cfg).unwrap().run(2_000_000).unwrap();
+            let mut quiet = StreamSim::new_avoiding(&cfg, &[]).unwrap();
+            quiet.attach_cmem_fault_plan(&FaultPlan::none());
+            quiet.attach_noc_fault_plan(NocFaultPlan::none());
+            let r = quiet.run(2_000_000).unwrap();
+            prop_assert_eq!(&r.ofmap, &clean.ofmap);
+            prop_assert_eq!(r.cycles, clean.cycles);
+            prop_assert_eq!(&r.ofmap, &cfg.golden());
+        }
     }
 }

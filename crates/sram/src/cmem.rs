@@ -15,6 +15,7 @@
 //! can report energy without re-deriving circuit constants.
 
 use crate::energy::EnergyMeter;
+use crate::fault::{FaultPlan, FaultState, FaultStats, StuckAt};
 use crate::slice::{CmemSlice, ShiftDir};
 use crate::{SramError, BITLINES, NUM_SLICES, SLICE_ROWS};
 
@@ -46,6 +47,9 @@ pub const SLICE0_BYTES: usize = SLICE_ROWS * BITLINES / 8;
 pub struct Cmem {
     slices: Vec<CmemSlice>,
     meter: EnergyMeter,
+    /// Fault-injection state; `None` (the default) is the zero-overhead
+    /// path: no RNG draws, bit- and cycle-identical to the seed model.
+    fault: Option<Box<FaultState>>,
 }
 
 impl Default for Cmem {
@@ -61,7 +65,82 @@ impl Cmem {
         Cmem {
             slices: (0..NUM_SLICES).map(|_| CmemSlice::new()).collect(),
             meter: EnergyMeter::new(),
+            fault: None,
         }
+    }
+
+    /// Creates a zeroed CMem with a fault plan already attached.
+    #[must_use]
+    pub fn with_fault_plan(plan: FaultPlan) -> Self {
+        let mut c = Self::new();
+        c.attach_fault_plan(plan);
+        c
+    }
+
+    /// Attaches (or replaces) a fault plan; injection starts immediately.
+    ///
+    /// Attaching [`FaultPlan::none`] is equivalent to no plan at all.
+    pub fn attach_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(Box::new(FaultState::new(plan)));
+    }
+
+    /// Removes the fault plan, returning the accumulated stats.
+    pub fn detach_fault_plan(&mut self) -> FaultStats {
+        self.fault.take().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// The attached fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
+    }
+
+    /// Fault events injected so far (zero when no plan is attached).
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Rejects accesses to a slice the fault plan marks dead.
+    fn check_alive(&mut self, slice: usize) -> Result<(), SramError> {
+        if let Some(f) = &mut self.fault {
+            if f.is_dead(slice) {
+                f.stats.dead_slice_hits += 1;
+                self.meter.count_fault(1);
+                return Err(SramError::SliceFailed { slice });
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-asserts stuck-at cells of `slice` after a write touched it: a
+    /// stuck cell cannot hold the value just written, so every later read
+    /// (byte load, MAC, row transfer) consistently sees the stuck value.
+    fn enforce_stuck(&mut self, slice: usize) {
+        let Some(mut f) = self.fault.take() else {
+            return;
+        };
+        let mut forced = 0u64;
+        for cell in f.plan.stuck_cells.iter().filter(|c| c.slice == slice) {
+            let want = cell.value == StuckAt::One;
+            if let Ok(cur) = self.slices[slice].array().read_bit(cell.row, cell.col) {
+                if cur != want {
+                    let _ = self.slices[slice].array_mut().write_bit(cell.row, cell.col, want);
+                    forced += 1;
+                }
+            }
+        }
+        f.stats.stuck_bits_forced += forced;
+        self.meter.count_fault(forced);
+        self.fault = Some(f);
+    }
+
+    /// Draws a transient upset bit index in `0..width`, tallying it.
+    fn draw_flip(&mut self, width: u64) -> Option<u64> {
+        let f = self.fault.as_mut()?;
+        let bit = f.draw_flip(width)?;
+        self.meter.count_fault(1);
+        Some(bit)
     }
 
     fn check_slice(&self, slice: usize) -> Result<(), SramError> {
@@ -120,6 +199,7 @@ impl Cmem {
         if addr >= SLICE0_BYTES {
             return Err(SramError::ByteAddrOutOfRange { addr });
         }
+        self.check_alive(0)?;
         let col = addr % BITLINES;
         let row_base = (addr / BITLINES) * 8;
         for i in 0..8 {
@@ -127,19 +207,25 @@ impl Cmem {
                 .array_mut()
                 .write_bit(row_base + i, col, (value >> i) & 1 == 1)?;
         }
+        self.enforce_stuck(0);
         self.meter.count_vertical_write(1);
         Ok(())
     }
 
     /// Loads one byte from slice-0 byte address `addr`.
     ///
+    /// Takes `&mut self` because a read is an *event* to the fault model:
+    /// it may draw a transient upset from the attached plan's RNG.
+    ///
     /// # Errors
     ///
-    /// Returns [`SramError::ByteAddrOutOfRange`] for `addr >= 2048`.
-    pub fn load_byte(&self, addr: usize) -> Result<u8, SramError> {
+    /// Returns [`SramError::ByteAddrOutOfRange`] for `addr >= 2048`, or
+    /// [`SramError::SliceFailed`] when a fault plan marks slice 0 dead.
+    pub fn load_byte(&mut self, addr: usize) -> Result<u8, SramError> {
         if addr >= SLICE0_BYTES {
             return Err(SramError::ByteAddrOutOfRange { addr });
         }
+        self.check_alive(0)?;
         let col = addr % BITLINES;
         let row_base = (addr / BITLINES) * 8;
         let mut v = 0u8;
@@ -147,6 +233,9 @@ impl Cmem {
             if self.slices[0].array().read_bit(row_base + i, col)? {
                 v |= 1 << i;
             }
+        }
+        if let Some(bit) = self.draw_flip(8) {
+            v ^= 1 << bit;
         }
         Ok(v)
     }
@@ -171,6 +260,8 @@ impl Cmem {
     ) -> Result<(), SramError> {
         self.check_slice(src_slice)?;
         self.check_slice(dst_slice)?;
+        self.check_alive(src_slice)?;
+        self.check_alive(dst_slice)?;
         if !(1..=16).contains(&bits) {
             return Err(SramError::UnsupportedWidth { bits });
         }
@@ -189,6 +280,16 @@ impl Cmem {
                     .write_row(dst_row + i, &lanes)?;
             }
         }
+        // A transient upset on the move path latches one wrong bit in the
+        // destination; it persists until the row is overwritten.
+        if let Some(pos) = self.draw_flip((bits * BITLINES) as u64) {
+            let row = dst_row + pos as usize / BITLINES;
+            let col = pos as usize % BITLINES;
+            if let Ok(cur) = self.slices[dst_slice].array().read_bit(row, col) {
+                let _ = self.slices[dst_slice].array_mut().write_bit(row, col, !cur);
+            }
+        }
+        self.enforce_stuck(dst_slice);
         self.meter.count_move(1);
         Ok(())
     }
@@ -208,7 +309,13 @@ impl Cmem {
         signed: bool,
     ) -> Result<i64, SramError> {
         self.check_slice(slice)?;
-        let r = self.slices[slice].mac(base_a, base_b, bits, signed)?;
+        self.check_alive(slice)?;
+        let mut r = self.slices[slice].mac(base_a, base_b, bits, signed)?;
+        // Accumulator width: 2·bits product + 8 bits of 256-lane
+        // accumulation + sign. An upset flips one bit of that register.
+        if let Some(bit) = self.draw_flip((2 * bits + 9) as u64) {
+            r ^= 1i64 << bit;
+        }
         self.meter.count_mac(1);
         Ok(r)
     }
@@ -220,7 +327,9 @@ impl Cmem {
     /// Propagates slice/row range errors.
     pub fn set_row(&mut self, slice: usize, row: usize, value: bool) -> Result<(), SramError> {
         self.check_slice(slice)?;
+        self.check_alive(slice)?;
         self.slices[slice].set_row(row, value)?;
+        self.enforce_stuck(slice);
         self.meter.count_set_row(1);
         Ok(())
     }
@@ -238,7 +347,9 @@ impl Cmem {
         granules: usize,
     ) -> Result<(), SramError> {
         self.check_slice(slice)?;
+        self.check_alive(slice)?;
         self.slices[slice].shift_row(row, dir, granules)?;
+        self.enforce_stuck(slice);
         self.meter.count_shift_row(1);
         Ok(())
     }
@@ -251,7 +362,13 @@ impl Cmem {
     /// Propagates slice/row range errors.
     pub fn read_row_remote(&mut self, slice: usize, row: usize) -> Result<Vec<u64>, SramError> {
         self.check_slice(slice)?;
-        let lanes = self.slices[slice].array().read_row(row)?.to_vec();
+        self.check_alive(slice)?;
+        let mut lanes = self.slices[slice].array().read_row(row)?.to_vec();
+        // Transient upset on the read-out path corrupts the packet copy
+        // only; the array keeps its value.
+        if let Some(bit) = self.draw_flip(BITLINES as u64) {
+            lanes[bit as usize / 64] ^= 1u64 << (bit % 64);
+        }
         self.meter.count_remote_row(1);
         Ok(lanes)
     }
@@ -273,7 +390,9 @@ impl Cmem {
         lanes: &[u64],
     ) -> Result<(), SramError> {
         self.check_slice(slice)?;
+        self.check_alive(slice)?;
         self.slices[slice].array_mut().write_row(row, lanes)?;
+        self.enforce_stuck(slice);
         self.meter.count_remote_row(1);
         Ok(())
     }
@@ -289,8 +408,11 @@ impl Cmem {
     /// Propagates slice/vector range errors.
     pub fn write_vector_u8(&mut self, slice: usize, base: usize, v: &[u8]) -> Result<(), SramError> {
         self.check_slice(slice)?;
+        self.check_alive(slice)?;
         let words: Vec<u16> = v.iter().map(|&x| x as u16).collect();
-        self.slices[slice].write_vector(base, &words, 8)
+        self.slices[slice].write_vector(base, &words, 8)?;
+        self.enforce_stuck(slice);
+        Ok(())
     }
 
     /// Writes a signed 8-bit vector (two's complement) at (`slice`, `base`).
@@ -300,8 +422,11 @@ impl Cmem {
     /// Propagates slice/vector range errors.
     pub fn write_vector_i8(&mut self, slice: usize, base: usize, v: &[i8]) -> Result<(), SramError> {
         self.check_slice(slice)?;
+        self.check_alive(slice)?;
         let words: Vec<u16> = v.iter().map(|&x| x as u8 as u16).collect();
-        self.slices[slice].write_vector(base, &words, 8)
+        self.slices[slice].write_vector(base, &words, 8)?;
+        self.enforce_stuck(slice);
+        Ok(())
     }
 
     /// Unsigned 8-bit MAC returning the non-negative dot product.
@@ -466,8 +591,132 @@ mod tests {
         assert_eq!(c.energy().total_pj(), 0.0);
     }
 
+    mod faults {
+        use super::*;
+        use crate::fault::{FaultPlan, StuckAt};
+
+        fn exercise(c: &mut Cmem) -> (Vec<u8>, i64) {
+            let ifmap: Vec<i8> = (0..256).map(|i| (i % 17) as i8 - 8).collect();
+            let filt: Vec<i8> = (0..256).map(|i| (i % 11) as i8 - 5).collect();
+            for (k, &b) in ifmap.iter().enumerate() {
+                c.store_byte(k, b as u8).unwrap();
+            }
+            c.move_vector(0, 0, 4, 0, 8).unwrap();
+            c.write_vector_i8(4, 8, &filt).unwrap();
+            let mac = c.mac_i8(4, 0, 8).unwrap();
+            let bytes: Vec<u8> = (0..256).map(|k| c.load_byte(k).unwrap()).collect();
+            (bytes, mac)
+        }
+
+        #[test]
+        fn quiet_plan_is_bit_identical() {
+            let mut clean = Cmem::new();
+            let mut quiet = Cmem::with_fault_plan(FaultPlan::none());
+            assert_eq!(exercise(&mut clean), exercise(&mut quiet));
+            assert_eq!(quiet.fault_stats().total(), 0);
+            assert_eq!(quiet.energy().fault_events(), 0);
+            // energy totals must match too — the fault path adds nothing
+            assert_eq!(clean.energy().total_pj(), quiet.energy().total_pj());
+        }
+
+        #[test]
+        fn stuck_at_cell_overrides_writes_consistently() {
+            // Cell (0, row 0, col 5) stuck at 1: bit 0 of byte 5 always set.
+            let mut c = Cmem::with_fault_plan(FaultPlan::none().stuck(0, 0, 5, StuckAt::One));
+            c.store_byte(5, 0x00).unwrap();
+            assert_eq!(c.load_byte(5).unwrap(), 0x01);
+            c.store_byte(5, 0xFE).unwrap();
+            assert_eq!(c.load_byte(5).unwrap(), 0xFF);
+            assert!(c.fault_stats().stuck_bits_forced >= 2);
+            assert_eq!(c.energy().fault_events(), c.fault_stats().total());
+
+            // Stuck-at-0 on the same cell erases the bit instead.
+            let mut z = Cmem::with_fault_plan(FaultPlan::none().stuck(0, 0, 5, StuckAt::Zero));
+            z.store_byte(5, 0xFF).unwrap();
+            assert_eq!(z.load_byte(5).unwrap(), 0xFE);
+        }
+
+        #[test]
+        fn stuck_cell_poisons_mac_deterministically() {
+            // A stuck bit in the filter operand must shift the MAC result
+            // the same way every time (no randomness in the permanent path).
+            let run = || {
+                let mut c =
+                    Cmem::with_fault_plan(FaultPlan::none().stuck(2, 8, 0, StuckAt::One));
+                c.write_vector_u8(2, 0, &[3u8; 256]).unwrap();
+                c.write_vector_u8(2, 8, &[0u8; 256]).unwrap();
+                c.mac_u8(2, 0, 8).unwrap()
+            };
+            // filter lane 0 reads 1 instead of 0 → dot product 3, not 0
+            assert_eq!(run(), 3);
+            assert_eq!(run(), run());
+        }
+
+        #[test]
+        fn dead_slice_is_detected_as_typed_error() {
+            let mut c = Cmem::with_fault_plan(FaultPlan::none().dead_slice(4));
+            c.write_vector_u8(3, 0, &[1u8; 256]).unwrap(); // healthy slice ok
+            assert!(matches!(
+                c.write_vector_u8(4, 0, &[1u8; 256]),
+                Err(SramError::SliceFailed { slice: 4 })
+            ));
+            assert!(matches!(
+                c.mac(4, 0, 8, 8, false),
+                Err(SramError::SliceFailed { slice: 4 })
+            ));
+            assert!(matches!(
+                c.move_vector(3, 0, 4, 0, 8),
+                Err(SramError::SliceFailed { slice: 4 })
+            ));
+            assert_eq!(c.fault_stats().dead_slice_hits, 3);
+        }
+
+        #[test]
+        fn transient_rate_one_flips_exactly_one_mac_bit() {
+            let mut clean = Cmem::new();
+            let mut noisy = Cmem::with_fault_plan(FaultPlan::with_seed(9).transient(1.0));
+            for c in [&mut clean, &mut noisy] {
+                c.write_vector_u8(1, 0, &[2u8; 256]).unwrap();
+                c.write_vector_u8(1, 8, &[3u8; 256]).unwrap();
+            }
+            // the vector writes themselves don't draw upsets; the MAC does
+            let a = clean.mac(1, 0, 8, 8, false).unwrap();
+            let b = noisy.mac(1, 0, 8, 8, false).unwrap();
+            assert_eq!((a ^ b).count_ones(), 1, "{a:#x} vs {b:#x}");
+            assert_eq!(noisy.fault_stats().transient_flips, 1);
+        }
+
+        #[test]
+        fn detach_returns_stats_and_silences_injection() {
+            let mut c = Cmem::with_fault_plan(FaultPlan::with_seed(1).transient(1.0));
+            c.write_vector_u8(1, 0, &[1u8; 256]).unwrap();
+            c.write_vector_u8(1, 8, &[1u8; 256]).unwrap();
+            c.mac_u8(1, 0, 8).unwrap();
+            let stats = c.detach_fault_plan();
+            assert_eq!(stats.transient_flips, 1);
+            assert!(c.fault_plan().is_none());
+            assert_eq!(c.mac_u8(1, 0, 8).unwrap(), 256);
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_quiet_plan_never_diverges(
+            seed in any::<u64>(),
+            data in proptest::collection::vec(any::<u8>(), 256),
+        ) {
+            // A seeded-but-quiet plan must be indistinguishable from none.
+            let mut clean = Cmem::new();
+            let mut quiet = Cmem::with_fault_plan(crate::fault::FaultPlan::with_seed(seed));
+            for c in [&mut clean, &mut quiet] {
+                c.write_vector_u8(6, 0, &data).unwrap();
+                c.write_vector_u8(6, 8, &data).unwrap();
+            }
+            prop_assert_eq!(clean.mac_u8(6, 0, 8).unwrap(), quiet.mac_u8(6, 0, 8).unwrap());
+            prop_assert_eq!(quiet.fault_stats().total(), 0);
+        }
 
         #[test]
         fn prop_byte_roundtrip(addr in 0usize..SLICE0_BYTES, v in any::<u8>()) {

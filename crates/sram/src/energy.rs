@@ -48,6 +48,7 @@ pub struct EnergyMeter {
     shift_rows: u64,
     remote_rows: u64,
     raw_activations: u64,
+    fault_events: u64,
 }
 
 impl EnergyMeter {
@@ -93,6 +94,22 @@ impl EnergyMeter {
         self.raw_activations += n;
     }
 
+    /// Records `n` injected fault events (transient upsets, stuck-bit
+    /// enforcements, dead-slice rejections).
+    ///
+    /// Faults carry no energy of their own — they are tallied here so
+    /// chip-level reports that already aggregate [`EnergyMeter`]s pick up
+    /// fault counts through the same [`merge`](Self::merge) path.
+    pub fn count_fault(&mut self, n: u64) {
+        self.fault_events += n;
+    }
+
+    /// Number of injected fault events recorded so far.
+    #[must_use]
+    pub fn fault_events(&self) -> u64 {
+        self.fault_events
+    }
+
     /// Number of `MAC.C` operations recorded so far.
     #[must_use]
     pub fn macs(&self) -> u64 {
@@ -132,6 +149,7 @@ impl EnergyMeter {
         self.shift_rows += other.shift_rows;
         self.remote_rows += other.remote_rows;
         self.raw_activations += other.raw_activations;
+        self.fault_events += other.fault_events;
     }
 }
 

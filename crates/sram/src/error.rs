@@ -55,6 +55,15 @@ pub enum SramError {
         /// The offending slice index.
         slice: usize,
     },
+    /// An access targeted a slice marked dead by the attached
+    /// [`FaultPlan`](crate::fault::FaultPlan).
+    ///
+    /// This is the *detection* path of the fault model: the fabric observes
+    /// this error and can remap the workload around the failed node.
+    SliceFailed {
+        /// The dead slice index.
+        slice: usize,
+    },
 }
 
 impl fmt::Display for SramError {
@@ -84,6 +93,9 @@ impl fmt::Display for SramError {
             SramError::NotByteAddressable { slice } => {
                 write!(f, "computing slice {slice} is not byte-addressable")
             }
+            SramError::SliceFailed { slice } => {
+                write!(f, "slice {slice} has failed (dead-slice fault injected)")
+            }
         }
     }
 }
@@ -108,6 +120,7 @@ mod tests {
             SramError::UnsupportedWidth { bits: 33 },
             SramError::OperandOverlap { a: 0, b: 4, bits: 8 },
             SramError::NotByteAddressable { slice: 3 },
+            SramError::SliceFailed { slice: 6 },
         ];
         for e in errs {
             let s = e.to_string();

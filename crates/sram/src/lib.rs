@@ -30,6 +30,8 @@
 //! * [`energy`] — per-operation energy constants from §5 and an accumulator.
 //! * [`logic`] — the in-place bit-line logic operations (Compute Caches)
 //!   the CMem's slices inherit.
+//! * [`fault`] — seeded fault injection (transient upsets, stuck-at cells,
+//!   dead slices) for resilience studies; off by default.
 //!
 //! ## Example
 //!
@@ -54,6 +56,7 @@
 pub mod array;
 pub mod cmem;
 pub mod energy;
+pub mod fault;
 pub mod logic;
 pub mod neural_cache;
 pub mod slice;

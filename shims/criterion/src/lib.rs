@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's bench targets use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Differences from the real crate:
+//!
+//! * Measurement is a plain wall-clock mean over a fixed iteration count —
+//!   no warm-up analysis, outlier rejection, or HTML reports.
+//! * `criterion_main!` only runs the benchmarks when the process is invoked
+//!   with a `--bench` argument (as `cargo bench` does). Because the
+//!   workspace declares its bench targets with `harness = false`, cargo
+//!   still builds and runs them during `cargo test`; exiting early keeps
+//!   the test suite fast.
+
+use std::time::Instant;
+
+/// Opaque value sink preventing the optimiser from deleting benched code.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark timing driver handed to the bench closure.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration, recorded by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call to move lazy initialisation out of the window.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        self.mean_ns = elapsed / self.iters as f64;
+    }
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the iteration count used for each benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints one result line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Mirror of criterion's CLI configuration hook; the shim has no CLI.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group of benchmarks with its own sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, iters: usize, f: &mut F) {
+    let mut b = Bencher {
+        iters: iters as u64,
+        mean_ns: 0.0,
+    };
+    f(&mut b);
+    if b.mean_ns >= 1_000_000.0 {
+        println!("bench {name:<50} {:>12.3} ms/iter", b.mean_ns / 1_000_000.0);
+    } else if b.mean_ns >= 1_000.0 {
+        println!("bench {name:<50} {:>12.3} us/iter", b.mean_ns / 1_000.0);
+    } else {
+        println!("bench {name:<50} {:>12.1} ns/iter", b.mean_ns);
+    }
+}
+
+/// Should this process actually execute benchmarks?
+///
+/// `cargo bench` passes `--bench`; `cargo test` (which also runs
+/// `harness = false` bench targets) does not.
+#[must_use]
+pub fn invoked_as_bench() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups (only under `cargo bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !$crate::invoked_as_bench() {
+                // Running as a `harness = false` test target: nothing to do.
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        // 1 warm-up + 5 timed iterations.
+        assert_eq!(ran, 6);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

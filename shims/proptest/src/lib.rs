@@ -1,0 +1,582 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim reimplements
+//! the subset of proptest the workspace uses: the `proptest!` macro,
+//! `prop_assert*` / `prop_assume!` / `prop_oneof!`, `any::<T>()`, integer
+//! ranges and tuples as strategies, `Just`, `.prop_map`, and
+//! `collection::vec`. Differences from the real crate:
+//!
+//! * **No shrinking** — a failing case reports its inputs but is not
+//!   minimised.
+//! * **Deterministic seeding** — the RNG seed derives from the test name,
+//!   so every run explores the same cases (reproducible CI).
+//! * `Config::default()` runs 64 cases (`with_cases` is honoured).
+
+pub mod test_runner {
+    //! Deterministic RNG, config and case-level error plumbing.
+
+    /// Splitmix64: tiny, deterministic, good-enough mixing for test data.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG seeded from an explicit value.
+        #[must_use]
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Creates an RNG deterministically seeded from a test name.
+        #[must_use]
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name keeps distinct tests on distinct streams.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self::from_seed(h)
+        }
+
+        /// Next pseudo-random 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..bound` (`bound > 0`).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling range");
+            self.next_u64() % bound
+        }
+    }
+
+    /// Run configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` successful cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` — try another input.
+        Reject(String),
+        /// A `prop_assert*` failed — the property is violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection with a message.
+        #[must_use]
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike real proptest there is no value tree: `generate` produces the
+    /// final value directly (no shrinking).
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Boxes the strategy for heterogeneous collections
+        /// (`prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, object-safe strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over at least one option.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty strategy range");
+                    let span = (hi - lo) as u128;
+                    let v = lo + (u128::from(rng.next_u64()) % span) as i128;
+                    v as $t
+                }
+            }
+            impl Strategy for ::core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = *self.start() as i128;
+                    let hi = *self.end() as i128;
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi - lo) as u128 + 1;
+                    let v = lo + (u128::from(rng.next_u64()) % span) as i128;
+                    v as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    // 53 mantissa bits of uniformity is plenty for test data.
+                    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    let span = f64::from(self.end) - f64::from(self.start);
+                    (f64::from(self.start) + unit * span) as $t
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32);
+
+    impl Strategy for ::core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types the workspace generates.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The full-range strategy for `T` (`any::<T>()`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! `vec(element, size)` collection strategy.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification: an exact length or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo
+                + if span <= 1 {
+                    0
+                } else {
+                    rng.below(span) as usize
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vec of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests (see module docs for differences
+/// from real proptest).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let mut passed: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(20);
+                while passed < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property {} falsified on case {}: {}", stringify!($name), attempts, msg);
+                        }
+                    }
+                }
+                assert!(
+                    passed > 0,
+                    "property {} rejected every generated case",
+                    stringify!($name)
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not panicking
+/// directly) so the harness can report the inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{}: {:?} != {:?}", format!($($fmt)+), l, r);
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: both sides equal {:?}", l);
+    }};
+}
+
+/// Rejects the current case, drawing a fresh one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strategy) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_strategy_stays_in_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(-5i32..17), &mut rng);
+            assert!((-5..17).contains(&v));
+            let u = Strategy::generate(&(3usize..4), &mut rng);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_lengths() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec(any::<u8>(), 1..30), &mut rng);
+            assert!((1..30).contains(&v.len()));
+            let w = Strategy::generate(&crate::collection::vec(0u16..4, 256), &mut rng);
+            assert_eq!(w.len(), 256);
+            assert!(w.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let s = prop_oneof![
+            (0u8..4).prop_map(u32::from),
+            Just(99u32),
+        ];
+        let mut rng = TestRng::from_seed(3);
+        let mut saw_just = false;
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v < 4u32 || v == 99u32);
+            saw_just |= v == 99u32;
+        }
+        assert!(saw_just, "union never picked the second arm");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0u32..100, v in crate::collection::vec(any::<i8>(), 0..5)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assume!(x != 1000); // never rejects
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the minimal surface the workspace uses: the `Serialize` / `Deserialize`
+//! marker traits (blanket-implemented for every type) and the matching
+//! no-op derive macros re-exported from `serde_derive`.
+//!
+//! Types that need *actual* serialisation in this workspace implement it
+//! explicitly (see `maicc_sim::campaign`'s JSON writer); the derives keep
+//! the type-level contract (`#[derive(Serialize, Deserialize)]`) intact so
+//! swapping the real serde back in is a one-line Cargo.toml change.
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` with the deserialize marker traits.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser` with the serialize marker trait.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Sum {
+        _A,
+        _B(u8),
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Generic<T> {
+        _t: T,
+    }
+
+    fn assert_serialize<T: Serialize>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_compile_and_traits_hold() {
+        assert_serialize::<Plain>();
+        assert_deserialize::<Plain>();
+        assert_serialize::<Sum>();
+        assert_serialize::<Generic<Vec<String>>>();
+    }
+}
