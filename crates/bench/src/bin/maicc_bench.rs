@@ -1,0 +1,264 @@
+//! Self-timed wall-clock benchmark harness.
+//!
+//! Unlike the `benches/` entries (which regenerate paper tables under
+//! Criterion), this binary measures *host* wall-clock time of the
+//! simulator itself with `std::time::Instant` — warmup runs followed by
+//! N timed iterations, reporting median/p10/p90 — and writes the results
+//! as JSON to `BENCH_results.json`.
+//!
+//! ```text
+//! cargo run --release -p maicc-bench --bin maicc_bench [-- OPTIONS]
+//!
+//!   --quick        one iteration, no warmup (CI smoke mode)
+//!   --iters N      timed iterations per workload (default 5)
+//!   --out PATH     output JSON path (default BENCH_results.json)
+//! ```
+//!
+//! Workloads:
+//!
+//! * `table4_node_conv` — the Table-4 MAICC node convolution on the
+//!   cycle-accurate pipeline;
+//! * `table5_scheduled_replay` — the statically scheduled program replay;
+//! * `table6_heuristic_mapping` — ResNet-18 heuristic layer mapping;
+//! * `resnet18_segment` — the full-system streaming simulation (bit-level
+//!   CMems + flit-level mesh) on the default fault-campaign workload;
+//! * `resnet18_segment_parallel` — same, with `set_parallelism` at the
+//!   host core count;
+//! * `resnet18_segment_slowpath` — same, with a quiet `FaultPlan`
+//!   attached so every MAC takes the bit-serial slow path.
+//!
+//! Every iteration checks functional correctness (ofmap == golden,
+//! modelled cycle counts identical across variants), so a speedup that
+//! broke bit-exactness would abort the run.
+
+use maicc::core::kernels::{CmemConvKernel, ConvWorkload};
+use maicc::core::pipeline::{PipelineConfig, Timing};
+use maicc::exec::config::ExecConfig;
+use maicc::exec::pipeline_model::run_network;
+use maicc::exec::segment::Strategy;
+use maicc::nn::resnet::resnet18;
+use maicc::sim::stream::{StreamConfig, StreamSim};
+use maicc::sram::fault::FaultPlan;
+use maicc_bench::{percentile, pre_pr};
+use std::time::Instant;
+
+/// Cycle budget for the streaming runs (the segment drains in < 100 k).
+const STREAM_BUDGET: u64 = 5_000_000;
+
+struct Summary {
+    name: &'static str,
+    median_ns: u64,
+    p10_ns: u64,
+    p90_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    iters: usize,
+    /// Deterministic per-workload check value (modelled cycles); must be
+    /// identical across iterations.
+    check: u64,
+}
+
+/// Times `f` for `warmup + iters` runs and summarizes the timed ones.
+/// `f` returns a check value that must not vary between iterations.
+fn measure(name: &'static str, warmup: usize, iters: usize, mut f: impl FnMut() -> u64) -> Summary {
+    let mut check = None;
+    for _ in 0..warmup {
+        check = Some(f());
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let c = f();
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        samples.push(ns);
+        match check {
+            None => check = Some(c),
+            Some(prev) => assert_eq!(prev, c, "{name}: nondeterministic check value"),
+        }
+    }
+    samples.sort_unstable();
+    let s = Summary {
+        name,
+        median_ns: percentile(&samples, 50.0),
+        p10_ns: percentile(&samples, 10.0),
+        p90_ns: percentile(&samples, 90.0),
+        min_ns: samples[0],
+        max_ns: samples[samples.len() - 1],
+        iters,
+        check: check.expect("at least one iteration"),
+    };
+    println!(
+        "{:<28} median {:>13} ns  p10 {:>13}  p90 {:>13}  (check {})",
+        s.name, s.median_ns, s.p10_ns, s.p90_ns, s.check
+    );
+    s
+}
+
+fn table4_node_conv(wl: ConvWorkload, ifmap: &[i8], weights: &[i8], golden: &[i32]) -> u64 {
+    let kernel = CmemConvKernel::new(wl).expect("table4 workload fits");
+    let sched = kernel.with_program(kernel.scheduled_program());
+    let mut node = sched.prepare(ifmap, weights, 4).expect("prepared");
+    let mut t = Timing::new(PipelineConfig::default());
+    node.run_with(100_000_000, |e| t.on_retire(e)).expect("halts");
+    assert_eq!(sched.read_ofmap(&node).expect("ofmap"), golden, "table4 functional mismatch");
+    t.finish().total_cycles
+}
+
+fn table5_scheduled_replay(kernel: &CmemConvKernel, ifmap: &[i8], weights: &[i8]) -> u64 {
+    let k = kernel.with_program(kernel.scheduled_program());
+    let mut node = k.prepare(ifmap, weights, 4).expect("prepared");
+    let mut t = Timing::new(PipelineConfig::default());
+    node.run_with(100_000_000, |e| t.on_retire(e)).expect("halts");
+    t.finish().total_cycles
+}
+
+/// Runs the streaming segment; `threads > 1` enables sharded stepping,
+/// `slow_path` pins the bit-serial MAC path via a quiet fault plan.
+fn stream_segment(cfg: &StreamConfig, golden: &[i8], threads: usize, slow_path: bool) -> u64 {
+    let mut sim = StreamSim::new(cfg).expect("segment fits");
+    if threads > 1 {
+        sim.set_parallelism(threads);
+    }
+    if slow_path {
+        sim.attach_cmem_fault_plan(&FaultPlan::none());
+    }
+    let r = sim.run(STREAM_BUDGET).expect("drains");
+    assert_eq!(r.ofmap, golden, "streaming ofmap mismatch");
+    r.cycles
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(s.chars().all(|c| c != '"' && c != '\\' && !c.is_control()));
+    s
+}
+
+fn write_json(path: &str, quick: bool, iters: usize, results: &[Summary]) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"harness\": \"maicc_bench\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"iterations\": {iters},\n"));
+    out.push_str(&format!(
+        "  \"pre_pr_resnet18_segment_ns\": {},\n",
+        pre_pr::RESNET18_SEGMENT_NS
+    ));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"p10_ns\": {}, \"p90_ns\": {}, \
+             \"min_ns\": {}, \"max_ns\": {}, \"iterations\": {}, \"check\": {}}}{}\n",
+            json_escape_free(s.name),
+            s.median_ns,
+            s.p10_ns,
+            s.p90_ns,
+            s.min_ns,
+            s.max_ns,
+            s.iters,
+            s.check,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let median = |name: &str| {
+        results
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.median_ns as f64)
+    };
+    let seg = median("resnet18_segment");
+    let slow = median("resnet18_segment_slowpath");
+    out.push_str("  \"derived\": {\n");
+    out.push_str(&format!(
+        "    \"resnet18_segment_speedup_vs_pre_pr\": {:.2},\n",
+        seg.map_or(0.0, |m| pre_pr::RESNET18_SEGMENT_NS as f64 / m)
+    ));
+    out.push_str(&format!(
+        "    \"resnet18_segment_fast_vs_slowpath\": {:.2}\n",
+        match (seg, slow) {
+            (Some(f), Some(s)) => s / f,
+            _ => 0.0,
+        }
+    ));
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out).expect("write BENCH_results.json");
+}
+
+fn main() {
+    let mut quick = false;
+    let mut iters = 5usize;
+    let mut out = String::from("BENCH_results.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters takes a positive integer");
+            }
+            "--out" => out = args.next().expect("--out takes a path"),
+            other => panic!("unknown option {other} (try --quick, --iters N, --out PATH)"),
+        }
+    }
+    if quick {
+        iters = 1;
+    }
+    let warmup = usize::from(!quick);
+    assert!(iters > 0, "need at least one iteration");
+
+    println!("maicc_bench: {iters} iteration(s), {warmup} warmup, quick={quick}");
+
+    let wl = ConvWorkload::table4();
+    let ifmap = wl.synthetic_ifmap();
+    let weights = wl.synthetic_weights();
+    let conv_golden = wl.golden(&ifmap, &weights);
+    let kernel = CmemConvKernel::new(wl).expect("fits");
+    let net = resnet18(1000);
+    let exec_cfg = ExecConfig::default();
+    let seg_cfg = StreamConfig::resnet18_segment();
+    let seg_golden = seg_cfg.golden();
+    let cores = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+
+    let mut results = vec![
+        measure("table4_node_conv", warmup, iters, || {
+            table4_node_conv(ConvWorkload::table4(), &ifmap, &weights, &conv_golden)
+        }),
+        measure("table5_scheduled_replay", warmup, iters, || {
+            table5_scheduled_replay(&kernel, &ifmap, &weights)
+        }),
+        measure("table6_heuristic_mapping", warmup, iters, || {
+            run_network(&net, [64, 56, 56], Strategy::Heuristic, &exec_cfg)
+                .expect("resnet maps")
+                .total_cycles as u64
+        }),
+        measure("resnet18_segment", warmup, iters, || {
+            stream_segment(&seg_cfg, &seg_golden, 1, false)
+        }),
+        measure("resnet18_segment_parallel", warmup, iters, || {
+            stream_segment(&seg_cfg, &seg_golden, cores, false)
+        }),
+    ];
+    // The bit-serial slow path is ~30x slower; in quick mode it still runs
+    // (once) so CI exercises the dispatch contract end to end.
+    results.push(measure("resnet18_segment_slowpath", 0, iters.min(3), || {
+        stream_segment(&seg_cfg, &seg_golden, 1, true)
+    }));
+
+    // Modelled cycles must agree across fast, parallel, and slow-path runs.
+    let cycles: Vec<u64> = results[3..].iter().map(|s| s.check).collect();
+    assert!(
+        cycles.windows(2).all(|w| w[0] == w[1]),
+        "modelled cycles diverged across variants: {cycles:?}"
+    );
+
+    write_json(&out, quick, iters, &results);
+    let seg = results[3].median_ns as f64;
+    println!(
+        "\nresnet18_segment: {:.1} ms vs pre-PR {:.1} ms → {:.1}x; slow path {:.1}x of fast",
+        seg / 1e6,
+        pre_pr::RESNET18_SEGMENT_NS as f64 / 1e6,
+        pre_pr::RESNET18_SEGMENT_NS as f64 / seg,
+        results[5].median_ns as f64 / seg
+    );
+    println!("wrote {out}");
+}

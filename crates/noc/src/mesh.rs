@@ -75,6 +75,52 @@ struct InFlight<T> {
     damaged: bool,
 }
 
+/// Per-tick working buffers, kept across ticks so the cycle loop never
+/// allocates. All contents are cleared (capacity retained) at tick end.
+#[derive(Default)]
+struct TickScratch {
+    /// Packet ids that made progress this tick.
+    progressed: Vec<u64>,
+    /// Parallel to `active`: whether that router drained an injection.
+    drained: Vec<bool>,
+    /// Routers holding buffered flits or pending injections, ascending.
+    active: Vec<usize>,
+    /// Membership bitmap for `active` (plus move destinations).
+    is_active: Vec<bool>,
+    /// Routers first occupied by a move this tick (stall-trace aging).
+    stall_extra: Vec<usize>,
+    /// Planned occupancy per (router, input port) for credit checks.
+    planned_in: HashMap<(usize, usize), usize>,
+    /// (router, input_port, output_dir) moves planned this tick.
+    moves: Vec<(usize, usize, Direction)>,
+    /// Source slots (`router * 5 + port`) that moved a flit this tick.
+    moved: Vec<bool>,
+}
+
+impl TickScratch {
+    fn begin(&mut self, n: usize) {
+        if self.is_active.len() != n {
+            self.is_active = vec![false; n];
+            self.moved = vec![false; n * 5];
+        }
+    }
+
+    fn end(&mut self) {
+        for &i in self.active.iter().chain(&self.stall_extra) {
+            self.is_active[i] = false;
+        }
+        for &(i, ii, _) in &self.moves {
+            self.moved[i * 5 + ii] = false;
+        }
+        self.progressed.clear();
+        self.drained.clear();
+        self.active.clear();
+        self.stall_extra.clear();
+        self.planned_in.clear();
+        self.moves.clear();
+    }
+}
+
 /// The mesh network.
 pub struct Mesh<T> {
     width: u8,
@@ -99,6 +145,11 @@ pub struct Mesh<T> {
     /// Typed failures observed so far (lost packets); drained by
     /// [`Mesh::take_errors`].
     errors: Vec<NocError>,
+    /// Buffered flits per router, maintained incrementally so quiet
+    /// routers can be skipped without scanning their queues.
+    occ: Vec<usize>,
+    /// Reusable per-tick buffers.
+    scratch: TickScratch,
 }
 
 impl<T> std::fmt::Debug for Mesh<T> {
@@ -153,6 +204,8 @@ impl<T> Mesh<T> {
             fault: None,
             stall: vec![0; n * STALL_SLOTS],
             errors: Vec::new(),
+            occ: vec![0; n],
+            scratch: TickScratch::default(),
         }
     }
 
@@ -264,7 +317,7 @@ impl<T> Mesh<T> {
     pub fn is_idle(&self) -> bool {
         self.flights.is_empty()
             && self.inject.iter().all(VecDeque::is_empty)
-            && self.routers.iter().all(|r| r.occupancy() == 0)
+            && self.occ.iter().all(|&o| o == 0)
     }
 
     /// Advances one cycle; returns packets fully delivered this cycle.
@@ -273,10 +326,31 @@ impl<T> Mesh<T> {
         self.stats.cycles = self.cycle;
         let n = self.routers.len();
 
+        // fast path: a fully drained fabric has nothing to arbitrate,
+        // move, or age (every flit belongs to a flight, so no flights and
+        // no pending injections means every buffer is empty and every
+        // stall slot is already zero) — advancing the clock is the cycle
+        if self.flights.is_empty() && self.inject.iter().all(VecDeque::is_empty) {
+            debug_assert!(self.occ.iter().all(|&o| o == 0));
+            return Vec::new();
+        }
+
+        let mut s = std::mem::take(&mut self.scratch);
+        s.begin(n);
+        // Routers that can possibly act this cycle: those holding buffered
+        // flits or pending injections. Ascending index order matters —
+        // phase-2 credit competition resolves in favour of lower indices,
+        // so the active set must preserve it.
+        for i in 0..n {
+            if self.occ[i] > 0 || !self.inject[i].is_empty() {
+                s.active.push(i);
+                s.is_active[i] = true;
+            }
+        }
+        s.drained.resize(s.active.len(), false);
+
         // phase 0: drain injection queues into local input ports
-        let mut progressed: Vec<u64> = Vec::new();
-        let mut drained = vec![false; n];
-        for (i, was_drained) in drained.iter_mut().enumerate() {
+        for (k, &i) in s.active.iter().enumerate() {
             let dead = self
                 .fault
                 .as_ref()
@@ -286,14 +360,19 @@ impl<T> Mesh<T> {
                 && self.routers[i].inputs[Direction::Local.index()].len() < self.buffer_cap
             {
                 let f = self.inject[i].pop_front().expect("checked non-empty");
-                progressed.push(f.packet);
-                *was_drained = true;
+                s.progressed.push(f.packet);
+                s.drained[k] = true;
+                self.occ[i] += 1;
                 self.routers[i].inputs[Direction::Local.index()].push_back(f);
             }
         }
 
-        // phase 1: output arbitration (wormhole allocation)
-        for i in 0..n {
+        // phase 1: output arbitration (wormhole allocation); a router
+        // without buffered flits has no input heads to arbitrate
+        for &i in &s.active {
+            if self.occ[i] == 0 {
+                continue;
+            }
             let here = self.routers[i].coord;
             for out in Direction::ALL {
                 let oi = out.index();
@@ -316,10 +395,10 @@ impl<T> Mesh<T> {
 
         // phase 2: plan at most one flit move per output port, respecting
         // downstream space after all moves planned this cycle
-        let mut planned_in: HashMap<(usize, usize), usize> = HashMap::new();
-        // (router, input_port, output_dir)
-        let mut moves: Vec<(usize, usize, Direction)> = Vec::new();
-        for i in 0..n {
+        for &i in &s.active {
+            if self.occ[i] == 0 {
+                continue;
+            }
             let here = self.routers[i].coord;
             // a dead router forwards nothing
             if self.fault.as_ref().is_some_and(|f| f.router_failed(here)) {
@@ -339,7 +418,7 @@ impl<T> Mesh<T> {
                     continue;
                 };
                 if out == Direction::Local {
-                    moves.push((i, ii, out));
+                    s.moves.push((i, ii, out));
                 } else {
                     // a cut link or dead neighbour blocks the move; the
                     // flit waits and the stall trace ages
@@ -359,30 +438,31 @@ impl<T> Mesh<T> {
                         Direction::Local => unreachable!(),
                     };
                     let key = (nbi, in_port.index());
-                    let planned = planned_in.get(&key).copied().unwrap_or(0);
+                    let planned = s.planned_in.get(&key).copied().unwrap_or(0);
                     if self.routers[nbi].inputs[in_port.index()].len() + planned < self.buffer_cap
                     {
-                        *planned_in.entry(key).or_insert(0) += 1;
-                        moves.push((i, ii, out));
+                        *s.planned_in.entry(key).or_insert(0) += 1;
+                        s.moves.push((i, ii, out));
                     }
                 }
             }
         }
 
         // phase 3: apply moves simultaneously
-        let moved_slots: std::collections::HashSet<(usize, usize)> =
-            moves.iter().map(|&(i, ii, _)| (i, ii)).collect();
         let mut delivered = Vec::new();
-        for (i, ii, out) in moves {
+        for mi in 0..s.moves.len() {
+            let (i, ii, out) = s.moves[mi];
             let f = self.routers[i].inputs[ii]
                 .pop_front()
                 .expect("planned move has a flit");
+            s.moved[i * 5 + ii] = true;
+            self.occ[i] -= 1;
             if f.is_tail {
                 self.routers[i].outputs[out.index()].owner = None;
             }
             match out {
                 Direction::Local => {
-                    progressed.push(f.packet);
+                    s.progressed.push(f.packet);
                     let fl = self
                         .flights
                         .get_mut(&f.packet)
@@ -412,7 +492,7 @@ impl<T> Mesh<T> {
                             continue;
                         }
                     }
-                    progressed.push(f.packet);
+                    s.progressed.push(f.packet);
                     let nb = self
                         .neighbor(self.routers[i].coord, out)
                         .expect("checked in planning");
@@ -424,7 +504,12 @@ impl<T> Mesh<T> {
                         Direction::West => Direction::East,
                         Direction::Local => unreachable!(),
                     };
+                    if !s.is_active[nbi] {
+                        s.is_active[nbi] = true;
+                        s.stall_extra.push(nbi);
+                    }
                     self.routers[nbi].inputs[in_port.index()].push_back(f);
+                    self.occ[nbi] += 1;
                     self.stats.flit_hops += 1;
                     *self.link_load.entry((i, out.index())).or_insert(0) += 1;
                 }
@@ -432,32 +517,50 @@ impl<T> Mesh<T> {
         }
 
         // credit-stall tracing: age every non-empty queue whose head could
-        // not move this cycle; reset the rest
-        for (i, &was_drained) in drained.iter().enumerate() {
+        // not move this cycle; reset the rest. Routers outside the active
+        // set (and not reached by a move) have empty queues, whose slots
+        // were zeroed when they drained.
+        for (k, &i) in s.active.iter().enumerate() {
             for p in 0..5 {
                 let slot = i * STALL_SLOTS + p;
-                if self.routers[i].inputs[p].is_empty() || moved_slots.contains(&(i, p)) {
+                if self.routers[i].inputs[p].is_empty() || s.moved[i * 5 + p] {
                     self.stall[slot] = 0;
                 } else {
                     self.stall[slot] += 1;
                 }
             }
             let slot = i * STALL_SLOTS + INJECT_SLOT;
-            if self.inject[i].is_empty() || was_drained {
+            if self.inject[i].is_empty() || s.drained[k] {
                 self.stall[slot] = 0;
             } else {
                 self.stall[slot] += 1;
+            }
+        }
+        for &i in &s.stall_extra {
+            // these routers were empty at tick start, so their injection
+            // queue is empty and only the freshly-occupied inputs age
+            for p in 0..5 {
+                let slot = i * STALL_SLOTS + p;
+                if self.routers[i].inputs[p].is_empty() || s.moved[i * 5 + p] {
+                    self.stall[slot] = 0;
+                } else {
+                    self.stall[slot] += 1;
+                }
             }
         }
 
         // phase 4 (fault mode only): recall packets that lost a flit or
         // made no progress for the plan's retry horizon
         if self.fault.is_some() {
-            for id in progressed {
+            for &id in &s.progressed {
                 if let Some(fl) = self.flights.get_mut(&id) {
                     fl.last_progress = self.cycle;
                 }
             }
+        }
+        s.end();
+        self.scratch = s;
+        if self.fault.is_some() {
             self.retry_maintenance();
         }
         delivered
@@ -527,18 +630,29 @@ impl<T> Mesh<T> {
     /// Removes every buffered flit of packet `id` and releases its
     /// wormhole ownerships.
     fn purge_packet(&mut self, id: u64) {
-        for r in &mut self.routers {
-            for q in &mut r.inputs {
+        for (i, r) in self.routers.iter_mut().enumerate() {
+            let mut occ = 0;
+            for (p, q) in r.inputs.iter_mut().enumerate() {
                 q.retain(|f| f.packet != id);
+                occ += q.len();
+                if q.is_empty() {
+                    // inactive routers are skipped by the stall pass, so a
+                    // queue emptied here must hand back a zeroed slot
+                    self.stall[i * STALL_SLOTS + p] = 0;
+                }
             }
+            self.occ[i] = occ;
             for o in &mut r.outputs {
                 if o.owner == Some(id) {
                     o.owner = None;
                 }
             }
         }
-        for q in &mut self.inject {
+        for (i, q) in self.inject.iter_mut().enumerate() {
             q.retain(|f| f.packet != id);
+            if q.is_empty() {
+                self.stall[i * STALL_SLOTS + INJECT_SLOT] = 0;
+            }
         }
     }
 
@@ -617,7 +731,7 @@ impl<T> Mesh<T> {
             self.stats.packets_delivered,
             retries,
             lost,
-            self.routers.iter().map(Router::occupancy).sum(),
+            self.occ.iter().sum(),
             self.inject.iter().map(VecDeque::len).sum(),
         )
     }

@@ -173,6 +173,11 @@ pub struct FaultCampaign {
     pub points: Vec<CampaignPoint>,
     /// Cycle budget per run.
     pub budget: u64,
+    /// Worker threads for the point sweep: `0` = one per available core,
+    /// `1` = sequential, `n` = exactly `n`. Points are fully independent
+    /// simulations and the report keeps input order, so the result is
+    /// identical for every setting.
+    pub threads: usize,
 }
 
 impl FaultCampaign {
@@ -209,10 +214,16 @@ impl FaultCampaign {
             workload: StreamConfig::resnet18_segment(),
             points,
             budget: 40_000_000,
+            threads: 0,
         }
     }
 
     /// Runs every point and classifies each run against the golden model.
+    ///
+    /// Points are swept in parallel according to [`Self::threads`]; each
+    /// point is an independent simulation with its own seeded RNG streams,
+    /// and records are merged back in input order, so the report is
+    /// bit-identical to a sequential sweep.
     ///
     /// # Errors
     ///
@@ -223,61 +234,100 @@ impl FaultCampaign {
     pub fn run(&self) -> Result<CampaignReport, SimError> {
         let golden = self.workload.golden();
         let clean = StreamSim::new(&self.workload)?.run(self.budget)?;
-        let mut runs = Vec::with_capacity(self.points.len());
-        for point in &self.points {
-            // deterministic scatter of dead tiles over the first rows
-            let failed: Vec<Tile> = (0..point.failed_tiles)
-                .map(|i| Tile {
-                    x: (2 + 3 * (i % 4)) as u8,
-                    y: (i / 4) as u8,
-                })
-                .collect();
-            let mut sim = StreamSim::new_avoiding(&self.workload, &failed)?;
-            let mut plan = FaultPlan::with_seed(point.seed).transient(point.transient_flip_rate);
-            if point.stuck_cells > 0 {
-                plan = plan.scatter_stuck(point.stuck_cells);
-            }
-            if let Some(s) = point.dead_slice {
-                plan = plan.dead_slice(s);
-            }
-            sim.attach_cmem_fault_plan(&plan);
-            if point.noc_drop_rate > 0.0 {
-                sim.attach_noc_fault_plan(
-                    NocFaultPlan::with_seed(point.seed ^ 0xD1F7_31AB)
-                        .drop_rate(point.noc_drop_rate)
-                        .retry_after(256)
-                        .max_retries(4),
-                );
-            }
-            let (outcome, cycles, detail) = match sim.run(self.budget) {
-                Ok(r) => {
-                    let outcome = if r.ofmap == golden {
-                        Outcome::Masked
-                    } else {
-                        Outcome::Sdc
-                    };
-                    (outcome, Some(r.cycles), String::new())
+        let workers = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            t => t,
+        }
+        .min(self.points.len().max(1));
+        let records: Vec<Result<RunRecord, SimError>> = if workers > 1 {
+            let golden = &golden;
+            let mut slots: Vec<Option<Result<RunRecord, SimError>>> =
+                (0..self.points.len()).map(|_| None).collect();
+            let chunk = self.points.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (points, outs) in self.points.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (point, out) in points.iter().zip(outs) {
+                            *out = Some(self.run_point(point, golden, clean.cycles));
+                        }
+                    });
                 }
-                Err(e @ SimError::Fault { .. }) => (Outcome::Detected, None, e.to_string()),
-                Err(e @ SimError::Timeout { .. }) => (Outcome::Detected, None, e.to_string()),
-                Err(e @ SimError::Degraded { .. }) => (Outcome::Degraded, None, e.to_string()),
-                Err(e) => return Err(e),
-            };
-            let noc = sim.noc_fault_stats();
-            let faults_injected =
-                sim.cmem_fault_stats().total() + noc.flits_dropped + noc.packets_lost;
-            runs.push(RunRecord {
-                point: point.clone(),
-                outcome,
-                faults_injected,
-                cycles,
-                latency_penalty: cycles.map(|c| c as f64 / clean.cycles as f64),
-                detail,
             });
+            slots
+                .into_iter()
+                .map(|r| r.expect("sweep worker filled its slot"))
+                .collect()
+        } else {
+            self.points
+                .iter()
+                .map(|p| self.run_point(p, &golden, clean.cycles))
+                .collect()
+        };
+        let mut runs = Vec::with_capacity(records.len());
+        for r in records {
+            runs.push(r?);
         }
         Ok(CampaignReport {
             clean_cycles: clean.cycles,
             runs,
+        })
+    }
+
+    /// Builds, faults, runs, and classifies one sweep point.
+    fn run_point(
+        &self,
+        point: &CampaignPoint,
+        golden: &[i8],
+        clean_cycles: u64,
+    ) -> Result<RunRecord, SimError> {
+        // deterministic scatter of dead tiles over the first rows
+        let failed: Vec<Tile> = (0..point.failed_tiles)
+            .map(|i| Tile {
+                x: (2 + 3 * (i % 4)) as u8,
+                y: (i / 4) as u8,
+            })
+            .collect();
+        let mut sim = StreamSim::new_avoiding(&self.workload, &failed)?;
+        let mut plan = FaultPlan::with_seed(point.seed).transient(point.transient_flip_rate);
+        if point.stuck_cells > 0 {
+            plan = plan.scatter_stuck(point.stuck_cells);
+        }
+        if let Some(s) = point.dead_slice {
+            plan = plan.dead_slice(s);
+        }
+        sim.attach_cmem_fault_plan(&plan);
+        if point.noc_drop_rate > 0.0 {
+            sim.attach_noc_fault_plan(
+                NocFaultPlan::with_seed(point.seed ^ 0xD1F7_31AB)
+                    .drop_rate(point.noc_drop_rate)
+                    .retry_after(256)
+                    .max_retries(4),
+            );
+        }
+        let (outcome, cycles, detail) = match sim.run(self.budget) {
+            Ok(r) => {
+                let outcome = if r.ofmap == golden {
+                    Outcome::Masked
+                } else {
+                    Outcome::Sdc
+                };
+                (outcome, Some(r.cycles), String::new())
+            }
+            Err(e @ SimError::Fault { .. }) => (Outcome::Detected, None, e.to_string()),
+            Err(e @ SimError::Timeout { .. }) => (Outcome::Detected, None, e.to_string()),
+            Err(e @ SimError::Degraded { .. }) => (Outcome::Degraded, None, e.to_string()),
+            Err(e) => return Err(e),
+        };
+        let noc = sim.noc_fault_stats();
+        let faults_injected =
+            sim.cmem_fault_stats().total() + noc.flits_dropped + noc.packets_lost;
+        Ok(RunRecord {
+            point: point.clone(),
+            outcome,
+            faults_injected,
+            cycles,
+            latency_penalty: cycles.map(|c| c as f64 / clean_cycles as f64),
+            detail,
         })
     }
 }
@@ -312,11 +362,38 @@ mod tests {
                 ..CampaignPoint::clean(11)
             }],
             budget: 5_000_000,
+            threads: 1,
         };
         let report = campaign.run().unwrap();
         assert_eq!(report.runs[0].outcome, Outcome::Detected);
         assert!(report.runs[0].detail.contains("slice 2"), "{}", report.runs[0].detail);
         assert!(report.runs[0].faults_injected > 0);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        // point-level parallelism must not change a single byte of the
+        // report — every point carries its own seeded RNG streams
+        let base = FaultCampaign {
+            workload: StreamConfig::small_test(),
+            points: vec![
+                CampaignPoint::clean(7),
+                CampaignPoint {
+                    transient_flip_rate: 1e-3,
+                    ..CampaignPoint::clean(8)
+                },
+                CampaignPoint {
+                    stuck_cells: 3,
+                    ..CampaignPoint::clean(9)
+                },
+            ],
+            budget: 5_000_000,
+            threads: 1,
+        };
+        let sequential = base.run().unwrap();
+        let mut parallel = base.clone();
+        parallel.threads = 3;
+        assert_eq!(parallel.run().unwrap(), sequential);
     }
 
     #[test]

@@ -156,6 +156,9 @@ enum Msg {
 /// `(channels, height, width)` of a layer's ifmap and ofmap.
 type LayerDims = ((usize, usize, usize), (usize, usize, usize));
 
+/// One shard's output of a parallel step: emitted packets + first error.
+type ShardStep = (Vec<Packet<Msg>>, Result<(), SimError>);
+
 /// A resident filter vector on one CC.
 #[derive(Debug, Clone, Copy)]
 struct Resident {
@@ -229,6 +232,8 @@ pub struct StreamSim {
     /// Fault injection: flip one bit of (layer, pixel)'s first row in
     /// flight.
     fault: Option<(usize, usize)>,
+    /// Worker threads for the per-cycle node step (1 = sequential).
+    parallelism: usize,
 }
 
 impl std::fmt::Debug for StreamSim {
@@ -449,7 +454,23 @@ impl StreamSim {
             nodes,
             tile_of,
             fault: None,
+            parallelism: 1,
         })
+    }
+
+    /// Sets the number of worker threads for the per-cycle node step
+    /// (clamped to at least 1; 1 means fully sequential).
+    ///
+    /// Nodes are independent within a cycle — each steps against its own
+    /// inbox and CMem — so they are sharded over `std::thread::scope`
+    /// workers in contiguous index ranges and their outgoing packets are
+    /// merged back in node order. Packet injection order is therefore
+    /// identical to the sequential schedule and results stay bit-exact
+    /// (see `parallel_run_is_bit_identical_to_sequential`). Threads are
+    /// only spawned on cycles where at least two free nodes actually have
+    /// inbox work, so lightly-loaded cycles keep sequential speed.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads.max(1);
     }
 
     /// Arms a single-bit fault: the sign bit-plane of `pixel`'s vector at
@@ -545,11 +566,69 @@ impl StreamSim {
             // let every free node take one step
             let mut outgoing: Vec<Packet<Msg>> = Vec::new();
             let now = self.mesh.cycle();
-            for node in &mut self.nodes {
-                if node.busy_until > now {
-                    continue;
+            let workers = if self.parallelism > 1 {
+                // spawning threads costs more than stepping a handful of
+                // idle nodes; go wide only when there is real work
+                let ready = self
+                    .nodes
+                    .iter()
+                    .filter(|n| n.busy_until <= now && !n.inbox.is_empty())
+                    .count();
+                if ready >= 2 {
+                    self.parallelism.min(ready)
+                } else {
+                    1
                 }
-                step_node(node, now, &dims, &self.cfg, &mut outgoing)?;
+            } else {
+                1
+            };
+            if workers > 1 {
+                // shard nodes over contiguous index ranges; per-shard
+                // packet lists concatenate in shard order, which equals
+                // node order — the sequential injection schedule exactly
+                let dims_ref = &dims;
+                let cfg_ref = &self.cfg;
+                let chunk = self.nodes.len().div_ceil(workers);
+                let results: Vec<ShardStep> =
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = self
+                            .nodes
+                            .chunks_mut(chunk)
+                            .map(|shard| {
+                                scope.spawn(move || {
+                                    let mut out = Vec::new();
+                                    let mut res = Ok(());
+                                    for node in shard {
+                                        if node.busy_until > now {
+                                            continue;
+                                        }
+                                        if let Err(e) =
+                                            step_node(node, now, dims_ref, cfg_ref, &mut out)
+                                        {
+                                            res = Err(e);
+                                            break;
+                                        }
+                                    }
+                                    (out, res)
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("step worker panicked"))
+                            .collect()
+                    });
+                for (out, res) in results {
+                    res?;
+                    outgoing.extend(out);
+                }
+            } else {
+                for node in &mut self.nodes {
+                    if node.busy_until > now {
+                        continue;
+                    }
+                    step_node(node, now, &dims, &self.cfg, &mut outgoing)?;
+                }
             }
             let injected = !outgoing.is_empty();
             for p in outgoing {
@@ -952,6 +1031,22 @@ mod tests {
         let mut sim = StreamSim::new(&cfg).unwrap();
         let r = sim.run(40_000_000).unwrap();
         assert_eq!(r.ofmap, cfg.golden());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        // the satellite regression: sharded node stepping must reproduce
+        // the sequential StreamResult exactly — ofmap, cycle count, NoC
+        // stats, and energy
+        let cfg = StreamConfig::two_layer_test();
+        let seq = StreamSim::new(&cfg).unwrap().run(10_000_000).unwrap();
+        for threads in [2, 4, 7] {
+            let mut sim = StreamSim::new(&cfg).unwrap();
+            sim.set_parallelism(threads);
+            let par = sim.run(10_000_000).unwrap();
+            assert_eq!(par, seq, "divergence at {threads} threads");
+        }
+        assert_eq!(seq.ofmap, cfg.golden());
     }
 
     #[test]

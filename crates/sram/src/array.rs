@@ -16,28 +16,164 @@ use crate::SramError;
 /// Number of bits per storage lane.
 const LANE_BITS: usize = 64;
 
+/// Number of lanes a [`LaneVec`] stores inline (256 bit-lines) before
+/// spilling to the heap. Every CMem slice and Neural Cache array in the
+/// model is 256 columns wide, so in practice the readout path never
+/// allocates.
+pub const INLINE_LANES: usize = 4;
+
+/// A small fixed-capacity lane buffer: up to [`INLINE_LANES`] `u64` words
+/// inline, heap spill only for wider arrays.
+///
+/// Dereferences to `[u64]`, so it drops into every place a packed row
+/// slice is expected. Unused inline words are kept zeroed.
+#[derive(Debug, Clone, Eq)]
+pub struct LaneVec {
+    inline: [u64; INLINE_LANES],
+    len: usize,
+    /// Used only when `len > INLINE_LANES`.
+    spill: Vec<u64>,
+}
+
+impl LaneVec {
+    /// A zeroed buffer of `len` lanes.
+    #[must_use]
+    #[inline]
+    pub fn zeroed(len: usize) -> Self {
+        LaneVec {
+            inline: [0; INLINE_LANES],
+            len,
+            spill: if len > INLINE_LANES {
+                vec![0; len]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// A buffer holding a copy of `lanes`.
+    #[must_use]
+    #[inline]
+    pub fn from_slice(lanes: &[u64]) -> Self {
+        let mut v = Self::zeroed(lanes.len());
+        v.as_mut_slice().copy_from_slice(lanes);
+        v
+    }
+
+    /// The stored lanes.
+    #[must_use]
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        if self.len > INLINE_LANES {
+            &self.spill
+        } else {
+            &self.inline[..self.len]
+        }
+    }
+
+    /// The stored lanes, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        if self.len > INLINE_LANES {
+            &mut self.spill
+        } else {
+            &mut self.inline[..self.len]
+        }
+    }
+
+    /// Resizes to `len` lanes, reusing the buffers (no allocation unless
+    /// growing past both the inline capacity and any previous spill).
+    #[inline]
+    pub fn reset(&mut self, len: usize) {
+        if len > INLINE_LANES {
+            self.spill.clear();
+            self.spill.resize(len, 0);
+        } else {
+            self.inline = [0; INLINE_LANES];
+        }
+        self.len = len;
+    }
+}
+
+impl std::ops::Deref for LaneVec {
+    type Target = [u64];
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for LaneVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u64] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for LaneVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a LaneVec {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// The result of simultaneously activating two word-lines: per-bit-line
 /// `AND` (read from BL) and `NOR` (read from BLB) of the two stored bits.
+///
+/// Backed by [`LaneVec`], so for the model's 256-column arrays a readout
+/// lives entirely on the stack — the multi-row activation hot loop is
+/// allocation-free.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitlineReadout {
     /// `AND` of the two activated rows, one bit per bit-line.
-    pub and: Vec<u64>,
+    pub and: LaneVec,
     /// `NOR` of the two activated rows, one bit per bit-line.
-    pub nor: Vec<u64>,
+    pub nor: LaneVec,
 }
 
 impl BitlineReadout {
+    /// An empty readout sized for `lanes` lanes, for use as a reusable
+    /// scratch buffer with [`SramArray::activate_pair_into`].
+    #[must_use]
+    #[inline]
+    pub fn scratch(lanes: usize) -> Self {
+        BitlineReadout {
+            and: LaneVec::zeroed(lanes),
+            nor: LaneVec::zeroed(lanes),
+        }
+    }
+
     /// `XOR` of the two activated rows, derived as `NOT(AND) AND NOT(NOR)`.
     ///
     /// This is how bit-serial adders obtain the sum bit from a single
-    /// activation: `xor = !(and | nor)` per bit-line.
+    /// activation: `xor = !(and | nor)` per bit-line. Allocation-free for
+    /// arrays of up to `64 × INLINE_LANES` columns.
     #[must_use]
-    pub fn xor(&self) -> Vec<u64> {
-        self.and
-            .iter()
-            .zip(&self.nor)
-            .map(|(&a, &n)| !(a | n))
-            .collect()
+    #[inline]
+    pub fn xor(&self) -> LaneVec {
+        let mut out = LaneVec::zeroed(self.and.len());
+        self.xor_into(&mut out);
+        out
+    }
+
+    /// Writes the `XOR` readout into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the readout.
+    #[inline]
+    pub fn xor_into(&self, out: &mut [u64]) {
+        for (o, (&a, &n)) in out.iter_mut().zip(self.and.iter().zip(self.nor.iter())) {
+            *o = !(a | n);
+        }
     }
 }
 
@@ -228,6 +364,26 @@ impl SramArray {
     /// or [`SramError::OperandOverlap`] if `row_a == row_b` (activating the
     /// same word-line twice is an ordinary read, not a computation).
     pub fn activate_pair(&self, row_a: usize, row_b: usize) -> Result<BitlineReadout, SramError> {
+        let mut out = BitlineReadout::scratch(self.lanes);
+        self.activate_pair_into(row_a, row_b, &mut out)?;
+        Ok(out)
+    }
+
+    /// As [`Self::activate_pair`], but writes the readout into a
+    /// caller-provided scratch buffer so repeated activations (the MAC
+    /// inner loop performs `bits²` of them) never allocate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::RowOutOfRange`] if either row is out of range,
+    /// or [`SramError::OperandOverlap`] if `row_a == row_b`.
+    #[inline]
+    pub fn activate_pair_into(
+        &self,
+        row_a: usize,
+        row_b: usize,
+        out: &mut BitlineReadout,
+    ) -> Result<(), SramError> {
         self.check_row(row_a)?;
         self.check_row(row_b)?;
         if row_a == row_b {
@@ -240,14 +396,16 @@ impl SramArray {
         let tail = self.tail_mask();
         let a = &self.data[row_a * self.lanes..(row_a + 1) * self.lanes];
         let b = &self.data[row_b * self.lanes..(row_b + 1) * self.lanes];
-        let mut and = Vec::with_capacity(self.lanes);
-        let mut nor = Vec::with_capacity(self.lanes);
+        out.and.reset(self.lanes);
+        out.nor.reset(self.lanes);
+        let and = out.and.as_mut_slice();
+        let nor = out.nor.as_mut_slice();
         for i in 0..self.lanes {
             let mask = if i + 1 == self.lanes { tail } else { u64::MAX };
-            and.push(a[i] & b[i] & mask);
-            nor.push(!(a[i] | b[i]) & mask);
+            and[i] = a[i] & b[i] & mask;
+            nor[i] = !(a[i] | b[i]) & mask;
         }
-        Ok(BitlineReadout { and, nor })
+        Ok(())
     }
 
     /// Copies word-line `src` of `from` into word-line `dst` of `self`.
@@ -280,6 +438,7 @@ impl SramArray {
     /// slice (Figure 4(b) step 2): it sums the 256 bit-line values in one
     /// pipelined step.
     #[must_use]
+    #[inline]
     pub fn popcount_lanes(lanes: &[u64], mask: Option<&[u64]>) -> u32 {
         match mask {
             Some(m) => lanes

@@ -297,6 +297,13 @@ impl Cmem {
     /// `MAC.C`: inner product of two transposed vectors in one slice;
     /// the scalar result is destined for a core register.
     ///
+    /// With no fault plan attached this dispatches to the word-parallel
+    /// [`CmemSlice::mac_fast`] host shortcut; with a plan attached it runs
+    /// the activation-accurate [`CmemSlice::mac`] loop so per-activation
+    /// fault semantics are preserved. Either way the result, the energy
+    /// accounting (`count_mac`), and the analytic cycle cost
+    /// (`timing::mac_cycles`) are identical.
+    ///
     /// # Errors
     ///
     /// Propagates the domain errors of [`CmemSlice::mac`].
@@ -310,7 +317,11 @@ impl Cmem {
     ) -> Result<i64, SramError> {
         self.check_slice(slice)?;
         self.check_alive(slice)?;
-        let mut r = self.slices[slice].mac(base_a, base_b, bits, signed)?;
+        let mut r = if self.fault.is_none() {
+            self.slices[slice].mac_fast(base_a, base_b, bits, signed)?
+        } else {
+            self.slices[slice].mac(base_a, base_b, bits, signed)?
+        };
         // Accumulator width: 2·bits product + 8 bits of 256-lane
         // accumulation + sign. An upset flips one bit of that register.
         if let Some(bit) = self.draw_flip((2 * bits + 9) as u64) {
@@ -716,6 +727,40 @@ mod tests {
             }
             prop_assert_eq!(clean.mac_u8(6, 0, 8).unwrap(), quiet.mac_u8(6, 0, 8).unwrap());
             prop_assert_eq!(quiet.fault_stats().total(), 0);
+        }
+
+        #[test]
+        fn prop_fast_and_slow_paths_agree_on_value_and_accounting(
+            bits in 1usize..=16,
+            signed in any::<bool>(),
+            mask in any::<u8>(),
+            a in proptest::collection::vec(any::<u16>(), 256),
+            b in proptest::collection::vec(any::<u16>(), 256),
+        ) {
+            // A quiet plan forces the bit-serial slow path; no plan takes
+            // the word-parallel fast path. Result, energy meter, fault
+            // stats, and (analytic) cycle cost must all be identical.
+            let mut fast = Cmem::new();
+            let mut slow = Cmem::with_fault_plan(crate::fault::FaultPlan::none());
+            let trunc: Vec<u16> = a.iter().map(|&x| x & ((1u32 << bits) - 1) as u16).collect();
+            let truncb: Vec<u16> = b.iter().map(|&x| x & ((1u32 << bits) - 1) as u16).collect();
+            for c in [&mut fast, &mut slow] {
+                c.slice_mut(2).unwrap().write_vector(0, &trunc, bits).unwrap();
+                c.slice_mut(2).unwrap().write_vector(bits, &truncb, bits).unwrap();
+                c.slice_mut(2).unwrap().set_mask(mask);
+            }
+            prop_assert_eq!(
+                fast.mac(2, 0, bits, bits, signed).unwrap(),
+                slow.mac(2, 0, bits, bits, signed).unwrap()
+            );
+            prop_assert_eq!(fast.energy().macs(), slow.energy().macs());
+            prop_assert_eq!(fast.energy().total_pj(), slow.energy().total_pj());
+            prop_assert_eq!(slow.fault_stats().total(), 0);
+            // cycle cost is analytic and path-independent by construction
+            prop_assert_eq!(
+                crate::timing::mac_cycles(bits),
+                crate::slice::CmemSlice::mac_activations(bits)
+            );
         }
 
         #[test]

@@ -48,10 +48,10 @@ pub fn row_op(
 ) -> Result<(), SramError> {
     let readout = array.activate_pair(row_a, row_b)?;
     let lanes: Vec<u64> = match op {
-        RowOp::And => readout.and.clone(),
-        RowOp::Nor => readout.nor.clone(),
+        RowOp::And => readout.and.to_vec(),
+        RowOp::Nor => readout.nor.to_vec(),
         RowOp::Or => readout.nor.iter().map(|&n| !n).collect(),
-        RowOp::Xor => readout.xor(),
+        RowOp::Xor => readout.xor().to_vec(),
         RowOp::Nand => readout.and.iter().map(|&a| !a).collect(),
     };
     array.write_row(dst, &lanes)

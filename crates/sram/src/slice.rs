@@ -8,7 +8,7 @@
 //! `g` enables bit-lines `32g..32g+32` (§3.3 — 32 matches the channel
 //! granularity of convolutional layers).
 
-use crate::array::SramArray;
+use crate::array::{BitlineReadout, SramArray};
 use crate::transpose;
 use crate::{SramError, BITLINES, MASK_GRANULE, SLICE_ROWS};
 
@@ -72,7 +72,14 @@ impl CmemSlice {
     /// Expands the mask CSR into per-bit-line lanes.
     #[must_use]
     pub fn mask_lanes(&self) -> Vec<u64> {
-        let mut lanes = vec![0u64; BITLINES / 64];
+        self.mask_words().to_vec()
+    }
+
+    /// Expands the mask CSR into per-bit-line lanes without allocating.
+    #[must_use]
+    #[inline]
+    pub fn mask_words(&self) -> [u64; BITLINES / 64] {
+        let mut lanes = [0u64; BITLINES / 64];
         for g in 0..8 {
             if (self.mask >> g) & 1 == 1 {
                 let start = g * MASK_GRANULE;
@@ -210,14 +217,73 @@ impl CmemSlice {
                 bits,
             });
         }
-        let mask = self.mask_lanes();
+        let mask = self.mask_words();
+        let mut readout = BitlineReadout::scratch(self.array.lanes());
         let mut res: i64 = 0;
         for i in 0..bits {
             for j in 0..bits {
-                let readout = self.array.activate_pair(base_a + i, base_b + j)?;
+                self.array
+                    .activate_pair_into(base_a + i, base_b + j, &mut readout)?;
                 let psum = SramArray::popcount_lanes(&readout.and, Some(&mask)) as i64;
                 let negative = signed && ((i == bits - 1) ^ (j == bits - 1));
                 let term = psum << (i + j);
+                res += if negative { -term } else { term };
+            }
+        }
+        Ok(res)
+    }
+
+    /// Word-parallel fast path for [`Self::mac`].
+    ///
+    /// Computes the identical dot product (same validation, same masking,
+    /// same signed MSB-plane weighting) by reading each operand bit-plane
+    /// once and AND-popcounting whole `u64` lanes, instead of modelling the
+    /// `bits²` individual word-line activations. The slice state observed
+    /// is the same state the sense amplifiers would observe, so the result
+    /// is bit-identical to the bit-serial path by construction.
+    ///
+    /// Note this is a *host-side* shortcut only: latency and energy are
+    /// charged analytically by the caller (see `maicc_sram::timing` and
+    /// `Cmem::mac`), so accounting is unchanged. The fast path must not be
+    /// used when per-activation fault injection is armed — `Cmem::mac`
+    /// falls back to [`Self::mac`] whenever a `FaultPlan` is attached.
+    ///
+    /// # Errors
+    ///
+    /// Identical error domain to [`Self::mac`].
+    pub fn mac_fast(
+        &self,
+        base_a: usize,
+        base_b: usize,
+        bits: usize,
+        signed: bool,
+    ) -> Result<i64, SramError> {
+        self.check_vector(base_a, bits)?;
+        self.check_vector(base_b, bits)?;
+        let (lo, hi) = if base_a <= base_b {
+            (base_a, base_b)
+        } else {
+            (base_b, base_a)
+        };
+        if lo + bits > hi {
+            return Err(SramError::OperandOverlap {
+                a: base_a,
+                b: base_b,
+                bits,
+            });
+        }
+        let mask = self.mask_words();
+        let mut res: i64 = 0;
+        for i in 0..bits {
+            let plane_a = self.array.read_row(base_a + i)?;
+            for j in 0..bits {
+                let plane_b = self.array.read_row(base_b + j)?;
+                let mut psum: u32 = 0;
+                for ((&a, &b), &m) in plane_a.iter().zip(plane_b).zip(&mask) {
+                    psum += (a & b & m).count_ones();
+                }
+                let negative = signed && ((i == bits - 1) ^ (j == bits - 1));
+                let term = (psum as i64) << (i + j);
                 res += if negative { -term } else { term };
             }
         }
@@ -409,6 +475,29 @@ mod tests {
             s.write_vector(4, &b, 4).unwrap();
             let expect: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
             prop_assert_eq!(s.mac(0, 4, 4, false).unwrap(), expect);
+        }
+
+        #[test]
+        fn prop_mac_fast_matches_bit_serial(
+            bits in 1usize..=16,
+            signed in any::<bool>(),
+            mask in any::<u8>(),
+            a in proptest::collection::vec(any::<u16>(), 256),
+            b in proptest::collection::vec(any::<u16>(), 256),
+        ) {
+            // The fast path must agree with the activation-accurate loop for
+            // every width, signedness, mask, and operand pattern.
+            let mut s = CmemSlice::new();
+            let trunc = |v: &[u16]| -> Vec<u16> {
+                v.iter().map(|&x| x & ((1u32 << bits) - 1) as u16).collect()
+            };
+            s.write_vector(0, &trunc(&a), bits).unwrap();
+            s.write_vector(bits, &trunc(&b), bits).unwrap();
+            s.set_mask(mask);
+            prop_assert_eq!(
+                s.mac_fast(0, bits, bits, signed).unwrap(),
+                s.mac(0, bits, bits, signed).unwrap()
+            );
         }
 
         #[test]
