@@ -1,0 +1,111 @@
+//! Compares two `maicc_bench` JSON reports and prints per-benchmark
+//! wall-clock deltas.
+//!
+//! ```text
+//! cargo run --release -p maicc-bench --bin bench_diff -- BASELINE.json NEW.json
+//! ```
+//!
+//! The parser is hand-rolled over the harness's own fixed JSON shape
+//! (`{"name": "...", "median_ns": N, ...}` entries), so the tool works
+//! without a serde backend. It is *informational*: the exit code is
+//! always 0, so a CI step using it annotates the log without blocking
+//! the build. Benchmarks present on only one side are listed as added
+//! or removed.
+
+use std::process::ExitCode;
+
+/// `(name, median_ns)` pairs in file order.
+fn parse_medians(json: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("{\"name\": \"") {
+        let after = &rest[i + 10..];
+        let Some(q) = after.find('"') else { break };
+        let name = after[..q].to_string();
+        let Some(m) = after.find("\"median_ns\": ") else { break };
+        let digits: String = after[m + 13..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(median) = digits.parse() {
+            out.push((name, median));
+        }
+        rest = &after[q..];
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, new_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff BASELINE.json NEW.json");
+        // still non-blocking: a misconfigured CI step should annotate,
+        // not fail the build
+        return ExitCode::SUCCESS;
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(base_json), Some(new_json)) = (read(baseline_path), read(new_path)) else {
+        return ExitCode::SUCCESS;
+    };
+    let base = parse_medians(&base_json);
+    let new = parse_medians(&new_json);
+    if base.is_empty() || new.is_empty() {
+        eprintln!(
+            "bench_diff: no benchmark entries parsed ({} baseline, {} new)",
+            base.len(),
+            new.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!("bench_diff: {baseline_path} -> {new_path}");
+    println!(
+        "{:<34} {:>14} {:>14} {:>9}",
+        "benchmark", "baseline_ns", "new_ns", "delta"
+    );
+    for (name, new_ns) in &new {
+        match base.iter().find(|(b, _)| b == name) {
+            Some((_, base_ns)) => {
+                let pct = (*new_ns as f64 - *base_ns as f64) / *base_ns as f64 * 100.0;
+                println!("{name:<34} {base_ns:>14} {new_ns:>14} {pct:>+8.1}%");
+            }
+            None => println!("{name:<34} {:>14} {new_ns:>14}    added", "-"),
+        }
+    }
+    for (name, base_ns) in &base {
+        if !new.iter().any(|(n, _)| n == name) {
+            println!("{name:<34} {base_ns:>14} {:>14}  removed", "-");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_medians;
+
+    #[test]
+    fn parses_harness_shape() {
+        let json = r#"{
+  "benchmarks": [
+    {"name": "a_bench", "median_ns": 123, "p10_ns": 100, "iterations": 5, "check": 7},
+    {"name": "b_bench", "median_ns": 456, "p10_ns": 400, "iterations": 5, "check": 7}
+  ]
+}"#;
+        assert_eq!(
+            parse_medians(json),
+            vec![("a_bench".to_string(), 123), ("b_bench".to_string(), 456)]
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_no_entries() {
+        assert!(parse_medians("{}").is_empty());
+    }
+}

@@ -9,9 +9,13 @@
 //! ```text
 //! cargo run --release -p maicc-bench --bin maicc_bench [-- OPTIONS]
 //!
-//!   --quick        one iteration, no warmup (CI smoke mode)
-//!   --iters N      timed iterations per workload (default 5)
-//!   --out PATH     output JSON path (default BENCH_results.json)
+//!   --quick             one iteration, no warmup (CI smoke mode)
+//!   --iters N           timed iterations per workload (default 5)
+//!   --threads N         worker threads for the parallel row
+//!                       (default: host core count)
+//!   --bench SUBSTRING   only run benchmarks whose name contains SUBSTRING
+//!   --json PATH         output JSON path (default BENCH_results.json)
+//!   --out PATH          alias for --json (kept for compatibility)
 //! ```
 //!
 //! Workloads:
@@ -21,9 +25,12 @@
 //! * `table5_scheduled_replay` — the statically scheduled program replay;
 //! * `table6_heuristic_mapping` — ResNet-18 heuristic layer mapping;
 //! * `resnet18_segment` — the full-system streaming simulation (bit-level
-//!   CMems + flit-level mesh) on the default fault-campaign workload;
-//! * `resnet18_segment_parallel` — same, with `set_parallelism` at the
-//!   host core count;
+//!   CMems + flit-level mesh) on the default fault-campaign workload,
+//!   event-driven engine, sequential;
+//! * `resnet18_segment_parallel` — same, with `set_parallelism` at
+//!   `--threads`;
+//! * `resnet18_segment_cycle_accurate` — same workload on the per-cycle
+//!   oracle engine (the skip-ahead engine's speedup baseline);
 //! * `resnet18_segment_slowpath` — same, with a quiet `FaultPlan`
 //!   attached so every MAC takes the bit-serial slow path.
 //!
@@ -37,7 +44,7 @@ use maicc::exec::config::ExecConfig;
 use maicc::exec::pipeline_model::run_network;
 use maicc::exec::segment::Strategy;
 use maicc::nn::resnet::resnet18;
-use maicc::sim::stream::{StreamConfig, StreamSim};
+use maicc::sim::stream::{Engine, StreamConfig, StreamSim};
 use maicc::sram::fault::FaultPlan;
 use maicc_bench::{percentile, pre_pr};
 use std::time::Instant;
@@ -88,10 +95,67 @@ fn measure(name: &'static str, warmup: usize, iters: usize, mut f: impl FnMut() 
         check: check.expect("at least one iteration"),
     };
     println!(
-        "{:<28} median {:>13} ns  p10 {:>13}  p90 {:>13}  (check {})",
+        "{:<32} median {:>13} ns  p10 {:>13}  p90 {:>13}  (check {})",
         s.name, s.median_ns, s.p10_ns, s.p90_ns, s.check
     );
     s
+}
+
+/// Times two workloads with interleaved iterations (A, B, A, B, …) so
+/// slow host-frequency drift lands on both equally — the fair way to
+/// measure a ratio like `speedup_vs_sequential`, where back-to-back
+/// blocks would systematically penalize whichever runs second.
+fn measure_pair(
+    name_a: &'static str,
+    name_b: &'static str,
+    warmup: usize,
+    iters: usize,
+    mut f_a: impl FnMut() -> u64,
+    mut f_b: impl FnMut() -> u64,
+) -> (Summary, Summary) {
+    let mut check = None;
+    for _ in 0..warmup {
+        let c = f_a();
+        assert_eq!(c, f_b(), "{name_a}/{name_b}: check values diverge");
+        check = Some(c);
+    }
+    let mut samples_a = Vec::with_capacity(iters);
+    let mut samples_b = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        for (f, samples) in [
+            (&mut f_a as &mut dyn FnMut() -> u64, &mut samples_a),
+            (&mut f_b, &mut samples_b),
+        ] {
+            let start = Instant::now();
+            let c = f();
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            samples.push(ns);
+            match check {
+                None => check = Some(c),
+                Some(prev) => assert_eq!(prev, c, "nondeterministic check value"),
+            }
+        }
+    }
+    let check = check.expect("at least one iteration");
+    let summarize = |name: &'static str, mut samples: Vec<u64>| {
+        samples.sort_unstable();
+        let s = Summary {
+            name,
+            median_ns: percentile(&samples, 50.0),
+            p10_ns: percentile(&samples, 10.0),
+            p90_ns: percentile(&samples, 90.0),
+            min_ns: samples[0],
+            max_ns: samples[samples.len() - 1],
+            iters,
+            check,
+        };
+        println!(
+            "{:<32} median {:>13} ns  p10 {:>13}  p90 {:>13}  (check {})",
+            s.name, s.median_ns, s.p10_ns, s.p90_ns, s.check
+        );
+        s
+    };
+    (summarize(name_a, samples_a), summarize(name_b, samples_b))
 }
 
 fn table4_node_conv(wl: ConvWorkload, ifmap: &[i8], weights: &[i8], golden: &[i32]) -> u64 {
@@ -114,8 +178,15 @@ fn table5_scheduled_replay(kernel: &CmemConvKernel, ifmap: &[i8], weights: &[i8]
 
 /// Runs the streaming segment; `threads > 1` enables sharded stepping,
 /// `slow_path` pins the bit-serial MAC path via a quiet fault plan.
-fn stream_segment(cfg: &StreamConfig, golden: &[i8], threads: usize, slow_path: bool) -> u64 {
+fn stream_segment(
+    cfg: &StreamConfig,
+    golden: &[i8],
+    engine: Engine,
+    threads: usize,
+    slow_path: bool,
+) -> u64 {
     let mut sim = StreamSim::new(cfg).expect("segment fits");
+    sim.set_engine(engine);
     if threads > 1 {
         sim.set_parallelism(threads);
     }
@@ -132,11 +203,13 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-fn write_json(path: &str, quick: bool, iters: usize, results: &[Summary]) {
+fn write_json(path: &str, quick: bool, iters: usize, threads: usize, results: &[Summary]) {
     let mut out = String::from("{\n");
     out.push_str("  \"harness\": \"maicc_bench\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"iterations\": {iters},\n"));
+    out.push_str(&format!("  \"engine\": \"{}\",\n", Engine::default().label()));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!(
         "  \"pre_pr_resnet18_segment_ns\": {},\n",
         pre_pr::RESNET18_SEGMENT_NS
@@ -166,17 +239,28 @@ fn write_json(path: &str, quick: bool, iters: usize, results: &[Summary]) {
     };
     let seg = median("resnet18_segment");
     let slow = median("resnet18_segment_slowpath");
+    let par = median("resnet18_segment_parallel");
+    let oracle = median("resnet18_segment_cycle_accurate");
+    let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+        (Some(n), Some(d)) if d > 0.0 => n / d,
+        _ => 0.0,
+    };
     out.push_str("  \"derived\": {\n");
     out.push_str(&format!(
         "    \"resnet18_segment_speedup_vs_pre_pr\": {:.2},\n",
         seg.map_or(0.0, |m| pre_pr::RESNET18_SEGMENT_NS as f64 / m)
     ));
     out.push_str(&format!(
-        "    \"resnet18_segment_fast_vs_slowpath\": {:.2}\n",
-        match (seg, slow) {
-            (Some(f), Some(s)) => s / f,
-            _ => 0.0,
-        }
+        "    \"resnet18_segment_fast_vs_slowpath\": {:.2},\n",
+        ratio(slow, seg)
+    ));
+    out.push_str(&format!(
+        "    \"event_driven_vs_cycle_accurate\": {:.2},\n",
+        ratio(oracle, seg)
+    ));
+    out.push_str(&format!(
+        "    \"speedup_vs_sequential\": {:.2}\n",
+        ratio(seg, par)
     ));
     out.push_str("  }\n}\n");
     std::fs::write(path, out).expect("write BENCH_results.json");
@@ -186,6 +270,8 @@ fn main() {
     let mut quick = false;
     let mut iters = 5usize;
     let mut out = String::from("BENCH_results.json");
+    let mut threads = 0usize;
+    let mut filter: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -196,8 +282,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--iters takes a positive integer");
             }
-            "--out" => out = args.next().expect("--out takes a path"),
-            other => panic!("unknown option {other} (try --quick, --iters N, --out PATH)"),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads takes a positive integer");
+            }
+            "--bench" => filter = Some(args.next().expect("--bench takes a substring")),
+            "--json" | "--out" => out = args.next().expect("--json takes a path"),
+            other => panic!(
+                "unknown option {other} (try --quick, --iters N, --threads N, \
+                 --bench SUBSTRING, --json PATH)"
+            ),
         }
     }
     if quick {
@@ -205,8 +301,16 @@ fn main() {
     }
     let warmup = usize::from(!quick);
     assert!(iters > 0, "need at least one iteration");
+    if threads == 0 {
+        threads = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+    }
+    let want = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
 
-    println!("maicc_bench: {iters} iteration(s), {warmup} warmup, quick={quick}");
+    println!(
+        "maicc_bench: {iters} iteration(s), {warmup} warmup, quick={quick}, \
+         engine={}, threads={threads}",
+        Engine::default().label()
+    );
 
     let wl = ConvWorkload::table4();
     let ifmap = wl.synthetic_ifmap();
@@ -217,48 +321,111 @@ fn main() {
     let exec_cfg = ExecConfig::default();
     let seg_cfg = StreamConfig::resnet18_segment();
     let seg_golden = seg_cfg.golden();
-    let cores = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
 
-    let mut results = vec![
-        measure("table4_node_conv", warmup, iters, || {
+    let mut results = Vec::new();
+    if want("table4_node_conv") {
+        results.push(measure("table4_node_conv", warmup, iters, || {
             table4_node_conv(ConvWorkload::table4(), &ifmap, &weights, &conv_golden)
-        }),
-        measure("table5_scheduled_replay", warmup, iters, || {
+        }));
+    }
+    if want("table5_scheduled_replay") {
+        results.push(measure("table5_scheduled_replay", warmup, iters, || {
             table5_scheduled_replay(&kernel, &ifmap, &weights)
-        }),
-        measure("table6_heuristic_mapping", warmup, iters, || {
+        }));
+    }
+    if want("table6_heuristic_mapping") {
+        results.push(measure("table6_heuristic_mapping", warmup, iters, || {
             run_network(&net, [64, 56, 56], Strategy::Heuristic, &exec_cfg)
                 .expect("resnet maps")
                 .total_cycles as u64
-        }),
-        measure("resnet18_segment", warmup, iters, || {
-            stream_segment(&seg_cfg, &seg_golden, 1, false)
-        }),
-        measure("resnet18_segment_parallel", warmup, iters, || {
-            stream_segment(&seg_cfg, &seg_golden, cores, false)
-        }),
-    ];
-    // The bit-serial slow path is ~30x slower; in quick mode it still runs
-    // (once) so CI exercises the dispatch contract end to end.
-    results.push(measure("resnet18_segment_slowpath", 0, iters.min(3), || {
-        stream_segment(&seg_cfg, &seg_golden, 1, true)
-    }));
+        }));
+    }
+    match (want("resnet18_segment"), want("resnet18_segment_parallel")) {
+        (true, true) => {
+            // interleaved so speedup_vs_sequential is drift-free
+            let (seq, par) = measure_pair(
+                "resnet18_segment",
+                "resnet18_segment_parallel",
+                warmup,
+                iters,
+                || stream_segment(&seg_cfg, &seg_golden, Engine::default(), 1, false),
+                || stream_segment(&seg_cfg, &seg_golden, Engine::default(), threads, false),
+            );
+            results.push(seq);
+            results.push(par);
+        }
+        (true, false) => {
+            results.push(measure("resnet18_segment", warmup, iters, || {
+                stream_segment(&seg_cfg, &seg_golden, Engine::default(), 1, false)
+            }));
+        }
+        (false, true) => {
+            results.push(measure("resnet18_segment_parallel", warmup, iters, || {
+                stream_segment(&seg_cfg, &seg_golden, Engine::default(), threads, false)
+            }));
+        }
+        (false, false) => {}
+    }
+    if want("resnet18_segment_cycle_accurate") {
+        results.push(measure("resnet18_segment_cycle_accurate", warmup, iters, || {
+            stream_segment(&seg_cfg, &seg_golden, Engine::CycleAccurate, 1, false)
+        }));
+    }
+    if want("resnet18_segment_slowpath") {
+        results.push(measure("resnet18_segment_slowpath", warmup, iters, || {
+            stream_segment(&seg_cfg, &seg_golden, Engine::default(), 1, true)
+        }));
+    }
+    assert!(
+        !results.is_empty(),
+        "--bench {:?} matched no benchmark",
+        filter.as_deref().unwrap_or("")
+    );
 
-    // Modelled cycles must agree across fast, parallel, and slow-path runs.
-    let cycles: Vec<u64> = results[3..].iter().map(|s| s.check).collect();
+    // Modelled cycles must agree across fast, parallel, oracle, and
+    // slow-path runs of the streaming segment.
+    let cycles: Vec<u64> = results
+        .iter()
+        .filter(|s| s.name.starts_with("resnet18_segment"))
+        .map(|s| s.check)
+        .collect();
     assert!(
         cycles.windows(2).all(|w| w[0] == w[1]),
         "modelled cycles diverged across variants: {cycles:?}"
     );
 
-    write_json(&out, quick, iters, &results);
-    let seg = results[3].median_ns as f64;
-    println!(
-        "\nresnet18_segment: {:.1} ms vs pre-PR {:.1} ms → {:.1}x; slow path {:.1}x of fast",
-        seg / 1e6,
-        pre_pr::RESNET18_SEGMENT_NS as f64 / 1e6,
-        pre_pr::RESNET18_SEGMENT_NS as f64 / seg,
-        results[5].median_ns as f64 / seg
-    );
+    write_json(&out, quick, iters, threads, &results);
+
+    let median = |name: &str| {
+        results
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.median_ns as f64)
+    };
+    if let Some(seg) = median("resnet18_segment") {
+        println!(
+            "\nresnet18_segment: {:.1} ms vs pre-PR {:.1} ms → {:.1}x",
+            seg / 1e6,
+            pre_pr::RESNET18_SEGMENT_NS as f64 / 1e6,
+            pre_pr::RESNET18_SEGMENT_NS as f64 / seg,
+        );
+        if let Some(slow) = median("resnet18_segment_slowpath") {
+            println!("slow path: {:.1}x of fast", slow / seg);
+        }
+        if let Some(oracle) = median("resnet18_segment_cycle_accurate") {
+            println!("event-driven engine: {:.1}x over cycle-accurate oracle", oracle / seg);
+        }
+        if let Some(par) = median("resnet18_segment_parallel") {
+            let speedup = seg / par;
+            println!("parallel ({threads} threads): {speedup:.2}x over sequential");
+            if speedup < 1.0 {
+                println!(
+                    "WARNING: resnet18_segment_parallel is SLOWER than sequential \
+                     (speedup_vs_sequential = {speedup:.2} < 1.0) — \
+                     the worker pool is losing to single-threaded stepping"
+                );
+            }
+        }
+    }
     println!("wrote {out}");
 }

@@ -173,7 +173,7 @@ pub struct Node {
     program: Vec<Instruction>,
     data_mem: Vec<u8>,
     cmem: Cmem,
-    port: Box<dyn RemotePort>,
+    port: Box<dyn RemotePort + Send>,
     halted: bool,
     reservation: Option<u32>,
     output: Vec<u32>,
@@ -193,7 +193,7 @@ impl std::fmt::Debug for Node {
 impl Node {
     /// Creates a node with the standard 4 KB data memory.
     #[must_use]
-    pub fn new(program: Vec<Instruction>, port: Box<dyn RemotePort>) -> Self {
+    pub fn new(program: Vec<Instruction>, port: Box<dyn RemotePort + Send>) -> Self {
         Self::with_data_mem(program, port, 4096)
     }
 
@@ -201,7 +201,7 @@ impl Node {
     /// Table-4 *scalar baseline*, which has no CMem and needs its 20 KB of
     /// SRAM as plain memory to hold the conv workload.
     #[must_use]
-    pub fn with_data_mem(program: Vec<Instruction>, port: Box<dyn RemotePort>, bytes: usize) -> Self {
+    pub fn with_data_mem(program: Vec<Instruction>, port: Box<dyn RemotePort + Send>, bytes: usize) -> Self {
         Node {
             regs: [0; 32],
             pc: 0,

@@ -320,6 +320,49 @@ impl<T> Mesh<T> {
             && self.occ.iter().all(|&o| o == 0)
     }
 
+    /// The next cycle at which the mesh itself can produce an event, or
+    /// `None` if it never will again.
+    ///
+    /// Arbitration, flit movement, credit releases, and the fault-retry
+    /// watchdog are all re-evaluated every tick, so whenever any flit is
+    /// buffered or awaiting injection the next event is simply
+    /// `cycle() + 1`. A fully drained mesh produces no events at all:
+    /// ticking it only advances the clock (the fast path in
+    /// [`Mesh::tick`]), which is exactly what [`Mesh::advance_to`]
+    /// batch-applies.
+    #[must_use]
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        if self.is_idle() {
+            None
+        } else {
+            Some(self.cycle + 1)
+        }
+    }
+
+    /// Batch-applies idle cycles: advances the clock straight to `cycle`.
+    ///
+    /// Equivalent to `cycle - self.cycle()` calls to [`Mesh::tick`] on a
+    /// drained mesh — each such tick takes the idle fast path, which
+    /// delivers nothing, moves nothing, ages no stall trace, and performs
+    /// no fault maintenance (there are no in-flight packets to retry), so
+    /// the only observable effect is the clock itself. Cycles in the past
+    /// are a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh is not idle — skipping over cycles in which
+    /// flits could have moved would change delivery order and statistics.
+    pub fn advance_to(&mut self, cycle: u64) {
+        assert!(
+            self.is_idle(),
+            "advance_to requires a drained mesh (flits could still move)"
+        );
+        if cycle > self.cycle {
+            self.cycle = cycle;
+            self.stats.cycles = cycle;
+        }
+    }
+
     /// Advances one cycle; returns packets fully delivered this cycle.
     pub fn tick(&mut self) -> Vec<Delivered<T>> {
         self.cycle += 1;
@@ -914,6 +957,60 @@ mod tests {
         // each row's cut link carries its 4 packets × 2 flits = 8 flits
         assert!(crossing.iter().all(|&n| n == 8), "{crossing:?}");
         assert_eq!(mesh.max_link_load(), 8);
+    }
+
+    #[test]
+    fn advance_to_equals_explicit_ticks() {
+        // two identical meshes run identical traffic; across the idle gap
+        // one ticks N times and the other jumps — every later observable
+        // (clock, stats, next delivery) must agree
+        let drive = |mesh: &mut Mesh<u32>| {
+            mesh.send(Packet::new(Coord::new(0, 0), Coord::new(3, 2), 4, 9));
+            mesh.run_until_idle(1_000);
+        };
+        let mut ticked: Mesh<u32> = Mesh::new(4, 4);
+        let mut jumped: Mesh<u32> = Mesh::new(4, 4);
+        drive(&mut ticked);
+        drive(&mut jumped);
+        assert_eq!(ticked.cycle(), jumped.cycle());
+        let target = ticked.cycle() + 1_234;
+        for _ in 0..1_234 {
+            assert!(ticked.tick().is_empty());
+        }
+        jumped.advance_to(target);
+        assert_eq!(ticked.cycle(), jumped.cycle());
+        assert_eq!(ticked.stats(), jumped.stats());
+        // traffic after the gap behaves identically
+        let after = |mesh: &mut Mesh<u32>| {
+            mesh.send(Packet::new(Coord::new(1, 3), Coord::new(2, 0), 2, 4));
+            mesh.run_until_idle(1_000)
+        };
+        let a = after(&mut ticked);
+        let b = after(&mut jumped);
+        assert_eq!(a, b);
+        assert_eq!(ticked.stats(), jumped.stats());
+    }
+
+    #[test]
+    fn next_event_cycle_tracks_idleness() {
+        let mut mesh: Mesh<u32> = Mesh::new(4, 4);
+        assert_eq!(mesh.next_event_cycle(), None);
+        mesh.send(Packet::new(Coord::new(0, 0), Coord::new(3, 3), 2, 0));
+        assert_eq!(mesh.next_event_cycle(), Some(mesh.cycle() + 1));
+        mesh.run_until_idle(1_000);
+        assert_eq!(mesh.next_event_cycle(), None);
+        // a past target is a no-op, not a rewind
+        let now = mesh.cycle();
+        mesh.advance_to(now.saturating_sub(3));
+        assert_eq!(mesh.cycle(), now);
+    }
+
+    #[test]
+    #[should_panic(expected = "drained")]
+    fn advance_to_rejects_busy_mesh() {
+        let mut mesh: Mesh<u32> = Mesh::new(4, 4);
+        mesh.send(Packet::new(Coord::new(0, 0), Coord::new(3, 3), 2, 0));
+        mesh.advance_to(100);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! JSON via [`CampaignReport::to_json`]. A zero-fault point is guaranteed
 //! bit- and cycle-identical to the clean baseline.
 
-use crate::stream::{StreamConfig, StreamSim};
+use crate::stream::{Engine, StreamConfig, StreamSim};
 use crate::SimError;
 use maicc_exec::mapping::Tile;
 use maicc_noc::NocFaultPlan;
@@ -178,6 +178,11 @@ pub struct FaultCampaign {
     /// simulations and the report keeps input order, so the result is
     /// identical for every setting.
     pub threads: usize,
+    /// Simulation engine for every run in the sweep (clean baseline and
+    /// all points). Both engines are observationally identical, so the
+    /// report is byte-for-byte the same; [`Engine::EventDriven`] just
+    /// finishes sooner.
+    pub engine: Engine,
 }
 
 impl FaultCampaign {
@@ -215,6 +220,7 @@ impl FaultCampaign {
             points,
             budget: 40_000_000,
             threads: 0,
+            engine: Engine::default(),
         }
     }
 
@@ -233,7 +239,9 @@ impl FaultCampaign {
     /// recorded, not propagated.
     pub fn run(&self) -> Result<CampaignReport, SimError> {
         let golden = self.workload.golden();
-        let clean = StreamSim::new(&self.workload)?.run(self.budget)?;
+        let mut clean_sim = StreamSim::new(&self.workload)?;
+        clean_sim.set_engine(self.engine);
+        let clean = clean_sim.run(self.budget)?;
         let workers = match self.threads {
             0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             t => t,
@@ -288,6 +296,7 @@ impl FaultCampaign {
             })
             .collect();
         let mut sim = StreamSim::new_avoiding(&self.workload, &failed)?;
+        sim.set_engine(self.engine);
         let mut plan = FaultPlan::with_seed(point.seed).transient(point.transient_flip_rate);
         if point.stuck_cells > 0 {
             plan = plan.scatter_stuck(point.stuck_cells);
@@ -363,6 +372,7 @@ mod tests {
             }],
             budget: 5_000_000,
             threads: 1,
+            engine: Engine::default(),
         };
         let report = campaign.run().unwrap();
         assert_eq!(report.runs[0].outcome, Outcome::Detected);
@@ -389,11 +399,16 @@ mod tests {
             ],
             budget: 5_000_000,
             threads: 1,
+            engine: Engine::default(),
         };
         let sequential = base.run().unwrap();
         let mut parallel = base.clone();
         parallel.threads = 3;
         assert_eq!(parallel.run().unwrap(), sequential);
+        // the cycle-accurate oracle produces the very same report
+        let mut oracle = base.clone();
+        oracle.engine = Engine::CycleAccurate;
+        assert_eq!(oracle.run().unwrap(), sequential);
     }
 
     #[test]

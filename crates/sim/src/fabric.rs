@@ -7,13 +7,17 @@
 //! the core's mesh coordinate — remote accesses pay the X-Y hop distance
 //! as latency. Remote stores therefore behave as **mailboxes**: the
 //! consumer polls the same global address the producer wrote.
+//!
+//! The fabric state lives behind an [`Arc`]`<`[`Mutex`]`>`, so ports (and
+//! the [`maicc_core::node::Node`]s that own them) are `Send`: independent
+//! cores of a multi-DNN deployment can be stepped from worker threads,
+//! the same parallelism the event-driven [`crate::stream`] engine uses.
 
 use maicc_core::mem_map::RowPtr;
 use maicc_core::node::{amo_result, RemotePort};
 use maicc_isa::inst::AmoKind;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Base one-way latency of a remote access besides hop distance
 /// (injection, ejection, service).
@@ -32,7 +36,7 @@ struct FabricInner {
 /// The shared fabric.
 #[derive(Debug, Clone, Default)]
 pub struct SharedFabric {
-    inner: Rc<RefCell<FabricInner>>,
+    inner: Arc<Mutex<FabricInner>>,
 }
 
 impl SharedFabric {
@@ -46,51 +50,59 @@ impl SharedFabric {
     #[must_use]
     pub fn port(&self, x: u8, y: u8) -> FabricPort {
         FabricPort {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
             x,
             y,
         }
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, FabricInner> {
+        self.inner.lock().expect("fabric lock poisoned")
+    }
+
     /// Pre-loads a row (e.g. DRAM-resident transposed ifmap data).
     pub fn preload_row(&self, ptr: RowPtr, lanes: Vec<u64>) {
-        self.inner.borrow_mut().rows.insert(ptr.pack(), lanes);
+        self.lock().rows.insert(ptr.pack(), lanes);
     }
 
     /// Reads a word back for inspection.
     #[must_use]
     pub fn word(&self, addr: u32) -> Option<u32> {
-        self.inner.borrow().words.get(&(addr & !3)).copied()
+        self.lock().words.get(&(addr & !3)).copied()
     }
 
     /// Reads a row back for inspection.
     #[must_use]
     pub fn row(&self, ptr: RowPtr) -> Option<Vec<u64>> {
-        self.inner.borrow().rows.get(&ptr.pack()).cloned()
+        self.lock().rows.get(&ptr.pack()).cloned()
     }
 
     /// Total word accesses served.
     #[must_use]
     pub fn accesses(&self) -> u64 {
-        self.inner.borrow().accesses
+        self.lock().accesses
     }
 
     /// Total row transfers served.
     #[must_use]
     pub fn row_transfers(&self) -> u64 {
-        self.inner.borrow().row_transfers
+        self.lock().row_transfers
     }
 }
 
 /// One core's handle onto the fabric.
 #[derive(Debug, Clone)]
 pub struct FabricPort {
-    inner: Rc<RefCell<FabricInner>>,
+    inner: Arc<Mutex<FabricInner>>,
     x: u8,
     y: u8,
 }
 
 impl FabricPort {
+    fn lock(&self) -> std::sync::MutexGuard<'_, FabricInner> {
+        self.inner.lock().expect("fabric lock poisoned")
+    }
+
     fn latency_to(&self, addr: u32) -> u32 {
         if addr >= 0x8000_0000 {
             // DRAM window: to the nearest LLC row (top/bottom of the mesh)
@@ -108,7 +120,7 @@ impl FabricPort {
 impl RemotePort for FabricPort {
     fn load(&mut self, addr: u32, size: u8) -> (u32, u32) {
         let lat = 2 * self.latency_to(addr); // round trip
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.accesses += 1;
         let word = inner.words.get(&(addr & !3)).copied().unwrap_or(0);
         let sh = (addr & 3) * 8;
@@ -122,7 +134,7 @@ impl RemotePort for FabricPort {
 
     fn store(&mut self, addr: u32, value: u32, size: u8) -> u32 {
         let lat = self.latency_to(addr); // fire and forget
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.accesses += 1;
         let word = inner.words.entry(addr & !3).or_insert(0);
         let sh = (addr & 3) * 8;
@@ -136,7 +148,7 @@ impl RemotePort for FabricPort {
 
     fn amo(&mut self, kind: AmoKind, addr: u32, value: u32) -> (u32, u32) {
         let lat = 2 * self.latency_to(addr);
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.accesses += 1;
         let old = inner.words.get(&(addr & !3)).copied().unwrap_or(0);
         if kind != AmoKind::LrW {
@@ -148,7 +160,7 @@ impl RemotePort for FabricPort {
 
     fn load_row(&mut self, ptr: RowPtr) -> (Vec<u64>, u32) {
         let lat = 2 * self.latency_to(ptr.pack());
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.row_transfers += 1;
         (
             inner
@@ -162,7 +174,7 @@ impl RemotePort for FabricPort {
 
     fn store_row(&mut self, ptr: RowPtr, lanes: &[u64]) -> u32 {
         let lat = self.latency_to(ptr.pack());
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.row_transfers += 1;
         inner.rows.insert(ptr.pack(), lanes.to_vec());
         lat
@@ -218,6 +230,58 @@ mod tests {
         let (old, _) = a.amo(AmoKind::Add, addr, 5);
         assert_eq!(old, 10);
         assert_eq!(fab.word(addr), Some(15));
+    }
+
+    #[test]
+    fn ports_are_send_across_worker_threads() {
+        // the Arc<Mutex> fabric lets independent cores run on worker
+        // threads: four ports AMO-increment one shared counter
+        let fab = SharedFabric::new();
+        let addr = remote_addr(3, 3, 0x40);
+        std::thread::scope(|scope| {
+            for i in 0..4u8 {
+                let mut port = fab.port(i, 0);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        port.amo(AmoKind::Add, addr, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(fab.word(addr), Some(400));
+        assert_eq!(fab.accesses(), 400);
+    }
+
+    #[test]
+    fn nodes_synchronize_across_real_threads() {
+        // a whole Node (which owns its port) is Send: a producer core on
+        // one thread raises a flag a consumer core on another spins on
+        let fab = SharedFabric::new();
+        let flag_addr = remote_addr(2, 0, 0x300);
+
+        let mut p = Assembler::new();
+        p.li32(Reg::A1, flag_addr as i32);
+        p.inst(I::li(Reg::A2, 1));
+        p.inst(I::sw(Reg::A2, Reg::A1, 0));
+        p.inst(I::Ebreak);
+        let mut producer = Node::new(p.assemble().unwrap(), Box::new(fab.port(1, 0)));
+
+        let mut c = Assembler::new();
+        c.li32(Reg::A1, flag_addr as i32);
+        c.label("spin");
+        c.inst(I::lw(Reg::A2, Reg::A1, 0));
+        c.branch(BranchKind::Beq, Reg::A2, Reg::Zero, "spin");
+        c.inst(I::Ebreak);
+        let mut consumer = Node::new(c.assemble().unwrap(), Box::new(fab.port(2, 0)));
+
+        std::thread::scope(|scope| {
+            scope.spawn(move || producer.run(1_000).unwrap());
+            scope.spawn(move || {
+                consumer.run(100_000_000).unwrap();
+                assert!(consumer.halted());
+            });
+        });
+        assert_eq!(fab.word(flag_addr), Some(1));
     }
 
     /// The paper's inter-node flow at ISA level: a producer core remote-

@@ -6,7 +6,17 @@
 //! models (proportionally to their work) and runs each partition's
 //! heuristic mapping independently — the partitions share nothing but the
 //! DRAM channels, so their latencies compose in parallel.
+//!
+//! Two fidelity levels coexist:
+//!
+//! * [`parallel_inference`] / [`time_shared_inference`] — the analytic
+//!   pipeline model (fast, closed-form latencies);
+//! * [`streamed_multi_dnn`] — each model's partition runs the *real*
+//!   bit-level [`StreamSim`] (one per worker thread) under a chosen
+//!   [`Engine`], producing golden-checked cycle counts that compose into
+//!   a parallel makespan (max) and a time-shared round (sum).
 
+use crate::stream::{Engine, StreamConfig, StreamSim};
 use crate::SimError;
 use maicc_exec::config::ExecConfig;
 use maicc_exec::pipeline_model::{run_network, RunReport};
@@ -200,6 +210,99 @@ pub fn time_shared_inference(
     })
 }
 
+/// One model's outcome in a cycle-modelled streamed deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamedModelReport {
+    /// Workload label.
+    pub name: String,
+    /// Modelled cycles until the model's partition drained.
+    pub cycles: u64,
+    /// CMem dynamic energy, pJ.
+    pub cmem_pj: f64,
+    /// The streamed ofmap matched the golden reference bit-for-bit.
+    pub golden_match: bool,
+}
+
+/// Outcome of running several streamed models, with both deployment
+/// compositions derived from the same per-model cycle counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamedMultiDnnReport {
+    /// Engine label the runs used (`event_driven` / `cycle_accurate`).
+    pub engine: String,
+    /// Per-model reports, in input order.
+    pub models: Vec<StreamedModelReport>,
+    /// Makespan when the models occupy disjoint regions of one array and
+    /// run concurrently: the slowest partition's cycles.
+    pub parallel_makespan_cycles: u64,
+    /// Round length when the models time-share the whole array: the sum
+    /// of every model's cycles.
+    pub time_shared_cycles: u64,
+}
+
+/// Runs every model's workload through the bit-level streaming simulator,
+/// one worker thread per model, under the given [`Engine`].
+///
+/// Partitions in the MIMD array share nothing but DRAM channels, so the
+/// parallel makespan is the per-model maximum while time-sharing pays the
+/// per-model sum — both derived from the same golden-checked runs. Both
+/// engines produce identical reports; [`Engine::EventDriven`] just gets
+/// there faster.
+///
+/// # Errors
+///
+/// Returns the first model's error in input order if any simulation fails
+/// to build or run within `budget` cycles, and [`SimError::DoesNotFit`]
+/// for an empty model list.
+pub fn streamed_multi_dnn(
+    models: &[(&str, StreamConfig)],
+    engine: Engine,
+    budget: u64,
+) -> Result<StreamedMultiDnnReport, SimError> {
+    if models.is_empty() {
+        return Err(SimError::DoesNotFit {
+            reason: "no models given".into(),
+        });
+    }
+    let mut slots: Vec<Option<Result<StreamedModelReport, SimError>>> =
+        (0..models.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for ((name, cfg), slot) in models.iter().zip(&mut slots) {
+            scope.spawn(move || {
+                *slot = Some(stream_one(name, cfg, engine, budget));
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(models.len());
+    for slot in slots {
+        out.push(slot.expect("stream worker filled its slot")?);
+    }
+    let makespan = out.iter().map(|m| m.cycles).max().unwrap_or(0);
+    let round = out.iter().map(|m| m.cycles).sum();
+    Ok(StreamedMultiDnnReport {
+        engine: engine.label().to_string(),
+        models: out,
+        parallel_makespan_cycles: makespan,
+        time_shared_cycles: round,
+    })
+}
+
+fn stream_one(
+    name: &str,
+    cfg: &StreamConfig,
+    engine: Engine,
+    budget: u64,
+) -> Result<StreamedModelReport, SimError> {
+    let mut sim = StreamSim::new(cfg)?;
+    sim.set_engine(engine);
+    let r = sim.run(budget)?;
+    Ok(StreamedModelReport {
+        name: name.to_string(),
+        cycles: r.cycles,
+        cmem_pj: r.cmem_pj,
+        golden_match: r.ofmap == cfg.golden(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +412,45 @@ mod tests {
         let m = &ts.models[0];
         assert!(m.swap_ms > 0.0);
         assert!(m.swap_ms < m.run_ms, "{m:?}");
+    }
+
+    #[test]
+    fn streamed_multi_dnn_checks_golden_and_composes_cycles() {
+        let models = [
+            ("small", StreamConfig::small_test()),
+            ("two_layer", StreamConfig::two_layer_test()),
+        ];
+        let r = streamed_multi_dnn(&models, Engine::EventDriven, 5_000_000).unwrap();
+        assert_eq!(r.engine, "event_driven");
+        assert_eq!(r.models.len(), 2);
+        assert!(r.models.iter().all(|m| m.golden_match), "{:?}", r.models);
+        assert!(r.models.iter().all(|m| m.cycles > 0 && m.cmem_pj > 0.0));
+        let max = r.models.iter().map(|m| m.cycles).max().unwrap();
+        let sum: u64 = r.models.iter().map(|m| m.cycles).sum();
+        assert_eq!(r.parallel_makespan_cycles, max);
+        assert_eq!(r.time_shared_cycles, sum);
+        assert!(r.parallel_makespan_cycles < r.time_shared_cycles);
+    }
+
+    #[test]
+    fn streamed_multi_dnn_engines_agree() {
+        let models = [
+            ("small", StreamConfig::small_test()),
+            ("two_layer", StreamConfig::two_layer_test()),
+        ];
+        let fast = streamed_multi_dnn(&models, Engine::EventDriven, 5_000_000).unwrap();
+        let oracle = streamed_multi_dnn(&models, Engine::CycleAccurate, 5_000_000).unwrap();
+        assert_eq!(fast.models, oracle.models);
+        assert_eq!(
+            fast.parallel_makespan_cycles,
+            oracle.parallel_makespan_cycles
+        );
+        assert_eq!(fast.time_shared_cycles, oracle.time_shared_cycles);
+    }
+
+    #[test]
+    fn streamed_multi_dnn_rejects_empty_list() {
+        assert!(streamed_multi_dnn(&[], Engine::EventDriven, 1_000).is_err());
     }
 
     #[test]
