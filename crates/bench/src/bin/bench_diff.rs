@@ -2,15 +2,19 @@
 //! wall-clock deltas.
 //!
 //! ```text
-//! cargo run --release -p maicc-bench --bin bench_diff -- BASELINE.json NEW.json
+//! cargo run --release -p maicc-bench --bin bench_diff -- BASELINE.json NEW.json \
+//!     [--fail-on-regress PCT]
 //! ```
 //!
 //! The parser is hand-rolled over the harness's own fixed JSON shape
 //! (`{"name": "...", "median_ns": N, ...}` entries), so the tool works
-//! without a serde backend. It is *informational*: the exit code is
-//! always 0, so a CI step using it annotates the log without blocking
-//! the build. Benchmarks present on only one side are listed as added
-//! or removed.
+//! without a serde backend. By default it is *informational*: the exit
+//! code is always 0, so a CI step using it annotates the log without
+//! blocking the build. With `--fail-on-regress PCT` it becomes a soft
+//! gate: the exit code is 1 when any benchmark's median regressed by
+//! more than `PCT` percent over the baseline (mis-parses and missing
+//! files still exit 0 — only a measured regression fails). Benchmarks
+//! present on only one side are listed as added or removed.
 
 use std::process::ExitCode;
 
@@ -35,10 +39,34 @@ fn parse_medians(json: &str) -> Vec<(String, u64)> {
     out
 }
 
+/// The largest percentage slowdown of any benchmark present on both
+/// sides; `None` when nothing is comparable or nothing got slower.
+fn worst_regression(base: &[(String, u64)], new: &[(String, u64)]) -> Option<(String, f64)> {
+    new.iter()
+        .filter_map(|(name, new_ns)| {
+            let (_, base_ns) = base.iter().find(|(b, _)| b == name)?;
+            let pct = (*new_ns as f64 - *base_ns as f64) / *base_ns as f64 * 100.0;
+            (pct > 0.0).then(|| (name.clone(), pct))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let fail_limit: Option<f64> = args
+        .iter()
+        .position(|a| a == "--fail-on-regress")
+        .map(|i| {
+            let v = args.drain(i..(i + 2).min(args.len())).nth(1);
+            v.as_deref()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("bench_diff: bad --fail-on-regress value, ignoring");
+                    f64::INFINITY
+                })
+        });
     let [baseline_path, new_path] = args.as_slice() else {
-        eprintln!("usage: bench_diff BASELINE.json NEW.json");
+        eprintln!("usage: bench_diff BASELINE.json NEW.json [--fail-on-regress PCT]");
         // still non-blocking: a misconfigured CI step should annotate,
         // not fail the build
         return ExitCode::SUCCESS;
@@ -83,12 +111,22 @@ fn main() -> ExitCode {
             println!("{name:<34} {base_ns:>14} {:>14}  removed", "-");
         }
     }
+    if let Some(limit) = fail_limit {
+        if let Some((name, pct)) = worst_regression(&base, &new) {
+            if pct > limit {
+                eprintln!(
+                    "bench_diff: `{name}` regressed {pct:+.1}% (> {limit:.1}% limit)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
 #[cfg(test)]
 mod tests {
-    use super::parse_medians;
+    use super::{parse_medians, worst_regression};
 
     #[test]
     fn parses_harness_shape() {
@@ -107,5 +145,25 @@ mod tests {
     #[test]
     fn empty_input_yields_no_entries() {
         assert!(parse_medians("{}").is_empty());
+    }
+
+    #[test]
+    fn worst_regression_picks_largest_slowdown() {
+        let base = vec![
+            ("a".to_string(), 100u64),
+            ("b".to_string(), 100),
+            ("c".to_string(), 100),
+        ];
+        let new = vec![
+            ("a".to_string(), 90u64),   // improvement: ignored
+            ("b".to_string(), 150),     // +50%
+            ("c".to_string(), 120),     // +20%
+            ("d".to_string(), 999),     // no baseline: ignored
+        ];
+        let (name, pct) = worst_regression(&base, &new).unwrap();
+        assert_eq!(name, "b");
+        assert!((pct - 50.0).abs() < 1e-9, "{pct}");
+        // all-improvements case reports nothing
+        assert!(worst_regression(&base, &base[..1]).is_none());
     }
 }

@@ -6,6 +6,8 @@
 //! maicc asm    <file.s>                  # assemble and hex-dump a program
 //! maicc run    <file.s> [--max-steps N]  # execute a program on one node
 //! maicc stream                           # conv pipeline through the mesh
+//! maicc campaign [--workload small|resnet18] [--seed N] [--ecc off|detect|correct]
+//!                [--retry on|off] [--assert-no-unrecoverable] [--json]
 //! ```
 
 use maicc::core::kernels::{CmemConvKernel, ConvWorkload};
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
         Some("asm") => cmd_asm(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("stream") => cmd_stream(),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("help") | None => {
             print_help();
             Ok(())
@@ -49,7 +52,9 @@ fn print_help() {
         "maicc — the MAICC many-core with in-cache computing\n\n\
          USAGE:\n  maicc map    [--model M] [--strategy S] [--cores N]\n  \
          maicc node   [--width 4|8|16]\n  maicc asm    <file.s>\n  \
-         maicc run    <file.s> [--max-steps N]\n  maicc stream\n\n\
+         maicc run    <file.s> [--max-steps N]\n  maicc stream\n  \
+         maicc campaign [--workload small|resnet18] [--seed N] [--ecc off|detect|correct]\n  \
+         \u{20}              [--retry on|off] [--assert-no-unrecoverable] [--json]\n\n\
          models: resnet18 (default), vgg11, tinynet\n\
          strategies: heuristic (default), greedy, single"
     );
@@ -213,6 +218,67 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .map(|&r| format!("{:<5}= {:#010x}", r.to_string(), node.reg(r)))
             .collect();
         let _ = writeln!(out, "  {}", row.join("  "));
+    }
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    use maicc::noc::RetryPolicy;
+    use maicc::sim::campaign::{FaultCampaign, Outcome, RecoveryConfig};
+    use maicc::sram::ecc::EccMode;
+    let seed = match flag(args, "--seed") {
+        Some(v) => v.parse().map_err(|_| format!("bad seed `{v}`"))?,
+        None => 42u64,
+    };
+    let mut campaign = match flag(args, "--workload").as_deref() {
+        None | Some("small") => FaultCampaign::small_default(seed),
+        Some("resnet18") => FaultCampaign::resnet18_default(seed),
+        Some(other) => return Err(format!("unknown workload `{other}`")),
+    };
+    let ecc = match flag(args, "--ecc").as_deref() {
+        None | Some("correct") => EccMode::Correct,
+        Some("detect") => EccMode::DetectOnly,
+        Some("off") => EccMode::Off,
+        Some(other) => return Err(format!("unknown ECC mode `{other}`")),
+    };
+    let noc_retry = match flag(args, "--retry").as_deref() {
+        None | Some("on") => Some(RetryPolicy::default()),
+        Some("off") => None,
+        Some(other) => return Err(format!("bad retry setting `{other}`")),
+    };
+    campaign.recovery = Some(RecoveryConfig {
+        ecc,
+        noc_retry,
+        ..RecoveryConfig::default()
+    });
+    let report = campaign.run().map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "fault campaign over {} points (clean baseline {} cycles):",
+            report.runs.len(),
+            report.clean_cycles
+        );
+        for r in &report.runs {
+            println!(
+                "  {:<13} faults={:<6} replays={:<3} corrected={:<6} overhead={} cycles{}",
+                r.outcome.label(),
+                r.faults_injected,
+                r.replays,
+                r.corrected,
+                r.recovery_overhead_cycles,
+                if r.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!("  ({})", r.detail)
+                },
+            );
+        }
+    }
+    let unrecoverable = report.count(Outcome::Unrecoverable);
+    if args.iter().any(|a| a == "--assert-no-unrecoverable") && unrecoverable > 0 {
+        return Err(format!("{unrecoverable} run(s) ended unrecoverable"));
     }
     Ok(())
 }

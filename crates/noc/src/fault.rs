@@ -31,6 +31,10 @@ pub struct NocFaultPlan {
     pub seed: u64,
     /// Per-link-crossing probability that a flit is lost.
     pub drop_rate: f64,
+    /// Per-link-crossing probability that a flit is *corrupted* in
+    /// transit: it keeps moving, but the destination's CRC check rejects
+    /// the packet on arrival.
+    pub corrupt_rate: f64,
     /// Routers that are completely dead.
     pub failed_routers: Vec<Coord>,
     /// Directed links that are cut: flits cannot leave `Coord` via
@@ -55,6 +59,7 @@ impl NocFaultPlan {
         NocFaultPlan {
             seed: 0,
             drop_rate: 0.0,
+            corrupt_rate: 0.0,
             failed_routers: Vec::new(),
             failed_links: Vec::new(),
             retry_after: 64,
@@ -75,6 +80,14 @@ impl NocFaultPlan {
     #[must_use]
     pub fn drop_rate(mut self, rate: f64) -> Self {
         self.drop_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-hop transient flit-corruption probability (caught by
+    /// the destination's packet CRC instead of vanishing silently).
+    #[must_use]
+    pub fn corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate.clamp(0.0, 1.0);
         self
     }
 
@@ -113,7 +126,52 @@ impl NocFaultPlan {
     /// `true` when the plan can never inject anything.
     #[must_use]
     pub fn is_quiet(&self) -> bool {
-        self.drop_rate <= 0.0 && self.failed_routers.is_empty() && self.failed_links.is_empty()
+        self.drop_rate <= 0.0
+            && self.corrupt_rate <= 0.0
+            && self.failed_routers.is_empty()
+            && self.failed_links.is_empty()
+    }
+}
+
+/// Link-level retransmission policy (the ACK/NACK protocol of a mesh with
+/// per-packet CRC).
+///
+/// Attached to a mesh via [`Mesh::set_retry_policy`](crate::Mesh); without
+/// it the mesh keeps the PR-1 behaviour: damaged or stalled wormholes are
+/// recalled [`NocFaultPlan::max_retries`] times on the alternate dimension
+/// order and then dropped as [`NocError::PacketLost`]. With a policy:
+///
+/// * the policy's [`max_retries`](RetryPolicy::max_retries) replaces the
+///   plan's;
+/// * every recall (lost flit, stalled wormhole, or CRC reject at the
+///   destination) waits out a bounded exponential backoff —
+///   `base_delay << min(retries, 16)` cycles — before re-injecting, so
+///   retransmissions do not re-collide with the burst that damaged them;
+/// * corrupted packets are NACKed by the receiver and retransmitted
+///   instead of being delivered flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retransmissions per packet before it is abandoned.
+    pub max_retries: u32,
+    /// Backoff before the first retransmission, in cycles; doubles per
+    /// retry (shift capped at 16).
+    pub base_delay: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay before retransmission number `retries + 1`.
+    #[must_use]
+    pub fn backoff(&self, retries: u32) -> u64 {
+        self.base_delay << retries.min(16)
     }
 }
 
@@ -195,8 +253,13 @@ impl std::error::Error for NocError {}
 pub struct NocFaultStats {
     /// Flits lost to transient drops.
     pub flits_dropped: u64,
+    /// Flits corrupted in transit (caught later by the packet CRC).
+    pub flits_corrupted: u64,
     /// Packet recalls (purge + alternate-route re-injection).
     pub retries: u64,
+    /// Packets the destination's CRC rejected and NACKed back for
+    /// retransmission (requires a [`RetryPolicy`]).
+    pub crc_rejects: u64,
     /// Packets abandoned after exhausting retries.
     pub packets_lost: u64,
 }
@@ -205,7 +268,9 @@ impl NocFaultStats {
     /// Merges another tally into this one.
     pub fn merge(&mut self, other: &NocFaultStats) {
         self.flits_dropped += other.flits_dropped;
+        self.flits_corrupted += other.flits_corrupted;
         self.retries += other.retries;
+        self.crc_rejects += other.crc_rejects;
         self.packets_lost += other.packets_lost;
     }
 }
@@ -336,16 +401,33 @@ mod tests {
     fn stats_merge_adds() {
         let mut a = NocFaultStats {
             flits_dropped: 1,
-            retries: 2,
-            packets_lost: 3,
+            flits_corrupted: 2,
+            retries: 3,
+            crc_rejects: 4,
+            packets_lost: 5,
         };
         a.merge(&NocFaultStats {
             flits_dropped: 10,
-            retries: 20,
-            packets_lost: 30,
+            flits_corrupted: 20,
+            retries: 30,
+            crc_rejects: 40,
+            packets_lost: 50,
         });
         assert_eq!(a.flits_dropped, 11);
-        assert_eq!(a.retries, 22);
-        assert_eq!(a.packets_lost, 33);
+        assert_eq!(a.flits_corrupted, 22);
+        assert_eq!(a.retries, 33);
+        assert_eq!(a.crc_rejects, 44);
+        assert_eq!(a.packets_lost, 55);
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), p.base_delay);
+        assert_eq!(p.backoff(1), p.base_delay * 2);
+        assert_eq!(p.backoff(3), p.base_delay * 8);
+        // the shift is capped so huge retry counts cannot overflow
+        assert_eq!(p.backoff(200), p.base_delay << 16);
+        assert!(!NocFaultPlan::none().corrupt_rate(0.1).is_quiet());
     }
 }

@@ -32,7 +32,7 @@ pub mod mesh;
 pub mod router;
 pub mod stats;
 
-pub use fault::{NocError, NocFaultPlan, NocFaultStats};
+pub use fault::{NocError, NocFaultPlan, NocFaultStats, RetryPolicy};
 pub use mesh::{Delivered, Mesh, Packet};
 pub use router::{Coord, Direction};
 pub use stats::NocStats;

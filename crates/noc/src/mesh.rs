@@ -6,7 +6,7 @@
 //! a flit advances only if the downstream input FIFO has space after all
 //! moves planned this cycle.
 
-use crate::fault::{NocError, NocFaultPlan, NocFaultState, NocFaultStats};
+use crate::fault::{DropRng, NocError, NocFaultPlan, NocFaultState, NocFaultStats, RetryPolicy};
 use crate::router::{Coord, Direction, Flit, Router};
 use crate::stats::NocStats;
 use crate::DEFAULT_BUFFER;
@@ -58,8 +58,13 @@ pub struct Delivered<T> {
     pub sent_at: u64,
     /// Cycle the tail flit left the destination router.
     pub arrived_at: u64,
+    /// The destination's CRC check failed (a flit was corrupted in
+    /// transit) and no [`RetryPolicy`] was attached to retransmit it —
+    /// the payload is suspect. Always `false` with a policy attached.
+    pub corrupted: bool,
 }
 
+#[derive(Clone)]
 struct InFlight<T> {
     packet: Packet<T>,
     sent_at: u64,
@@ -73,6 +78,12 @@ struct InFlight<T> {
     /// A flit of this packet was lost in transit; recall at the next
     /// maintenance step.
     damaged: bool,
+    /// A flit of this packet was corrupted in transit; the destination's
+    /// CRC will reject the packet on arrival.
+    crc_damaged: bool,
+    /// Backoff deadline: the packet's flits re-enter the injection queue
+    /// once the mesh reaches this cycle (retransmission in progress).
+    release_at: Option<u64>,
 }
 
 /// Per-tick working buffers, kept across ticks so the cycle loop never
@@ -138,6 +149,9 @@ pub struct Mesh<T> {
     /// Fault-injection state; `None` (the default) is the zero-overhead,
     /// bit-identical path.
     fault: Option<NocFaultState>,
+    /// Link-level ACK/NACK retransmission policy; `None` keeps the
+    /// recall-then-drop behaviour.
+    retry_policy: Option<RetryPolicy>,
     /// Cycles each queue's head has been unable to move, per
     /// `router * STALL_SLOTS + slot` (credit-stall tracing for the
     /// watchdog).
@@ -150,6 +164,33 @@ pub struct Mesh<T> {
     occ: Vec<usize>,
     /// Reusable per-tick buffers.
     scratch: TickScratch,
+}
+
+impl<T: Clone> Clone for Mesh<T> {
+    /// Deep-copies the architectural state (routers, queues, flights,
+    /// stats, fault RNG position). The per-tick scratch buffers are empty
+    /// between ticks, so the clone starts with fresh ones — checkpointing
+    /// a mesh mid-simulation and resuming from the copy is exact.
+    fn clone(&self) -> Self {
+        Mesh {
+            width: self.width,
+            height: self.height,
+            buffer_cap: self.buffer_cap,
+            routers: self.routers.clone(),
+            inject: self.inject.clone(),
+            flights: self.flights.clone(),
+            next_id: self.next_id,
+            cycle: self.cycle,
+            stats: self.stats,
+            link_load: self.link_load.clone(),
+            fault: self.fault.clone(),
+            retry_policy: self.retry_policy,
+            stall: self.stall.clone(),
+            errors: self.errors.clone(),
+            occ: self.occ.clone(),
+            scratch: TickScratch::default(),
+        }
+    }
 }
 
 impl<T> std::fmt::Debug for Mesh<T> {
@@ -202,6 +243,7 @@ impl<T> Mesh<T> {
             stats: NocStats::default(),
             link_load: HashMap::new(),
             fault: None,
+            retry_policy: None,
             stall: vec![0; n * STALL_SLOTS],
             errors: Vec::new(),
             occ: vec![0; n],
@@ -226,6 +268,37 @@ impl<T> Mesh<T> {
     #[must_use]
     pub fn fault_stats(&self) -> NocFaultStats {
         self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Attaches (or removes) the link-level retransmission policy.
+    ///
+    /// Without a fault plan the policy is inert: nothing is ever dropped,
+    /// corrupted, or recalled, so the zero-overhead identity holds.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry_policy = policy;
+    }
+
+    /// The attached retransmission policy, if any.
+    #[must_use]
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.retry_policy
+    }
+
+    /// Re-seeds the attached fault plan's RNG with a replay salt so a
+    /// rolled-back re-execution draws a fresh (still deterministic)
+    /// drop/corruption schedule. No-op without a plan.
+    pub fn reseed_fault_rng(&mut self, salt: u64) {
+        if let Some(f) = self.fault.as_mut() {
+            f.rng = DropRng::new(f.plan.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+    }
+
+    /// Whether any packet is waiting out a retransmission backoff. While
+    /// this holds, a lack of visible progress is the backoff itself — the
+    /// watchdog in [`Mesh::run_guarded`] does not count it as a stall.
+    #[must_use]
+    pub fn has_pending_retx(&self) -> bool {
+        self.flights.values().any(|fl| fl.release_at.is_some())
     }
 
     /// Drains the typed failures (lost packets) recorded since the last
@@ -307,6 +380,8 @@ impl<T> Mesh<T> {
                 retries: 0,
                 yx: false,
                 damaged: false,
+                crc_damaged: false,
+                release_at: None,
             },
         );
         self.stats.packets_sent += 1;
@@ -376,6 +451,35 @@ impl<T> Mesh<T> {
         if self.flights.is_empty() && self.inject.iter().all(VecDeque::is_empty) {
             debug_assert!(self.occ.iter().all(|&o| o == 0));
             return Vec::new();
+        }
+
+        // retransmission release: packets whose backoff elapsed re-enter
+        // their source injection queue (ascending id keeps this
+        // deterministic regardless of HashMap order)
+        if self.retry_policy.is_some() && self.fault.is_some() {
+            let mut due: Vec<u64> = self
+                .flights
+                .iter()
+                .filter(|(_, fl)| fl.release_at.is_some_and(|r| r <= self.cycle))
+                .map(|(&id, _)| id)
+                .collect();
+            due.sort_unstable();
+            for id in due {
+                let fl = self.flights.get_mut(&id).expect("due id is live");
+                fl.release_at = None;
+                fl.last_progress = self.cycle;
+                let (src, dst, flits, yx) = (fl.packet.src, fl.packet.dst, fl.packet.flits, fl.yx);
+                let src_i = self.idx(src);
+                for k in 0..flits {
+                    self.inject[src_i].push_back(Flit {
+                        packet: id,
+                        dst,
+                        is_head: k == 0,
+                        is_tail: k + 1 == flits,
+                        yx,
+                    });
+                }
+            }
         }
 
         let mut s = std::mem::take(&mut self.scratch);
@@ -512,6 +616,38 @@ impl<T> Mesh<T> {
                         .expect("flit belongs to a live packet");
                     fl.delivered_flits += 1;
                     if f.is_tail {
+                        // packet CRC check at the receiver: a corrupted
+                        // wormhole is NACKed back for retransmission when
+                        // a policy is attached, delivered flagged when not
+                        if fl.crc_damaged {
+                            if let Some(policy) = self.retry_policy {
+                                if fl.retries < policy.max_retries {
+                                    fl.retries += 1;
+                                    fl.crc_damaged = false;
+                                    fl.damaged = false;
+                                    fl.delivered_flits = 0;
+                                    fl.yx = !fl.yx;
+                                    fl.last_progress = self.cycle;
+                                    fl.release_at =
+                                        Some(self.cycle + policy.backoff(fl.retries - 1));
+                                    if let Some(fs) = self.fault.as_mut() {
+                                        fs.stats.crc_rejects += 1;
+                                    }
+                                } else {
+                                    let fl = self.flights.remove(&f.packet).expect("present");
+                                    if let Some(fs) = self.fault.as_mut() {
+                                        fs.stats.packets_lost += 1;
+                                    }
+                                    self.errors.push(NocError::PacketLost {
+                                        packet: f.packet,
+                                        src: fl.packet.src,
+                                        dst: fl.packet.dst,
+                                        retries: fl.retries,
+                                    });
+                                }
+                                continue;
+                            }
+                        }
                         let fl = self.flights.remove(&f.packet).expect("present");
                         debug_assert_eq!(fl.delivered_flits, fl.packet.flits);
                         self.stats.packets_delivered += 1;
@@ -520,6 +656,7 @@ impl<T> Mesh<T> {
                             packet: fl.packet,
                             sent_at: fl.sent_at,
                             arrived_at: self.cycle,
+                            corrupted: fl.crc_damaged,
                         });
                     }
                 }
@@ -533,6 +670,14 @@ impl<T> Mesh<T> {
                                 fl.damaged = true;
                             }
                             continue;
+                        }
+                        // a corrupted flit keeps moving; the destination's
+                        // packet CRC rejects the wormhole on arrival
+                        if fs.rng.chance(fs.plan.corrupt_rate) {
+                            fs.stats.flits_corrupted += 1;
+                            if let Some(fl) = self.flights.get_mut(&f.packet) {
+                                fl.crc_damaged = true;
+                            }
                         }
                     }
                     s.progressed.push(f.packet);
@@ -621,14 +766,23 @@ impl<T> Mesh<T> {
             return;
         }
         let retry_after = fs.plan.retry_after;
-        let max_retries = fs.plan.max_retries;
+        let max_retries = self
+            .retry_policy
+            .map_or(fs.plan.max_retries, |p| p.max_retries);
         let cycle = self.cycle;
-        let stale: Vec<u64> = self
+        let mut stale: Vec<u64> = self
             .flights
             .iter()
-            .filter(|(_, fl)| fl.damaged || cycle.saturating_sub(fl.last_progress) >= retry_after)
+            .filter(|(_, fl)| {
+                fl.release_at.is_none()
+                    && (fl.damaged || cycle.saturating_sub(fl.last_progress) >= retry_after)
+            })
             .map(|(&id, _)| id)
             .collect();
+        // HashMap iteration order is arbitrary; recall in ascending id
+        // order so re-injection order (and everything downstream of it)
+        // is deterministic
+        stale.sort_unstable();
         for id in stale {
             self.purge_packet(id);
             let fl = self.flights.get(&id).expect("stale id is live");
@@ -636,21 +790,29 @@ impl<T> Mesh<T> {
                 (fl.packet.src, fl.packet.dst, fl.packet.flits, fl.retries);
             if retries < max_retries {
                 let src_i = self.idx(src);
+                let policy = self.retry_policy;
                 let fl = self.flights.get_mut(&id).expect("present");
                 fl.retries += 1;
                 fl.damaged = false;
+                fl.crc_damaged = false;
                 fl.delivered_flits = 0;
                 fl.last_progress = cycle;
                 fl.yx = !fl.yx;
                 let yx = fl.yx;
-                for k in 0..flits {
-                    self.inject[src_i].push_back(Flit {
-                        packet: id,
-                        dst,
-                        is_head: k == 0,
-                        is_tail: k + 1 == flits,
-                        yx,
-                    });
+                if let Some(policy) = policy {
+                    // with a retransmission policy the recall waits out an
+                    // exponential backoff before re-entering the network
+                    fl.release_at = Some(cycle + policy.backoff(fl.retries - 1));
+                } else {
+                    for k in 0..flits {
+                        self.inject[src_i].push_back(Flit {
+                            packet: id,
+                            dst,
+                            is_head: k == 0,
+                            is_tail: k + 1 == flits,
+                            yx,
+                        });
+                    }
                 }
                 if let Some(fs) = self.fault.as_mut() {
                     fs.stats.retries += 1;
@@ -748,9 +910,15 @@ impl<T> Mesh<T> {
             }
             let now = self.progress_metric();
             if now == last {
-                stalled += 1;
-                if stalled >= horizon {
-                    return Err(self.wedge_report());
+                // a retransmission backoff is deliberate silence, not a
+                // wedge — the release is already scheduled
+                if self.has_pending_retx() {
+                    stalled = 0;
+                } else {
+                    stalled += 1;
+                    if stalled >= horizon {
+                        return Err(self.wedge_report());
+                    }
                 }
             } else {
                 stalled = 0;
@@ -764,23 +932,28 @@ impl<T> Mesh<T> {
     }
 
     /// Snapshot of everything that changes when the mesh makes progress.
-    fn progress_metric(&self) -> (u64, u64, u64, u64, usize, usize) {
-        let (retries, lost) = self
-            .fault
-            .as_ref()
-            .map_or((0, 0), |f| (f.stats.retries, f.stats.packets_lost));
+    #[allow(clippy::type_complexity)]
+    fn progress_metric(&self) -> (u64, u64, u64, u64, u64, usize, usize) {
+        let (retries, rejects, lost) = self.fault.as_ref().map_or((0, 0, 0), |f| {
+            (f.stats.retries, f.stats.crc_rejects, f.stats.packets_lost)
+        });
         (
             self.stats.flit_hops,
             self.stats.packets_delivered,
             retries,
+            rejects,
             lost,
             self.occ.iter().sum(),
             self.inject.iter().map(VecDeque::len).sum(),
         )
     }
 
-    /// Names the router/port whose queue has stalled longest.
-    fn wedge_report(&self) -> NocError {
+    /// Names the router/port whose queue has stalled longest — the
+    /// credit-stall trace behind [`NocError::Wedged`]. Public so fabric
+    /// layers that give up on a stuck mesh (budget exhaustion with zero
+    /// progress) can localize the culprit in their own reports.
+    #[must_use]
+    pub fn wedge_report(&self) -> NocError {
         let (slot, &age) = self
             .stall
             .iter()

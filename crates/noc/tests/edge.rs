@@ -2,7 +2,7 @@
 //! fault/watchdog paths (failed links and routers, zero-credit deadlock,
 //! dropped replies).
 
-use maicc_noc::{Coord, Direction, Mesh, NocError, NocFaultPlan, Packet};
+use maicc_noc::{Coord, Direction, Mesh, NocError, NocFaultPlan, Packet, RetryPolicy};
 
 #[test]
 fn one_by_n_mesh_works() {
@@ -266,6 +266,187 @@ fn dropped_reply_wedges_waiting_router_not_generic_timeout() {
         }
         other => panic!("expected Wedged naming the router, got {other:?}"),
     }
+}
+
+// ---------------------------------------------------------------------
+// CRC + ACK/NACK retransmission (RetryPolicy)
+// ---------------------------------------------------------------------
+
+#[test]
+fn corruption_without_policy_delivers_flagged() {
+    // every link crossing corrupts: the receiver's CRC fails, and with no
+    // retransmission policy the payload is delivered flagged as suspect
+    let mut mesh: Mesh<u32> = Mesh::new(4, 1);
+    mesh.attach_fault_plan(NocFaultPlan::with_seed(3).corrupt_rate(1.0));
+    mesh.send(Packet::new(Coord::new(0, 0), Coord::new(3, 0), 2, 11));
+    let d = mesh.run_until_idle(1_000);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].corrupted, "CRC failure must be visible to the caller");
+    assert!(mesh.fault_stats().flits_corrupted >= 1);
+    assert_eq!(mesh.fault_stats().crc_rejects, 0);
+}
+
+#[test]
+fn corruption_with_policy_is_nacked_and_retransmitted() {
+    // moderate corruption with retransmission: every packet either
+    // arrives *clean* or is reported lost — flagged deliveries are gone
+    let mut mesh: Mesh<u32> = Mesh::new(5, 5);
+    mesh.attach_fault_plan(NocFaultPlan::with_seed(21).corrupt_rate(0.03));
+    mesh.set_retry_policy(Some(RetryPolicy {
+        max_retries: 8,
+        base_delay: 4,
+    }));
+    for i in 0..10u32 {
+        mesh.send(Packet::new(
+            Coord::new((i % 5) as u8, (i / 5) as u8),
+            Coord::new(4, 4),
+            3,
+            i,
+        ));
+    }
+    let d = mesh.run_guarded(100_000, 2_000).expect("drains");
+    let lost = mesh.take_errors().len();
+    assert_eq!(d.len() + lost, 10, "each packet delivered or reported");
+    assert!(d.iter().all(|x| !x.corrupted), "no corrupted delivery slips through");
+    assert!(mesh.fault_stats().crc_rejects >= 1, "CRC must have fired");
+    assert!(d.len() >= 8, "retransmission should recover most packets");
+}
+
+#[test]
+fn exhausted_crc_retries_become_typed_loss() {
+    // certain corruption: every attempt is NACKed until the policy's
+    // retry budget runs out, then the packet is a typed loss
+    let mut mesh: Mesh<u32> = Mesh::new(4, 1);
+    mesh.attach_fault_plan(NocFaultPlan::with_seed(7).corrupt_rate(1.0));
+    mesh.set_retry_policy(Some(RetryPolicy {
+        max_retries: 2,
+        base_delay: 4,
+    }));
+    mesh.send(Packet::new(Coord::new(0, 0), Coord::new(3, 0), 2, 0));
+    let d = mesh.run_guarded(10_000, 500).expect("degrades");
+    assert!(d.is_empty());
+    let errs = mesh.take_errors();
+    assert!(
+        matches!(errs[..], [NocError::PacketLost { retries: 2, .. }]),
+        "{errs:?}"
+    );
+    assert_eq!(mesh.fault_stats().crc_rejects, 2);
+    assert_eq!(mesh.fault_stats().packets_lost, 1);
+    assert!(mesh.is_idle());
+}
+
+#[test]
+fn backoff_silence_does_not_trip_the_watchdog() {
+    // drop with a backoff far longer than the watchdog horizon: the quiet
+    // wait must read as a scheduled retransmission, not a wedge
+    let mut mesh: Mesh<u32> = Mesh::new(4, 1);
+    mesh.attach_fault_plan(
+        NocFaultPlan::with_seed(5)
+            .drop_rate(1.0)
+            .retry_after(16),
+    );
+    mesh.set_retry_policy(Some(RetryPolicy {
+        max_retries: 2,
+        base_delay: 256,
+    }));
+    mesh.send(Packet::new(Coord::new(0, 0), Coord::new(3, 0), 2, 0));
+    // horizon 32 < base_delay 256: would wedge without backoff awareness
+    let d = mesh.run_guarded(50_000, 32).expect("waits out the backoff");
+    assert!(d.is_empty());
+    assert_eq!(mesh.fault_stats().packets_lost, 1);
+    assert_eq!(mesh.fault_stats().retries, 2);
+    // the two exponential backoffs (256, 512) dominate the runtime
+    assert!(mesh.cycle() >= 256 + 512, "cycle {} too early", mesh.cycle());
+}
+
+#[test]
+fn policy_without_fault_plan_is_inert() {
+    let run = |policy: bool| {
+        let mut mesh: Mesh<u32> = Mesh::new(6, 6);
+        if policy {
+            mesh.set_retry_policy(Some(RetryPolicy::default()));
+        }
+        for i in 0..12u32 {
+            mesh.send(Packet::new(
+                Coord::new((i % 6) as u8, (i / 6) as u8),
+                Coord::new(5, 5),
+                3,
+                i,
+            ));
+        }
+        let mut d = mesh.run_until_idle(10_000);
+        d.sort_by_key(|x| (x.arrived_at, x.packet.payload));
+        let arrivals: Vec<(u32, u64, bool)> = d
+            .iter()
+            .map(|x| (x.packet.payload, x.arrived_at, x.corrupted))
+            .collect();
+        (arrivals, mesh.cycle(), mesh.stats().flit_hops)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn cloned_mesh_resumes_bit_identically() {
+    // checkpoint/replay support: clone a mesh mid-flight (fault RNG
+    // position included) and both copies must finish identically
+    let mut mesh: Mesh<u32> = Mesh::new(5, 5);
+    mesh.attach_fault_plan(
+        NocFaultPlan::with_seed(13)
+            .drop_rate(0.05)
+            .retry_after(32)
+            .max_retries(4),
+    );
+    mesh.set_retry_policy(Some(RetryPolicy {
+        max_retries: 4,
+        base_delay: 8,
+    }));
+    for i in 0..8u32 {
+        mesh.send(Packet::new(
+            Coord::new((i % 5) as u8, (i / 5) as u8),
+            Coord::new(4, 4),
+            3,
+            i,
+        ));
+    }
+    for _ in 0..20 {
+        mesh.tick();
+    }
+    let mut copy = mesh.clone();
+    let finish = |m: &mut Mesh<u32>| {
+        let mut d = m.run_until_idle(100_000);
+        d.sort_by_key(|x| (x.arrived_at, x.packet.payload));
+        let tail: Vec<(u32, u64)> = d.iter().map(|x| (x.packet.payload, x.arrived_at)).collect();
+        (tail, m.cycle(), m.stats().flit_hops, m.fault_stats())
+    };
+    assert_eq!(finish(&mut mesh), finish(&mut copy));
+}
+
+#[test]
+fn reseeding_changes_the_drop_schedule_deterministically() {
+    let run = |salt: Option<u64>| {
+        let mut mesh: Mesh<u32> = Mesh::new(5, 5);
+        mesh.attach_fault_plan(NocFaultPlan::with_seed(17).drop_rate(0.2).retry_after(32));
+        mesh.set_retry_policy(Some(RetryPolicy {
+            max_retries: 6,
+            base_delay: 4,
+        }));
+        if let Some(s) = salt {
+            mesh.reseed_fault_rng(s);
+        }
+        for i in 0..10u32 {
+            mesh.send(Packet::new(
+                Coord::new((i % 5) as u8, (i / 5) as u8),
+                Coord::new(4, 4),
+                3,
+                i,
+            ));
+        }
+        mesh.run_guarded(100_000, 2_000).expect("drains");
+        (mesh.cycle(), mesh.fault_stats())
+    };
+    assert_eq!(run(None), run(None));
+    assert_eq!(run(Some(2)), run(Some(2)));
+    assert_ne!(run(None), run(Some(2)));
 }
 
 #[test]

@@ -118,14 +118,17 @@ impl std::error::Error for SimError {
 }
 
 impl From<maicc_sram::SramError> for SimError {
-    /// Dead-slice errors only ever come from injected faults, so they map
-    /// to [`SimError::Fault`]; every other SRAM error is a genuine
-    /// [`SimError::Component`] failure.
+    /// Dead-slice and uncorrectable-ECC errors only ever come from injected
+    /// faults, so they map to [`SimError::Fault`]; every other SRAM error is
+    /// a genuine [`SimError::Component`] failure.
     fn from(e: maicc_sram::SramError) -> Self {
         let source = ComponentError::Sram(e);
         if matches!(
             source,
-            ComponentError::Sram(maicc_sram::SramError::SliceFailed { .. })
+            ComponentError::Sram(
+                maicc_sram::SramError::SliceFailed { .. }
+                    | maicc_sram::SramError::EccUncorrectable { .. }
+            )
         ) {
             SimError::Fault { source }
         } else {

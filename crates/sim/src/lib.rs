@@ -53,4 +53,4 @@ pub mod workload;
 mod error;
 
 pub use error::{ComponentError, SimError};
-pub use stream::Engine;
+pub use stream::{Engine, RecoveryPolicy, RecoveryStats};

@@ -258,6 +258,24 @@ pub fn streamed_multi_dnn(
     engine: Engine,
     budget: u64,
 ) -> Result<StreamedMultiDnnReport, SimError> {
+    streamed_multi_dnn_parallel(models, engine, budget, 1)
+}
+
+/// [`streamed_multi_dnn`] with each model's simulation itself sharded
+/// over `threads` node-stepping workers ([`StreamSim::set_parallelism`]).
+/// The stepping shards are bit-identical to sequential stepping, so the
+/// report is the same for every thread count — the knob only trades
+/// wall-clock for cores.
+///
+/// # Errors
+///
+/// As [`streamed_multi_dnn`].
+pub fn streamed_multi_dnn_parallel(
+    models: &[(&str, StreamConfig)],
+    engine: Engine,
+    budget: u64,
+    threads: usize,
+) -> Result<StreamedMultiDnnReport, SimError> {
     if models.is_empty() {
         return Err(SimError::DoesNotFit {
             reason: "no models given".into(),
@@ -268,7 +286,7 @@ pub fn streamed_multi_dnn(
     std::thread::scope(|scope| {
         for ((name, cfg), slot) in models.iter().zip(&mut slots) {
             scope.spawn(move || {
-                *slot = Some(stream_one(name, cfg, engine, budget));
+                *slot = Some(stream_one(name, cfg, engine, budget, threads));
             });
         }
     });
@@ -291,9 +309,11 @@ fn stream_one(
     cfg: &StreamConfig,
     engine: Engine,
     budget: u64,
+    threads: usize,
 ) -> Result<StreamedModelReport, SimError> {
     let mut sim = StreamSim::new(cfg)?;
     sim.set_engine(engine);
+    sim.set_parallelism(threads);
     let r = sim.run(budget)?;
     Ok(StreamedModelReport {
         name: name.to_string(),
@@ -451,6 +471,53 @@ mod tests {
     #[test]
     fn streamed_multi_dnn_rejects_empty_list() {
         assert!(streamed_multi_dnn(&[], Engine::EventDriven, 1_000).is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(4))]
+
+        /// Node-step sharding inside each model's simulation is an
+        /// implementation detail: for random one-layer workloads the
+        /// report is bit-identical across 1/2/4 stepping threads and
+        /// both engines.
+        #[test]
+        fn prop_streamed_report_is_thread_and_engine_invariant(
+            wide_in in proptest::prelude::any::<bool>(),
+            wide_out in proptest::prelude::any::<bool>(),
+            hw in 5usize..=7,
+            salt in 0usize..16,
+        ) {
+            let in_c = if wide_in { 16 } else { 8 };
+            let out_c = if wide_out { 8 } else { 4 };
+            let cfg = StreamConfig {
+                layers: vec![crate::stream::test_layer(in_c, out_c, salt)],
+                input: crate::stream::test_input(in_c, hw, hw),
+            };
+            let models = [("a", cfg.clone()), ("b", StreamConfig::small_test())];
+            let baseline =
+                streamed_multi_dnn_parallel(&models, Engine::EventDriven, 5_000_000, 1)
+                    .unwrap();
+            proptest::prop_assert!(baseline.models.iter().all(|m| m.golden_match));
+            for engine in [Engine::EventDriven, Engine::CycleAccurate] {
+                for threads in [1usize, 2, 4] {
+                    let r =
+                        streamed_multi_dnn_parallel(&models, engine, 5_000_000, threads)
+                            .unwrap();
+                    proptest::prop_assert_eq!(
+                        &r.models, &baseline.models,
+                        "engine {:?} threads {}", engine, threads
+                    );
+                    proptest::prop_assert_eq!(
+                        r.parallel_makespan_cycles,
+                        baseline.parallel_makespan_cycles
+                    );
+                    proptest::prop_assert_eq!(
+                        r.time_shared_cycles,
+                        baseline.time_shared_cycles
+                    );
+                }
+            }
+        }
     }
 
     #[test]

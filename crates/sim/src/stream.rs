@@ -26,17 +26,18 @@
 //! bit-identical [`StreamResult`]s, cycle counts, energy, and fault
 //! observations — regression- and proptest-enforced below.
 
-use crate::SimError;
+use crate::{ComponentError, SimError};
 use maicc_exec::mapping::{place_groups_avoiding, Tile};
 use maicc_nn::layer::ConvLayer;
 use maicc_nn::tensor::Tensor;
 use maicc_noc::{
-    Coord, Mesh, NocFaultPlan, NocFaultStats, NocStats, Packet, ROW_PACKET_FLITS,
-    WORD_PACKET_FLITS,
+    Coord, Mesh, NocError, NocFaultPlan, NocFaultStats, NocStats, Packet, RetryPolicy,
+    ROW_PACKET_FLITS, WORD_PACKET_FLITS,
 };
 use maicc_sram::cmem::Cmem;
+use maicc_sram::ecc::{EccMode, EccStats};
 use maicc_sram::fault::{FaultPlan, FaultStats};
-use maicc_sram::{timing, transpose};
+use maicc_sram::{timing, transpose, SramError};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
@@ -50,6 +51,10 @@ const ACCUM_PER_MAC: u64 = 4;
 const AUX_PER_VALUE: u64 = 8;
 /// Pixels the DC may have in flight before waiting for credits.
 const CREDIT_WINDOW: usize = 2;
+/// Credit-stall age beyond which a budget exhaustion is blamed on the
+/// wedged router instead of reported as a bare timeout. Larger than any
+/// transient congestion the streaming protocol produces.
+const WEDGE_STALL_AGE: u64 = 1024;
 
 /// A multi-layer streaming workload (valid convolutions, fused ReLU +
 /// requantization as in the golden model).
@@ -110,7 +115,7 @@ impl StreamConfig {
     }
 }
 
-fn test_layer(in_c: usize, out_c: usize, salt: usize) -> ConvLayer {
+pub(crate) fn test_layer(in_c: usize, out_c: usize, salt: usize) -> ConvLayer {
     use maicc_nn::quant::Requantizer;
     use maicc_nn::tensor::ConvShape;
     ConvLayer {
@@ -132,7 +137,7 @@ fn test_layer(in_c: usize, out_c: usize, salt: usize) -> ConvLayer {
     }
 }
 
-fn test_input(c: usize, h: usize, w: usize) -> Tensor<i8> {
+pub(crate) fn test_input(c: usize, h: usize, w: usize) -> Tensor<i8> {
     Tensor::from_fn(&[c, h, w], |i| (((i[0] * 7 + i[1] * 3 + i[2]) % 11) as i8) - 5)
 }
 
@@ -194,6 +199,66 @@ impl Engine {
     }
 }
 
+/// Checkpoint/replay re-execution policy: how [`StreamSim::run`] reacts
+/// when a *detected* fault surfaces — an uncorrectable ECC error, a dead
+/// CMem slice, or NoC traffic lost after exhausting retransmissions.
+///
+/// Recovery is strictly opt-in: with no policy attached the simulator
+/// behaves exactly as before (detected faults propagate as typed errors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Total rollback/rebuild attempts before the error propagates.
+    pub max_replays: u32,
+    /// On a *hard* fault (a dead CMem slice), rebuild the whole fabric
+    /// with [`place_groups_avoiding`] steering around the failed tile.
+    pub remap: bool,
+    /// Checkpoint cadence: snapshot architectural state every time this
+    /// many more ofmap values have reached the sink. The trigger counts
+    /// *logical* progress, so both [`Engine`]s checkpoint at identical
+    /// points.
+    pub checkpoint_values: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_replays: 16,
+            remap: true,
+            checkpoint_values: 16,
+        }
+    }
+}
+
+/// Counters of recovery activity on one [`StreamSim`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Checkpoints taken (including the initial one).
+    pub checkpoints: u64,
+    /// Rollback/rebuild attempts performed.
+    pub replays: u32,
+    /// Replays that rebuilt the fabric on a remapped placement.
+    pub remaps: u32,
+    /// Cycles of discarded work re-executed after rollbacks: the final
+    /// [`StreamResult::cycles`] includes them.
+    pub replayed_cycles: u64,
+    /// CMem energy of discarded work, pJ: included in
+    /// [`StreamResult::cmem_pj`].
+    pub replayed_pj: f64,
+}
+
+/// A snapshot of everything a rollback must restore.
+struct Checkpoint {
+    nodes: Vec<SimNode>,
+    mesh: Mesh<Msg>,
+    fault: Option<(usize, usize)>,
+    /// `sink values / checkpoint_values` when the snapshot was taken.
+    mark: usize,
+    /// NoC packets lost at snapshot time; a snapshot is only replaced
+    /// while this count is unchanged, so rollbacks always land *before*
+    /// an unrecoverable loss.
+    lost: u64,
+}
+
 /// One shard of the per-cycle node step, handed to a pool worker.
 ///
 /// Carries a raw slice so the borrow can cross an `mpsc` channel. Safety
@@ -213,10 +278,12 @@ struct StepTask {
 // the matching `StepReply` is sent back (see the protocol on `StepTask`).
 unsafe impl Send for StepTask {}
 
-/// A worker's answer: the shard's emitted packets + its first error.
+/// A worker's answer: the shard's emitted packets + its first error,
+/// tagged with the failing node's coordinates so recovery can localize
+/// (and remap around) the faulty tile.
 struct StepReply {
     out: Vec<Packet<Msg>>,
-    res: Result<(), SimError>,
+    res: Result<(), (Coord, SimError)>,
 }
 
 /// A persistent worker pool for the sharded node step.
@@ -255,8 +322,9 @@ impl StepPool {
                             if node.busy_until > t.now {
                                 continue;
                             }
+                            let coord = node.coord;
                             if let Err(e) = step_node(node, t.now, dims, cfg, &mut t.out) {
-                                res = Err(e);
+                                res = Err((coord, e));
                                 break;
                             }
                         }
@@ -284,7 +352,7 @@ impl StepPool {
         workers: usize,
         now: u64,
         outgoing: &mut Vec<Packet<Msg>>,
-    ) -> Result<(), SimError> {
+    ) -> Result<(), (Coord, SimError)> {
         let chunk = nodes.len().div_ceil(workers);
         let mut dispatched = 0;
         for (w, shard) in nodes.chunks_mut(chunk).enumerate() {
@@ -328,6 +396,7 @@ struct Resident {
     row: usize,
 }
 
+#[derive(Clone)]
 enum Role {
     Dc {
         layer: usize,
@@ -359,6 +428,7 @@ enum Role {
     },
 }
 
+#[derive(Clone)]
 struct SimNode {
     coord: Coord,
     busy_until: u64,
@@ -392,6 +462,23 @@ pub struct StreamSim {
     parallelism: usize,
     /// Which simulation core drives `run`.
     engine: Engine,
+    /// Checkpoint/replay policy; `None` (default) = detected faults
+    /// propagate as typed errors exactly as before.
+    recovery: Option<RecoveryPolicy>,
+    recovery_stats: RecoveryStats,
+    checkpoint: Option<Box<Checkpoint>>,
+    /// Last `sink values / checkpoint_values` quotient a snapshot covered.
+    checkpoint_mark: usize,
+    /// Coordinates of the node whose step raised the last typed error.
+    fault_coord: Option<Coord>,
+    /// Tiles the placement must skip (grows as remap-recovery retires
+    /// tiles with hard faults).
+    avoid: Vec<Tile>,
+    /// Remembered fabric configuration, re-applied after a remap rebuild.
+    cmem_plan: Option<FaultPlan>,
+    targeted_plans: Vec<(Coord, FaultPlan)>,
+    noc_plan: Option<NocFaultPlan>,
+    ecc_mode: EccMode,
 }
 
 impl std::fmt::Debug for StreamSim {
@@ -614,6 +701,16 @@ impl StreamSim {
             fault: None,
             parallelism: 1,
             engine: Engine::default(),
+            recovery: None,
+            recovery_stats: RecoveryStats::default(),
+            checkpoint: None,
+            checkpoint_mark: 0,
+            fault_coord: None,
+            avoid: failed.to_vec(),
+            cmem_plan: None,
+            targeted_plans: Vec::new(),
+            noc_plan: None,
+            ecc_mode: EccMode::Off,
         })
     }
 
@@ -659,6 +756,7 @@ impl StreamSim {
     /// cores fault independently but the whole run stays deterministic. A
     /// quiet plan leaves behaviour bit-identical.
     pub fn attach_cmem_fault_plan(&mut self, plan: &FaultPlan) {
+        self.cmem_plan = Some(plan.clone());
         for (i, node) in self.nodes.iter_mut().enumerate() {
             if let Role::Cc { cmem, .. } = &mut node.role {
                 let mut p = plan.clone();
@@ -670,9 +768,80 @@ impl StreamSim {
         }
     }
 
+    /// Attaches a CMem fault plan to the `cc_index`-th computing core
+    /// only (in placement order) — modelling a single defective *tile*
+    /// rather than a fabric-wide condition. The plan is pinned to the
+    /// tile the core currently occupies: if recovery later rebuilds the
+    /// fabric around that tile, the defect is retired with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cc_index` is not a valid computing-core index.
+    pub fn attach_cmem_fault_plan_to(&mut self, cc_index: usize, plan: &FaultPlan) {
+        let mut seen = 0;
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if let Role::Cc { cmem, .. } = &mut node.role {
+                if seen == cc_index {
+                    let mut p = plan.clone();
+                    p.seed = plan
+                        .seed
+                        .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    cmem.attach_fault_plan(p);
+                    self.targeted_plans.push((node.coord, plan.clone()));
+                    return;
+                }
+                seen += 1;
+            }
+        }
+        panic!("cc_index {cc_index} out of range ({seen} computing cores)");
+    }
+
     /// Attaches a NoC fault plan to the underlying mesh.
     pub fn attach_noc_fault_plan(&mut self, plan: NocFaultPlan) {
+        self.noc_plan = Some(plan.clone());
         self.mesh.attach_fault_plan(plan);
+    }
+
+    /// Sets the ECC protection level of every computing core's CMem (see
+    /// [`EccMode`]). [`EccMode::Off`] (the default) is bit-identical to
+    /// the unprotected fabric.
+    pub fn set_ecc_mode(&mut self, mode: EccMode) {
+        self.ecc_mode = mode;
+        for node in &mut self.nodes {
+            if let Role::Cc { cmem, .. } = &mut node.role {
+                cmem.set_ecc_mode(mode);
+            }
+        }
+    }
+
+    /// Merged ECC statistics across all computing cores.
+    #[must_use]
+    pub fn ecc_stats(&self) -> EccStats {
+        let mut total = EccStats::default();
+        for node in &self.nodes {
+            if let Role::Cc { cmem, .. } = &node.role {
+                total.merge(&cmem.ecc_stats());
+            }
+        }
+        total
+    }
+
+    /// Enables (or disables, with `None`) CRC-checked ACK/NACK
+    /// retransmission on the mesh (see [`RetryPolicy`]).
+    pub fn set_noc_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.mesh.set_retry_policy(policy);
+    }
+
+    /// Arms (or disarms, with `None`) checkpoint/replay recovery.
+    pub fn set_recovery_policy(&mut self, policy: Option<RecoveryPolicy>) {
+        self.recovery = policy;
+    }
+
+    /// Recovery activity of the last [`StreamSim::run`] (all zeros when
+    /// no [`RecoveryPolicy`] is attached).
+    #[must_use]
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery_stats
     }
 
     /// Merged CMem fault statistics across all computing cores.
@@ -703,23 +872,43 @@ impl StreamSim {
     /// alternative to burning the whole budget on a hang. Typed component
     /// errors (e.g. a dead CMem slice detected as [`SimError::Fault`])
     /// propagate from the computing cores.
+    ///
+    /// With a [`RecoveryPolicy`] attached, detected faults roll the
+    /// simulation back to the latest checkpoint (or rebuild it on a
+    /// remapped placement for hard faults) and re-execute; the errors
+    /// above then only surface once `max_replays` is exhausted.
+    /// [`StreamResult::cycles`] and [`StreamResult::cmem_pj`] include the
+    /// re-executed work.
     pub fn run(&mut self, budget: u64) -> Result<StreamResult, SimError> {
         let dims = self.layer_dims();
         // the pool workers borrow the config for the whole run, so hand
         // them a run-local copy (one clone per run, microseconds)
         let cfg = self.cfg.clone();
-        if self.parallelism > 1 {
-            let threads = self.parallelism;
-            let dims_ref: &[LayerDims] = &dims;
-            let cfg_ref: &StreamConfig = &cfg;
-            std::thread::scope(|scope| {
-                let mut pool = StepPool::start(scope, threads, dims_ref, cfg_ref);
-                self.run_loop(budget, dims_ref, cfg_ref, Some(&mut pool))
-            })?;
-        } else {
-            self.run_loop(budget, &dims, &cfg, None)?;
+        if self.recovery.is_some() && self.checkpoint.is_none() {
+            self.take_checkpoint();
         }
-        let cycles = self.mesh.cycle();
+        loop {
+            let res = if self.parallelism > 1 {
+                let threads = self.parallelism;
+                let dims_ref: &[LayerDims] = &dims;
+                let cfg_ref: &StreamConfig = &cfg;
+                std::thread::scope(|scope| {
+                    let mut pool = StepPool::start(scope, threads, dims_ref, cfg_ref);
+                    self.run_loop(budget, dims_ref, cfg_ref, Some(&mut pool))
+                })
+            } else {
+                self.run_loop(budget, &dims, &cfg, None)
+            };
+            match res {
+                Ok(()) => break,
+                Err(e) => {
+                    if !self.try_recover(&e) {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        let cycles = self.mesh.cycle() + self.recovery_stats.replayed_cycles;
         let last = self.cfg.layers.last().expect("non-empty");
         let out_c = last.shape.out_channels;
         let (oh, ow) = {
@@ -728,7 +917,7 @@ impl StreamSim {
             (o.1, o.2)
         };
         let mut ofmap = vec![0i8; out_c * oh * ow];
-        let mut cmem_pj = 0.0;
+        let mut cmem_pj = self.recovery_stats.replayed_pj;
         for n in &self.nodes {
             match &n.role {
                 Role::Sink { values, .. } => {
@@ -746,6 +935,154 @@ impl StreamSim {
             noc: *self.mesh.stats(),
             cmem_pj,
         })
+    }
+
+    /// Live CMem energy across all computing cores, pJ.
+    fn live_cmem_pj(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| match &n.role {
+                Role::Cc { cmem, .. } => cmem.energy().total_pj(),
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Ofmap values the sink has received so far.
+    fn sink_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match &n.role {
+                Role::Sink { values, .. } => values.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Snapshots the full architectural state (nodes, mesh, pending
+    /// one-shot fault) for a later rollback.
+    fn take_checkpoint(&mut self) {
+        self.recovery_stats.checkpoints += 1;
+        self.checkpoint = Some(Box::new(Checkpoint {
+            nodes: self.nodes.clone(),
+            mesh: self.mesh.clone(),
+            fault: self.fault,
+            mark: self.checkpoint_mark,
+            lost: self.mesh.fault_stats().packets_lost,
+        }));
+    }
+
+    /// Dispatches a detected fault to the matching recovery action.
+    /// Returns `false` when recovery is off, exhausted, or impossible —
+    /// the caller then propagates the error unchanged.
+    fn try_recover(&mut self, err: &SimError) -> bool {
+        let Some(policy) = self.recovery else {
+            return false;
+        };
+        if self.recovery_stats.replays >= policy.max_replays {
+            return false;
+        }
+        match err {
+            // a dead slice is permanent: replaying onto the same tile
+            // can only fail again, so retire the tile and rebuild
+            SimError::Fault {
+                source: ComponentError::Sram(SramError::SliceFailed { .. }),
+            } => policy.remap && self.rebuild_remapped(),
+            // everything else detected is transient (an uncorrectable
+            // ECC word, lost NoC traffic, a wedged router): roll back
+            // and re-execute on fresh fault-RNG streams
+            SimError::Fault { .. } | SimError::Degraded { .. } => self.rollback(),
+            _ => false,
+        }
+    }
+
+    /// Rolls the simulation back to the latest checkpoint, charging the
+    /// discarded cycles/energy, and reseeds every fault RNG so the replay
+    /// draws a fresh transient schedule.
+    fn rollback(&mut self) -> bool {
+        let Some(ck) = self.checkpoint.as_deref() else {
+            return false;
+        };
+        let wasted_cycles = self.mesh.cycle().saturating_sub(ck.mesh.cycle());
+        let pj_before = self.live_cmem_pj();
+        self.nodes = ck.nodes.clone();
+        self.mesh = ck.mesh.clone();
+        self.fault = ck.fault;
+        self.checkpoint_mark = ck.mark;
+        self.recovery_stats.replays += 1;
+        self.recovery_stats.replayed_cycles += wasted_cycles;
+        self.recovery_stats.replayed_pj += (pj_before - self.live_cmem_pj()).max(0.0);
+        self.reseed_fault_rngs(u64::from(self.recovery_stats.replays));
+        true
+    }
+
+    /// Rebuilds the whole fabric with the faulty tile added to the avoid
+    /// list, restores the attached fault/ECC/retry configuration on the
+    /// new placement, and restarts from a fresh initial checkpoint.
+    fn rebuild_remapped(&mut self) -> bool {
+        let Some(c) = self.fault_coord.take() else {
+            return false;
+        };
+        let wasted_cycles = self.mesh.cycle();
+        let wasted_pj = self.live_cmem_pj();
+        self.avoid.push(Tile { x: c.x, y: c.y });
+        let Ok(fresh) = Self::new_avoiding(&self.cfg, &self.avoid) else {
+            return false; // too few healthy tiles left: not recoverable
+        };
+        let retry = self.mesh.retry_policy();
+        self.nodes = fresh.nodes;
+        self.mesh = fresh.mesh;
+        self.tile_of = fresh.tile_of;
+        self.recovery_stats.replays += 1;
+        self.recovery_stats.remaps += 1;
+        self.recovery_stats.replayed_cycles += wasted_cycles;
+        self.recovery_stats.replayed_pj += wasted_pj;
+        // restore the fabric configuration on the rebuilt placement
+        if let Some(plan) = self.cmem_plan.clone() {
+            self.attach_cmem_fault_plan(&plan);
+        }
+        let targeted = std::mem::take(&mut self.targeted_plans);
+        for (coord, plan) in targeted {
+            if self.avoid.iter().any(|t| t.x == coord.x && t.y == coord.y) {
+                continue; // the defective tile is out of the fabric now
+            }
+            // the defect stays with its tile: re-pin the plan to whatever
+            // computing core occupies it after the remap, if any
+            if let Some(&idx) = self.tile_of.get(&(coord.x, coord.y)) {
+                if let Role::Cc { cmem, .. } = &mut self.nodes[idx].role {
+                    let mut p = plan.clone();
+                    p.seed = plan
+                        .seed
+                        .wrapping_add((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    cmem.attach_fault_plan(p);
+                }
+            }
+            self.targeted_plans.push((coord, plan));
+        }
+        if self.ecc_mode.is_on() {
+            let mode = self.ecc_mode;
+            self.set_ecc_mode(mode);
+        }
+        if let Some(plan) = self.noc_plan.clone() {
+            self.mesh.attach_fault_plan(plan);
+        }
+        self.mesh.set_retry_policy(retry);
+        self.reseed_fault_rngs(u64::from(self.recovery_stats.replays));
+        self.checkpoint_mark = 0;
+        self.checkpoint = None;
+        self.take_checkpoint();
+        true
+    }
+
+    /// Reseeds every fault RNG (mesh + all CMems) with the given salt;
+    /// per-node seed offsets keep the streams distinct.
+    fn reseed_fault_rngs(&mut self, salt: u64) {
+        self.mesh.reseed_fault_rng(salt);
+        for node in &mut self.nodes {
+            if let Role::Cc { cmem, .. } = &mut node.role {
+                cmem.reseed_fault_rng(salt);
+            }
+        }
     }
 
     /// The engine-shared simulation loop; returns when the workload has
@@ -768,6 +1105,18 @@ impl StreamSim {
                         lost_packets: lost,
                         cycles: now,
                     });
+                }
+                // a router wedged for thousands of cycles is more
+                // actionable than a bare timeout: name it, so campaign
+                // reports (and remap recovery) can localize the failure
+                if !self.mesh.is_idle() {
+                    if let w @ NocError::Wedged { stalled_for, .. } = self.mesh.wedge_report() {
+                        if stalled_for >= WEDGE_STALL_AGE {
+                            return Err(SimError::Fault {
+                                source: ComponentError::Noc(w),
+                            });
+                        }
+                    }
                 }
                 return Err(SimError::Timeout { budget });
             }
@@ -809,20 +1158,46 @@ impl StreamSim {
             } else {
                 1
             };
-            if workers > 1 {
+            let failed: Option<(Coord, SimError)> = if workers > 1 {
                 let pool = pool.as_deref_mut().expect("parallelism > 1 spawned a pool");
-                pool.step(&mut self.nodes, workers, now, &mut outgoing)?;
+                pool.step(&mut self.nodes, workers, now, &mut outgoing).err()
             } else {
+                let mut first = None;
                 for node in &mut self.nodes {
                     if node.busy_until > now {
                         continue;
                     }
-                    step_node(node, now, dims, cfg, &mut outgoing)?;
+                    let coord = node.coord;
+                    if let Err(e) = step_node(node, now, dims, cfg, &mut outgoing) {
+                        first = Some((coord, e));
+                        break;
+                    }
                 }
+                first
+            };
+            if let Some((coord, e)) = failed {
+                self.fault_coord = Some(coord);
+                return Err(e);
             }
             let injected = !outgoing.is_empty();
             for p in outgoing.drain(..) {
                 self.mesh.send(p);
+            }
+            // recovery: snapshot architectural state whenever enough new
+            // ofmap values have reached the sink — a logical-progress
+            // trigger, so both engines checkpoint at identical points.
+            // A snapshot is skipped while the mesh has unrecoverably
+            // lost packets beyond the held checkpoint's count: rollbacks
+            // must land *before* the loss.
+            if let Some(policy) = self.recovery {
+                let mark = self.sink_count() / policy.checkpoint_values.max(1);
+                if mark > self.checkpoint_mark
+                    && self.mesh.fault_stats().packets_lost
+                        == self.checkpoint.as_ref().map_or(0, |c| c.lost)
+                {
+                    self.checkpoint_mark = mark;
+                    self.take_checkpoint();
+                }
             }
             // completion check
             if self.finished() && self.mesh.is_idle() {
@@ -1444,6 +1819,138 @@ mod tests {
     }
 
     #[test]
+    fn recovery_is_inert_without_faults() {
+        // an armed policy on a clean run takes checkpoints but never
+        // replays: the result stays bit-, cycle-, and energy-identical
+        let cfg = StreamConfig::small_test();
+        let clean = StreamSim::new(&cfg).unwrap().run(5_000_000).unwrap();
+        let mut sim = StreamSim::new(&cfg).unwrap();
+        sim.set_recovery_policy(Some(RecoveryPolicy::default()));
+        let r = sim.run(5_000_000).unwrap();
+        assert_eq!(r, clean);
+        let rec = sim.recovery_stats();
+        assert!(rec.checkpoints > 1, "{rec:?}");
+        assert_eq!(rec.replays, 0);
+        assert_eq!(rec.replayed_cycles, 0);
+        assert_eq!(rec.replayed_pj, 0.0);
+    }
+
+    #[test]
+    fn replay_recovers_detected_transient_upsets() {
+        // DetectOnly ECC turns every transient upset into a typed error;
+        // checkpoint/replay re-executes the poisoned segment on a fresh
+        // RNG stream until the run converges to the golden output
+        let cfg = StreamConfig::small_test();
+        let plan = FaultPlan::with_seed(8).transient(1e-4);
+        let mut bare = StreamSim::new(&cfg).unwrap();
+        bare.attach_cmem_fault_plan(&plan);
+        bare.set_ecc_mode(EccMode::DetectOnly);
+        assert!(
+            matches!(bare.run(5_000_000), Err(SimError::Fault { .. })),
+            "without recovery the detected upset must propagate"
+        );
+        let mut sim = StreamSim::new(&cfg).unwrap();
+        sim.attach_cmem_fault_plan(&plan);
+        sim.set_ecc_mode(EccMode::DetectOnly);
+        sim.set_recovery_policy(Some(RecoveryPolicy {
+            max_replays: 64,
+            remap: false,
+            checkpoint_values: 8,
+        }));
+        let r = sim.run(5_000_000).unwrap();
+        assert_eq!(r.ofmap, cfg.golden(), "replayed run must converge");
+        let rec = sim.recovery_stats();
+        assert!(rec.replays > 0, "{rec:?}");
+        assert_eq!(rec.remaps, 0);
+        assert!(rec.replayed_cycles > 0, "{rec:?}");
+        assert!(rec.replayed_pj > 0.0, "{rec:?}");
+        // the re-executed work is charged to the final bill
+        let clean = StreamSim::new(&cfg).unwrap().run(5_000_000).unwrap();
+        assert!(r.cycles > clean.cycles, "{} vs {}", r.cycles, clean.cycles);
+        assert!(r.cmem_pj > clean.cmem_pj);
+    }
+
+    #[test]
+    fn remap_replay_survives_a_dead_tile() {
+        // a dead slice pinned to one tile: recovery retires the tile,
+        // rebuilds the placement around it, and re-executes to golden
+        let cfg = StreamConfig::small_test();
+        let mut sim = StreamSim::new(&cfg).unwrap();
+        sim.attach_cmem_fault_plan_to(0, &FaultPlan::none().dead_slice(2));
+        sim.set_recovery_policy(Some(RecoveryPolicy::default()));
+        let r = sim.run(20_000_000).unwrap();
+        assert_eq!(r.ofmap, cfg.golden());
+        let rec = sim.recovery_stats();
+        assert!(rec.remaps >= 1, "{rec:?}");
+        assert!(rec.replayed_cycles > 0, "{rec:?}");
+        // the retired tile hosts no node on the rebuilt placement
+        let dead = *sim.avoid.last().unwrap();
+        assert!(!sim.tile_of.contains_key(&(dead.x, dead.y)));
+        // and without remap permission the hard fault propagates
+        let mut stuck = StreamSim::new(&cfg).unwrap();
+        stuck.attach_cmem_fault_plan_to(0, &FaultPlan::none().dead_slice(2));
+        stuck.set_recovery_policy(Some(RecoveryPolicy {
+            remap: false,
+            ..RecoveryPolicy::default()
+        }));
+        assert!(matches!(stuck.run(20_000_000), Err(SimError::Fault { .. })));
+    }
+
+    #[test]
+    fn replay_reclaims_lost_noc_traffic() {
+        // a drop schedule that exhausts the plan's retries: without
+        // recovery the run degrades; with it, the rollback reseeds the
+        // drop RNG and the replay carries the traffic through
+        let cfg = StreamConfig::small_test();
+        let noc_plan = || {
+            NocFaultPlan::with_seed(3)
+                .drop_rate(0.02)
+                .retry_after(64)
+                .max_retries(1)
+        };
+        let mut bare = StreamSim::new(&cfg).unwrap();
+        bare.attach_noc_fault_plan(noc_plan());
+        let err = bare.run(5_000_000).unwrap_err();
+        assert!(matches!(err, SimError::Degraded { .. }), "{err:?}");
+        let mut sim = StreamSim::new(&cfg).unwrap();
+        sim.attach_noc_fault_plan(noc_plan());
+        sim.set_recovery_policy(Some(RecoveryPolicy {
+            max_replays: 32,
+            remap: false,
+            checkpoint_values: 8,
+        }));
+        let r = sim.run(5_000_000).unwrap();
+        assert_eq!(r.ofmap, cfg.golden());
+        assert!(sim.recovery_stats().replays > 0, "{:?}", sim.recovery_stats());
+    }
+
+    #[test]
+    fn engines_agree_under_recovery() {
+        // rollback, reseed, and checkpoint cadence are all driven by
+        // logical progress, so the two engines replay identically
+        let cfg = StreamConfig::small_test();
+        let run = |engine: Engine| {
+            let mut sim = StreamSim::new(&cfg).unwrap();
+            sim.set_engine(engine);
+            sim.attach_cmem_fault_plan(&FaultPlan::with_seed(8).transient(1e-4));
+            sim.set_ecc_mode(EccMode::DetectOnly);
+            sim.set_noc_retry_policy(Some(RetryPolicy::default()));
+            sim.set_recovery_policy(Some(RecoveryPolicy {
+                max_replays: 64,
+                remap: false,
+                checkpoint_values: 8,
+            }));
+            let r = sim.run(5_000_000).unwrap();
+            (r, sim.recovery_stats(), sim.ecc_stats())
+        };
+        let fast = run(Engine::EventDriven);
+        let oracle = run(Engine::CycleAccurate);
+        assert_eq!(fast.0, oracle.0, "results diverged");
+        assert_eq!(fast.1, oracle.1, "recovery stats diverged");
+        assert_eq!(fast.2, oracle.2, "ECC stats diverged");
+    }
+
+    #[test]
     fn dead_slice_surfaces_as_typed_fault() {
         let cfg = StreamConfig::small_test();
         let mut sim = StreamSim::new(&cfg).unwrap();
@@ -1471,6 +1978,7 @@ mod tests {
             stride2 in any::<bool>(),
             cmem_faults in any::<bool>(),
             noc_faults in any::<bool>(),
+            recovery in any::<bool>(),
         ) {
             let mut head = test_layer(in_c, out_c, salt);
             // a stride-2 head shrinks the ofmap below a second 3×3 layer,
@@ -1503,11 +2011,22 @@ mod tests {
                             .max_retries(3),
                     );
                 }
+                if recovery {
+                    sim.set_ecc_mode(EccMode::Correct);
+                    sim.set_noc_retry_policy(Some(RetryPolicy::default()));
+                    sim.set_recovery_policy(Some(RecoveryPolicy::default()));
+                }
                 let r = sim.run(2_000_000);
-                (r, sim.cmem_fault_stats(), sim.noc_fault_stats())
+                (
+                    r,
+                    sim.cmem_fault_stats(),
+                    sim.noc_fault_stats(),
+                    sim.recovery_stats(),
+                    sim.ecc_stats(),
+                )
             };
-            let (fr, fc, fn_) = run_with(Engine::EventDriven);
-            let (or, oc, on) = run_with(Engine::CycleAccurate);
+            let (fr, fc, fn_, frec, fecc) = run_with(Engine::EventDriven);
+            let (or, oc, on, orec, oecc) = run_with(Engine::CycleAccurate);
             match (fr, or) {
                 (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "results diverged"),
                 (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
@@ -1515,6 +2034,8 @@ mod tests {
             }
             prop_assert_eq!(fc, oc, "CMem fault stats diverged");
             prop_assert_eq!(fn_, on, "NoC fault stats diverged");
+            prop_assert_eq!(frec, orec, "recovery stats diverged");
+            prop_assert_eq!(fecc, oecc, "ECC stats diverged");
         }
 
         /// Satellite regression: with empty fault plans attached, the

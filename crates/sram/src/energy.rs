@@ -26,6 +26,16 @@ pub const SHIFT_ROW_PJ: f64 = 6.6;
 /// activations plus adder-tree work for 28.25 pJ, ≈0.44 pJ per activation.
 /// Used to price Neural Cache's element-wise loops on equal footing.
 pub const ACTIVATION_PJ: f64 = 0.44;
+/// Energy of regenerating one row's SECDED check bits at write time, in pJ.
+///
+/// Modelled as four 64-bit Hamming encoders (one per lane word) at roughly
+/// the cost of one extra row activation plus XOR-tree work.
+pub const ECC_ENCODE_PJ: f64 = 0.52;
+/// Energy of one syndrome check on activation, in pJ (slightly cheaper
+/// than encode: the check bits are read alongside the data).
+pub const ECC_CHECK_PJ: f64 = 0.36;
+/// Energy of steering one corrected bit through the correction mux, in pJ.
+pub const ECC_CORRECT_PJ: f64 = 0.21;
 
 /// Counters for every energy-bearing CMem primitive.
 ///
@@ -49,6 +59,9 @@ pub struct EnergyMeter {
     remote_rows: u64,
     raw_activations: u64,
     fault_events: u64,
+    ecc_encodes: u64,
+    ecc_checks: u64,
+    ecc_corrections: u64,
 }
 
 impl EnergyMeter {
@@ -110,6 +123,29 @@ impl EnergyMeter {
         self.fault_events
     }
 
+    /// Records `n` ECC parity regenerations (write-class operations).
+    pub fn count_ecc_encode(&mut self, n: u64) {
+        self.ecc_encodes += n;
+    }
+
+    /// Records `n` ECC syndrome checks (read-class operations).
+    pub fn count_ecc_check(&mut self, n: u64) {
+        self.ecc_checks += n;
+    }
+
+    /// Records `n` on-the-fly ECC corrections.
+    pub fn count_ecc_correct(&mut self, n: u64) {
+        self.ecc_corrections += n;
+    }
+
+    /// Total energy spent on ECC encode/check/correct, in picojoules.
+    #[must_use]
+    pub fn ecc_pj(&self) -> f64 {
+        self.ecc_encodes as f64 * ECC_ENCODE_PJ
+            + self.ecc_checks as f64 * ECC_CHECK_PJ
+            + self.ecc_corrections as f64 * ECC_CORRECT_PJ
+    }
+
     /// Number of `MAC.C` operations recorded so far.
     #[must_use]
     pub fn macs(&self) -> u64 {
@@ -132,6 +168,7 @@ impl EnergyMeter {
             + self.shift_rows as f64 * SHIFT_ROW_PJ
             + self.remote_rows as f64 * REMOTE_ROW_PJ
             + self.raw_activations as f64 * ACTIVATION_PJ
+            + self.ecc_pj()
     }
 
     /// Total accumulated energy in joules.
@@ -150,6 +187,9 @@ impl EnergyMeter {
         self.remote_rows += other.remote_rows;
         self.raw_activations += other.raw_activations;
         self.fault_events += other.fault_events;
+        self.ecc_encodes += other.ecc_encodes;
+        self.ecc_checks += other.ecc_checks;
+        self.ecc_corrections += other.ecc_corrections;
     }
 }
 

@@ -64,6 +64,20 @@ pub enum SramError {
         /// The dead slice index.
         slice: usize,
     },
+    /// The per-row ECC check found an error it could not correct: any
+    /// mismatch under [`EccMode::DetectOnly`](crate::ecc::EccMode), or a
+    /// multi-bit-per-row error under
+    /// [`EccMode::Correct`](crate::ecc::EccMode).
+    ///
+    /// Like [`SramError::SliceFailed`] this is a *detected* fault: the
+    /// fabric can roll back to a checkpoint and replay instead of
+    /// silently corrupting data.
+    EccUncorrectable {
+        /// Slice holding the offending row.
+        slice: usize,
+        /// The activated row whose parity check failed.
+        row: usize,
+    },
 }
 
 impl fmt::Display for SramError {
@@ -96,6 +110,12 @@ impl fmt::Display for SramError {
             SramError::SliceFailed { slice } => {
                 write!(f, "slice {slice} has failed (dead-slice fault injected)")
             }
+            SramError::EccUncorrectable { slice, row } => {
+                write!(
+                    f,
+                    "uncorrectable ECC error in slice {slice}, row {row} (detected on activation)"
+                )
+            }
         }
     }
 }
@@ -121,6 +141,7 @@ mod tests {
             SramError::OperandOverlap { a: 0, b: 4, bits: 8 },
             SramError::NotByteAddressable { slice: 3 },
             SramError::SliceFailed { slice: 6 },
+            SramError::EccUncorrectable { slice: 2, row: 17 },
         ];
         for e in errs {
             let s = e.to_string();

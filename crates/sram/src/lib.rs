@@ -32,6 +32,9 @@
 //!   the CMem's slices inherit.
 //! * [`fault`] — seeded fault injection (transient upsets, stuck-at cells,
 //!   dead slices) for resilience studies; off by default.
+//! * [`ecc`] — SECDED-style per-row parity protection
+//!   ([`EccMode::{Off,DetectOnly,Correct}`](ecc::EccMode)) with analytic
+//!   cycle/energy surcharge; off by default.
 //!
 //! ## Example
 //!
@@ -55,6 +58,7 @@
 
 pub mod array;
 pub mod cmem;
+pub mod ecc;
 pub mod energy;
 pub mod fault;
 pub mod logic;

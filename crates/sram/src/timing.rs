@@ -40,6 +40,28 @@ pub const fn remote_row_cycles() -> u64 {
     1
 }
 
+/// Extra cycles to regenerate a row's SECDED check bits on a write-class
+/// operation (the encoder sits beside the write drivers; one pipeline
+/// stage regardless of how many rows the operation touches).
+#[must_use]
+pub const fn ecc_encode_cycles() -> u64 {
+    1
+}
+
+/// Extra cycles to compute syndromes for a read-class operation's
+/// activated rows (checked in parallel across lanes, one stage).
+#[must_use]
+pub const fn ecc_check_cycles() -> u64 {
+    1
+}
+
+/// Extra cycles to steer one corrected bit through the correction mux and
+/// re-issue the affected activation.
+#[must_use]
+pub const fn ecc_correct_cycles() -> u64 {
+    2
+}
+
 /// Cycles for a Neural Cache bit-serial **addition** of two n-bit vectors
 /// (§2.2: `n + 1`).
 #[must_use]
