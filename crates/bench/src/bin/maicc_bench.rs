@@ -32,7 +32,11 @@
 //! * `resnet18_segment_cycle_accurate` — same workload on the per-cycle
 //!   oracle engine (the skip-ahead engine's speedup baseline);
 //! * `resnet18_segment_slowpath` — same, with a quiet `FaultPlan`
-//!   attached so every MAC takes the bit-serial slow path.
+//!   attached so every MAC takes the bit-serial slow path;
+//! * `serve_mix_fcfs` / `serve_mix_sjf` — the online serving layer on a
+//!   bursty three-model trace over a contended 8-tile pool; the check
+//!   value is the fleet p99 latency in fabric cycles, so the two rows
+//!   also record how far the policies' tails diverge.
 //!
 //! Every iteration checks functional correctness (ofmap == golden,
 //! modelled cycle counts identical across variants), so a speedup that
@@ -44,6 +48,9 @@ use maicc::exec::config::ExecConfig;
 use maicc::exec::pipeline_model::run_network;
 use maicc::exec::segment::Strategy;
 use maicc::nn::resnet::resnet18;
+use maicc::serve::registry::three_model_mix;
+use maicc::serve::server::{serve, Policy, ServeConfig};
+use maicc::serve::trace::Trace;
 use maicc::sim::stream::{Engine, StreamConfig, StreamSim};
 use maicc::sram::fault::FaultPlan;
 use maicc_bench::{percentile, pre_pr};
@@ -259,8 +266,29 @@ fn write_json(path: &str, quick: bool, iters: usize, threads: usize, results: &[
         ratio(oracle, seg)
     ));
     out.push_str(&format!(
-        "    \"speedup_vs_sequential\": {:.2}\n",
+        "    \"speedup_vs_sequential\": {:.2},\n",
         ratio(seg, par)
+    ));
+    // Serving-policy tail latencies in fabric cycles (the serve rows'
+    // check values), plus their ratio: > 1.0 means SJF holds a tighter
+    // p99 than FCFS on the bursty mix.
+    let check_of = |name: &str| {
+        results
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.check)
+    };
+    let fcfs_p99 = check_of("serve_mix_fcfs").unwrap_or(0);
+    let sjf_p99 = check_of("serve_mix_sjf").unwrap_or(0);
+    out.push_str(&format!("    \"serve_fcfs_p99_cycles\": {fcfs_p99},\n"));
+    out.push_str(&format!("    \"serve_sjf_p99_cycles\": {sjf_p99},\n"));
+    out.push_str(&format!(
+        "    \"serve_p99_fcfs_over_sjf\": {:.2}\n",
+        if sjf_p99 > 0 {
+            fcfs_p99 as f64 / sjf_p99 as f64
+        } else {
+            0.0
+        }
     ));
     out.push_str("  }\n}\n");
     std::fs::write(path, out).expect("write BENCH_results.json");
@@ -375,6 +403,33 @@ fn main() {
         results.push(measure("resnet18_segment_slowpath", warmup, iters, || {
             stream_segment(&seg_cfg, &seg_golden, Engine::default(), 1, true)
         }));
+    }
+    if want("serve_mix_fcfs") || want("serve_mix_sjf") {
+        // Bursty three-model trace over an 8-tile pool: only one
+        // medium/large model runs at a time, so queues form and the
+        // admission order decides the tail.
+        let (serve_registry, serve_loads) = three_model_mix();
+        let serve_trace = Trace::bursty(&serve_loads, 1_200_000, 200_000, 42);
+        let serve_policy = |policy: Policy| -> u64 {
+            let cfg = ServeConfig {
+                policy,
+                pool_tiles: 8,
+                ..ServeConfig::default()
+            };
+            let report = serve(&serve_registry, &serve_trace, &cfg).expect("mix serves");
+            assert_eq!(report.completed, report.requests, "serving dropped requests");
+            report.p99_latency_cycles
+        };
+        if want("serve_mix_fcfs") {
+            results.push(measure("serve_mix_fcfs", warmup, iters, || {
+                serve_policy(Policy::Fcfs)
+            }));
+        }
+        if want("serve_mix_sjf") {
+            results.push(measure("serve_mix_sjf", warmup, iters, || {
+                serve_policy(Policy::Sjf)
+            }));
+        }
     }
     assert!(
         !results.is_empty(),

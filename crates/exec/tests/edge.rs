@@ -86,6 +86,104 @@ fn heuristic_never_exceeds_the_array() {
     }
 }
 
+/// A chain of stride-2 convolutions: every layer halves the fmap, so
+/// consecutive ifmap sizes are strictly decreasing.
+fn shrinking_chain(layers: usize, c: usize) -> Network {
+    let nodes = (0..layers)
+        .map(|i| Node {
+            name: format!("shrink{i}"),
+            op: NodeOp::Conv(ConvLayer {
+                shape: ConvShape {
+                    out_channels: c,
+                    in_channels: c,
+                    kernel_h: 3,
+                    kernel_w: 3,
+                    stride: 2,
+                    padding: 1,
+                },
+                weights: Tensor::filled(&[c, c, 3, 3], 1),
+                bias: vec![0; c],
+                requant: Requantizer::from_real_multiplier(0.01, 0),
+                relu: true,
+                pool: None,
+            }),
+            input: if i == 0 {
+                NodeInput::External
+            } else {
+                NodeInput::Node(i - 1)
+            },
+            residual: None,
+        })
+        .collect();
+    Network::new("shrinking", nodes).unwrap()
+}
+
+#[test]
+fn single_layer_network_yields_exactly_one_segment() {
+    let net = one_conv(32, 16);
+    let shapes = net.shapes([32, 8, 8]).unwrap();
+    let cfg = ExecConfig::default();
+    for strat in Strategy::ALL {
+        let segs = segment(&shapes, strat, &cfg).unwrap();
+        assert_eq!(segs.len(), 1, "{strat:?}");
+        assert_eq!(segs[0].layer_indices, [0], "{strat:?}");
+        // a lone segment both loads from and drains to DRAM
+        assert!(segs[0].allocs[0].fed_from_dram, "{strat:?}");
+        assert!(segs[0].allocs[0].drains_to_dram, "{strat:?}");
+    }
+}
+
+#[test]
+fn strictly_decreasing_ifmaps_defeat_equal_ifmap_grouping() {
+    // The heuristic groups consecutive layers with the *same* ifmap size.
+    // A stride-2 chain never repeats a size, so no multi-layer group can
+    // form: every heuristic segment holds exactly one layer.
+    let net = shrinking_chain(4, 16);
+    let shapes = net.shapes([16, 32, 32]).unwrap();
+    for w in shapes.windows(2) {
+        assert!(
+            w[1].in_h * w[1].in_w < w[0].in_h * w[0].in_w,
+            "chain must shrink strictly"
+        );
+    }
+    let cfg = ExecConfig::default();
+    let segs = segment(&shapes, Strategy::Heuristic, &cfg).unwrap();
+    assert_eq!(segs.len(), shapes.len());
+    for (i, s) in segs.iter().enumerate() {
+        assert_eq!(s.layer_indices, [i]);
+    }
+}
+
+#[test]
+fn segment_count_never_exceeds_layer_count() {
+    // However generous the array, a strategy cannot produce more segments
+    // than layers, and must place every layer exactly once, in order.
+    let cfg = ExecConfig {
+        cores: 4000, // far more than any of these networks can use
+        ..ExecConfig::default()
+    };
+    let cases: Vec<(Network, [usize; 3])> = vec![
+        (one_conv(32, 16), [32, 8, 8]),
+        (shrinking_chain(3, 16), [16, 32, 32]),
+        (maicc_nn::resnet::tinynet(10), [32, 32, 32]),
+    ];
+    for (net, input) in cases {
+        let shapes = net.shapes(input).unwrap();
+        for strat in Strategy::ALL {
+            let segs = segment(&shapes, strat, &cfg).unwrap();
+            assert!(
+                segs.len() <= shapes.len(),
+                "{strat:?} made {} segments from {} layers",
+                segs.len(),
+                shapes.len()
+            );
+            let placed: Vec<usize> = segs.iter().flat_map(|s| s.layer_indices.clone()).collect();
+            let expect: Vec<usize> = (0..shapes.len()).collect();
+            assert_eq!(placed, expect, "{strat:?} must cover each layer once, in order");
+        }
+    }
+}
+
 #[test]
 fn allocation_timing_monotone_in_cores() {
     let net = one_conv(64, 64);

@@ -8,6 +8,9 @@
 //! maicc stream                           # conv pipeline through the mesh
 //! maicc campaign [--workload small|resnet18] [--seed N] [--ecc off|detect|correct]
 //!                [--retry on|off] [--assert-no-unrecoverable] [--json]
+//! maicc serve  [--policy fcfs|sjf|partitioned|time-shared] [--trace file.json]
+//!              [--seed N] [--horizon N] [--bursty] [--pool N]
+//!              [--engine event|cycle] [--threads N] [--quick] [--json]
 //! ```
 
 use maicc::core::kernels::{CmemConvKernel, ConvWorkload};
@@ -32,6 +35,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("stream") => cmd_stream(),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | None => {
             print_help();
             Ok(())
@@ -50,13 +54,26 @@ fn main() -> ExitCode {
 fn print_help() {
     println!(
         "maicc — the MAICC many-core with in-cache computing\n\n\
+         SUBCOMMANDS:\n  \
+         map       map a DNN onto the array and report latency/power (Table 6)\n  \
+         node      run the Table-4 single-node convolution on one core\n  \
+         asm       assemble a RISC-V + CMem-extension program and hex-dump it\n  \
+         run       execute an assembly program on one node and dump registers\n  \
+         stream    push a 2-layer conv pipeline through the bit-level mesh\n  \
+         campaign  sweep fault injections with ECC/retry/replay recovery\n  \
+         serve     online multi-tenant serving: request trace -> scheduler -> SLO report\n  \
+         help      print this overview\n\n\
          USAGE:\n  maicc map    [--model M] [--strategy S] [--cores N]\n  \
          maicc node   [--width 4|8|16]\n  maicc asm    <file.s>\n  \
          maicc run    <file.s> [--max-steps N]\n  maicc stream\n  \
          maicc campaign [--workload small|resnet18] [--seed N] [--ecc off|detect|correct]\n  \
-         \u{20}              [--retry on|off] [--assert-no-unrecoverable] [--json]\n\n\
+         \u{20}              [--retry on|off] [--assert-no-unrecoverable] [--json]\n  \
+         maicc serve  [--policy fcfs|sjf|partitioned|time-shared] [--trace file.json]\n  \
+         \u{20}            [--seed N] [--horizon N] [--bursty] [--pool N]\n  \
+         \u{20}            [--engine event|cycle] [--threads N] [--quick] [--json]\n\n\
          models: resnet18 (default), vgg11, tinynet\n\
-         strategies: heuristic (default), greedy, single"
+         strategies: heuristic (default), greedy, single\n\
+         serve policies: fcfs (default), sjf, partitioned, time-shared"
     );
 }
 
@@ -279,6 +296,97 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let unrecoverable = report.count(Outcome::Unrecoverable);
     if args.iter().any(|a| a == "--assert-no-unrecoverable") && unrecoverable > 0 {
         return Err(format!("{unrecoverable} run(s) ended unrecoverable"));
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use maicc::serve::registry::three_model_mix;
+    use maicc::serve::server::{serve, Policy, ServeConfig};
+    use maicc::serve::trace::Trace;
+    use maicc::sim::stream::Engine;
+
+    let policy = match flag(args, "--policy") {
+        None => Policy::Fcfs,
+        Some(p) => Policy::from_label(&p).ok_or(format!("unknown policy `{p}`"))?,
+    };
+    let seed = match flag(args, "--seed") {
+        Some(v) => v.parse().map_err(|_| format!("bad seed `{v}`"))?,
+        None => 42u64,
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let horizon = match flag(args, "--horizon") {
+        Some(v) => v.parse().map_err(|_| format!("bad horizon `{v}`"))?,
+        None if quick => 300_000u64,
+        None => 1_500_000u64,
+    };
+    let engine = match flag(args, "--engine").as_deref() {
+        None | Some("event") => Engine::EventDriven,
+        Some("cycle") => Engine::CycleAccurate,
+        Some(other) => return Err(format!("unknown engine `{other}` (event|cycle)")),
+    };
+    let threads = match flag(args, "--threads") {
+        Some(v) => v.parse().map_err(|_| format!("bad thread count `{v}`"))?,
+        None => 1usize,
+    };
+    let pool_tiles = match flag(args, "--pool") {
+        Some(v) => v.parse().map_err(|_| format!("bad pool size `{v}`"))?,
+        None => 16usize,
+    };
+
+    let (registry, loads) = three_model_mix();
+    let trace = match flag(args, "--trace") {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            Trace::from_json(&text).map_err(|e| e.to_string())?
+        }
+        None if args.iter().any(|a| a == "--bursty") => {
+            Trace::bursty(&loads, horizon, 200_000, seed)
+        }
+        None => Trace::poisson(&loads, horizon, seed),
+    };
+
+    let cfg = ServeConfig {
+        policy,
+        engine,
+        threads,
+        pool_tiles,
+        ..ServeConfig::default()
+    };
+    let report = serve(&registry, &trace, &cfg).map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "served {} requests under {} on a {}-tile pool ({} degraded)",
+            report.requests, report.policy, report.pool_tiles, report.degraded_tiles
+        );
+        println!(
+            "  completed {} | dropped {} | makespan {} cycles | utilization {:.1}%",
+            report.completed,
+            report.dropped,
+            report.makespan_cycles,
+            report.utilization * 100.0
+        );
+        println!(
+            "  latency p50/p95/p99 = {}/{}/{} cycles | miss rate {:.1}% | {:.0} pJ/request",
+            report.p50_latency_cycles,
+            report.p95_latency_cycles,
+            report.p99_latency_cycles,
+            report.deadline_miss_rate * 100.0,
+            report.energy_pj_per_request
+        );
+        for t in &report.tenants {
+            println!(
+                "  {:<10} {:>4} reqs  p99 {:>9} cycles  misses {:>3} ({:.1}%)  {:.0} pJ/req",
+                t.tenant,
+                t.requests,
+                t.p99_latency_cycles,
+                t.deadline_misses,
+                t.miss_rate * 100.0,
+                t.energy_pj_per_request
+            );
+        }
     }
     Ok(())
 }

@@ -16,6 +16,7 @@
 //! | [`exec`] | `maicc-exec` | segmentation, zig-zag mapping, the pipelined execution model |
 //! | [`model`] | `maicc-model` | area/power/energy models and CPU/GPU baselines |
 //! | [`sim`] | `maicc-sim` | full-system streaming simulation and multi-DNN scenarios |
+//! | [`serve`] | `maicc-serve` | online multi-tenant serving: traces, fabric schedulers, SLO accounting |
 //!
 //! ## Quickstart
 //!
@@ -43,5 +44,6 @@ pub use maicc_mem as mem;
 pub use maicc_model as model;
 pub use maicc_nn as nn;
 pub use maicc_noc as noc;
+pub use maicc_serve as serve;
 pub use maicc_sim as sim;
 pub use maicc_sram as sram;

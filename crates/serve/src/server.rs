@@ -1,0 +1,755 @@
+//! The serving loop: a discrete-event scheduler over the 15×14 fabric.
+//!
+//! Time is fabric cycles. The loop jumps between request arrivals and
+//! completions; at every event it first retires finished runs (in
+//! request-id order, so simultaneous completions are deterministic),
+//! then enqueues new arrivals, then lets the active [`Policy`] admit as
+//! much queued work as currently fits. An admitted request is executed
+//! immediately through the real bit-level [`StreamSim`] on exactly the
+//! tiles the scheduler granted (placement is confined by passing the
+//! complement as the avoid set), so service times, energy, and golden
+//! checks all come from the simulator, not a model of it.
+//!
+//! Faults flow through the same machinery as offline runs: a
+//! [`FaultConfig`] arms CMem/NoC fault plans (optionally targeted at
+//! specific request ids), and when an attached
+//! [`RecoveryPolicy`](maicc_sim::RecoveryPolicy) remaps around a hard
+//! fault mid-run, the scheduler diffs [`StreamSim::retired_tiles`]
+//! against the avoid set it supplied and permanently shrinks the
+//! schedulable pool — later admissions steer around the casualty.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use maicc_exec::mapping::{healthy_order, zigzag_order, Tile};
+use maicc_noc::{NocFaultPlan, RetryPolicy};
+use maicc_sim::stream::{Engine, StreamSim};
+use maicc_sim::RecoveryPolicy;
+use maicc_sram::ecc::EccMode;
+use maicc_sram::fault::FaultPlan;
+
+use crate::registry::{ModelEntry, ModelRegistry};
+use crate::slo::{RequestOutcome, ServeReport};
+use crate::trace::Trace;
+use crate::ServeError;
+
+/// How the scheduler shares the fabric between queued requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// First come, first served: one FIFO queue, head-blocking — the
+    /// oldest request admits as soon as its footprint fits.
+    Fcfs,
+    /// Shortest job first: the queued request with the smallest analytic
+    /// service estimate (from the segmentation heuristic) admits next.
+    Sjf,
+    /// Static spatial partitioning: each tenant owns a fixed region of
+    /// tiles sized for its largest model; tenants never contend, at the
+    /// cost of idle regions.
+    Partitioned,
+    /// Temporal time-slicing: the whole pool is granted to one request
+    /// at a time, round-robin across tenants.
+    TimeShared,
+}
+
+impl Policy {
+    /// All policies, in a stable order.
+    pub const ALL: [Policy; 4] = [
+        Policy::Fcfs,
+        Policy::Sjf,
+        Policy::Partitioned,
+        Policy::TimeShared,
+    ];
+
+    /// The label used in reports and on the CLI.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Fcfs => "fcfs",
+            Policy::Sjf => "sjf",
+            Policy::Partitioned => "partitioned",
+            Policy::TimeShared => "time_shared",
+        }
+    }
+
+    /// Parses a CLI label (accepts `-` for `_`).
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<Policy> {
+        match s.replace('-', "_").as_str() {
+            "fcfs" => Some(Policy::Fcfs),
+            "sjf" => Some(Policy::Sjf),
+            "partitioned" => Some(Policy::Partitioned),
+            "time_shared" => Some(Policy::TimeShared),
+            _ => None,
+        }
+    }
+}
+
+/// Fault-injection knobs for a serving run, mirroring the offline
+/// campaign's layers.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// CMem fault plan attached to every computing core of every run
+    /// (seed re-salted per request so runs fault independently but
+    /// deterministically).
+    pub cmem: Option<FaultPlan>,
+    /// NoC fault plan attached to every run's mesh.
+    pub noc: Option<NocFaultPlan>,
+    /// ECC protection level for all CMems.
+    pub ecc: EccMode,
+    /// CRC-checked ACK/NACK retransmission on the mesh.
+    pub retry: Option<RetryPolicy>,
+    /// Request ids whose run gets a dead CMem slice on its first
+    /// computing core — a hard fault that (with remap recovery) retires
+    /// a tile from the pool mid-service.
+    pub fail_at_requests: Vec<u64>,
+}
+
+/// Configuration of a serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Simulation engine driving each admitted request (does not affect
+    /// results — engines are bit-identical).
+    pub engine: Engine,
+    /// Node-stepping worker threads per simulation (does not affect
+    /// results).
+    pub threads: usize,
+    /// Schedulable pool size in tiles, carved from the start of the
+    /// serpentine order; `0` means the whole healthy array.
+    pub pool_tiles: usize,
+    /// Cycle budget per admitted request's simulation.
+    pub run_budget: u64,
+    /// Checkpoint/replay recovery attached to every run.
+    pub recovery: Option<RecoveryPolicy>,
+    /// Fault injection, if any.
+    pub fault: Option<FaultConfig>,
+    /// Tiles already known-bad before serving starts.
+    pub initial_failed: Vec<Tile>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            policy: Policy::Fcfs,
+            engine: Engine::EventDriven,
+            threads: 1,
+            pool_tiles: 0,
+            run_budget: 5_000_000,
+            recovery: None,
+            fault: None,
+            initial_failed: Vec::new(),
+        }
+    }
+}
+
+/// What one simulated request run produced.
+struct RunOutput {
+    cycles: u64,
+    energy_pj: f64,
+    ok: bool,
+    newly_retired: Vec<Tile>,
+}
+
+/// A request currently holding tiles.
+struct Running {
+    idx: usize,
+    admitted: u64,
+    done_at: u64,
+    tiles: Vec<Tile>,
+    ok: bool,
+    energy_pj: f64,
+}
+
+/// Key for memoizing fault-free runs: model name plus the exact tiles
+/// the run was placed on (placement fully determines the simulation).
+type RunKey = (String, Vec<(u8, u8)>);
+
+struct Server<'a> {
+    registry: &'a ModelRegistry,
+    trace: &'a Trace,
+    cfg: &'a ServeConfig,
+    /// Tiles outside the schedulable pool (complement of the pool).
+    mask: Vec<Tile>,
+    /// Original pool size, for utilization accounting.
+    pool_size: usize,
+    /// Tiles retired by mid-run recovery, sorted.
+    degraded: Vec<Tile>,
+    running: Vec<Running>,
+    outcomes: Vec<RequestOutcome>,
+    busy_tile_cycles: u64,
+    memo: BTreeMap<RunKey, (u64, f64, bool)>,
+}
+
+/// Runs a trace against a registry under a config and returns the SLO
+/// report.
+///
+/// # Errors
+///
+/// * [`ServeError::UnknownModel`] — a request names an unregistered
+///   model.
+/// * [`ServeError::PoolTooSmall`] — the pool cannot fit a requested
+///   model (or, under [`Policy::Partitioned`], the per-tenant regions),
+///   at start or after fault recovery shrinks it.
+/// * [`ServeError::Sim`] — a simulation failed in a way the serving
+///   layer cannot attribute to a single request.
+pub fn serve(
+    registry: &ModelRegistry,
+    trace: &Trace,
+    cfg: &ServeConfig,
+) -> Result<ServeReport, ServeError> {
+    for r in &trace.requests {
+        if registry.get(&r.model).is_none() {
+            return Err(ServeError::UnknownModel {
+                model: r.model.clone(),
+            });
+        }
+    }
+
+    let healthy = healthy_order(&cfg.initial_failed);
+    let pool_size = if cfg.pool_tiles == 0 {
+        healthy.len()
+    } else {
+        cfg.pool_tiles.min(healthy.len())
+    };
+    let pool: Vec<Tile> = healthy[..pool_size].to_vec();
+    let mask: Vec<Tile> = zigzag_order()
+        .into_iter()
+        .filter(|t| !pool.contains(t))
+        .collect();
+
+    // Every model that appears in the trace must fit the empty pool.
+    for r in &trace.requests {
+        let entry = registry.get(&r.model).expect("validated above");
+        if entry.tiles > pool_size {
+            return Err(ServeError::PoolTooSmall {
+                reason: format!(
+                    "model `{}` needs {} tiles, pool holds {pool_size}",
+                    entry.name, entry.tiles
+                ),
+            });
+        }
+    }
+
+    let mut server = Server {
+        registry,
+        trace,
+        cfg,
+        mask,
+        pool_size,
+        degraded: Vec::new(),
+        running: Vec::new(),
+        outcomes: Vec::new(),
+        busy_tile_cycles: 0,
+        memo: BTreeMap::new(),
+    };
+    server.run()?;
+    Ok(ServeReport::from_outcomes(
+        cfg.policy.label(),
+        server.pool_size,
+        server.degraded.len(),
+        server.busy_tile_cycles,
+        server.outcomes,
+    ))
+}
+
+impl Server<'_> {
+    fn run(&mut self) -> Result<(), ServeError> {
+        match self.cfg.policy {
+            Policy::Fcfs | Policy::Sjf => self.run_queued(),
+            Policy::TimeShared => self.run_time_shared(),
+            Policy::Partitioned => self.run_partitioned(),
+        }
+    }
+
+    /// The avoid set for a fresh placement: everything outside the pool,
+    /// every retired tile, and every tile a running request holds.
+    fn avoid_now(&self) -> Vec<Tile> {
+        let mut avoid = self.mask.clone();
+        avoid.extend_from_slice(&self.degraded);
+        for r in &self.running {
+            avoid.extend_from_slice(&r.tiles);
+        }
+        avoid
+    }
+
+    /// Where the simulator would place this model given an avoid set
+    /// (the first `footprint` tiles of the healthy serpentine), or
+    /// `None` if it does not fit.
+    fn placement(&self, entry: &ModelEntry, avoid: &[Tile]) -> Option<Vec<Tile>> {
+        let order = healthy_order(avoid);
+        if order.len() < entry.tiles {
+            return None;
+        }
+        Some(order[..entry.tiles].to_vec())
+    }
+
+    /// Executes one admitted request on the fabric, confined to the
+    /// tiles outside `avoid`.
+    fn run_one(
+        &mut self,
+        entry: &ModelEntry,
+        avoid: &[Tile],
+        req_id: u64,
+    ) -> Result<RunOutput, ServeError> {
+        let placement = self
+            .placement(entry, avoid)
+            .expect("caller checked fit before running");
+        let key: RunKey = (
+            entry.name.clone(),
+            placement.iter().map(|t| (t.x, t.y)).collect(),
+        );
+        let fault_free = self.cfg.fault.is_none();
+        if fault_free {
+            if let Some(&(cycles, energy_pj, ok)) = self.memo.get(&key) {
+                return Ok(RunOutput {
+                    cycles,
+                    energy_pj,
+                    ok,
+                    newly_retired: Vec::new(),
+                });
+            }
+        }
+
+        let mut sim = StreamSim::new_avoiding(&entry.stream, avoid).map_err(|e| {
+            ServeError::PoolTooSmall {
+                reason: format!("placement of `{}` failed: {e}", entry.name),
+            }
+        })?;
+        sim.set_engine(self.cfg.engine);
+        sim.set_parallelism(self.cfg.threads);
+        if let Some(recovery) = self.cfg.recovery {
+            sim.set_recovery_policy(Some(recovery));
+        }
+        if let Some(fault) = &self.cfg.fault {
+            if let Some(plan) = &fault.cmem {
+                let mut p = plan.clone();
+                p.seed = plan
+                    .seed
+                    .wrapping_add(req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                sim.attach_cmem_fault_plan(&p);
+            }
+            if let Some(plan) = &fault.noc {
+                sim.attach_noc_fault_plan(plan.clone());
+            }
+            sim.set_ecc_mode(fault.ecc);
+            sim.set_noc_retry_policy(fault.retry);
+            if fault.fail_at_requests.contains(&req_id) {
+                sim.attach_cmem_fault_plan_to(
+                    0,
+                    &FaultPlan {
+                        seed: req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        transient_flip_rate: 0.0,
+                        stuck_cells: Vec::new(),
+                        dead_slices: vec![0],
+                    },
+                );
+            }
+        }
+
+        match sim.run(self.cfg.run_budget) {
+            Ok(result) => {
+                let ok = result.ofmap == entry.golden;
+                let energy_pj = result.cmem_pj + result.noc.dynamic_pj();
+                let newly_retired: Vec<Tile> = sim
+                    .retired_tiles()
+                    .iter()
+                    .filter(|t| !avoid.contains(t))
+                    .copied()
+                    .collect();
+                if fault_free {
+                    self.memo.insert(key, (result.cycles, energy_pj, ok));
+                }
+                Ok(RunOutput {
+                    cycles: result.cycles,
+                    energy_pj,
+                    ok,
+                    newly_retired,
+                })
+            }
+            Err(e) => Err(ServeError::Sim(e)),
+        }
+    }
+
+    /// Admits the request at trace index `idx` at time `now`: runs it,
+    /// folds fault casualties into the pool, and either schedules its
+    /// completion or records it as dropped.
+    fn admit(&mut self, idx: usize, now: u64, avoid: &[Tile]) -> Result<(), ServeError> {
+        let req = &self.trace.requests[idx];
+        let entry = self.registry.get(&req.model).expect("validated");
+        let tiles = self
+            .placement(entry, avoid)
+            .expect("caller checked fit before admitting");
+        match self.run_one(entry, avoid, req.id) {
+            Ok(out) => {
+                for t in out.newly_retired {
+                    if !self.degraded.contains(&t) {
+                        self.degraded.push(t);
+                    }
+                }
+                self.degraded.sort_unstable_by_key(|t| (t.y, t.x));
+                // Remap may have shifted the run onto different tiles;
+                // recompute occupancy from the final avoid set so later
+                // admissions see the true footprint.
+                let occupied = if self.degraded.is_empty() {
+                    tiles
+                } else {
+                    let mut post = avoid.to_vec();
+                    post.extend(self.degraded.iter().copied());
+                    self.placement(entry, &post).unwrap_or(tiles)
+                };
+                self.busy_tile_cycles += out.cycles * occupied.len() as u64;
+                self.running.push(Running {
+                    idx,
+                    admitted: now,
+                    done_at: now + out.cycles,
+                    tiles: occupied,
+                    ok: out.ok,
+                    energy_pj: out.energy_pj,
+                });
+                Ok(())
+            }
+            Err(ServeError::Sim(_)) => {
+                // The run died beyond recovery: the request is dropped,
+                // the fabric is released, serving continues.
+                let req = &self.trace.requests[idx];
+                self.outcomes.push(RequestOutcome {
+                    id: req.id,
+                    tenant: req.tenant.clone(),
+                    model: req.model.clone(),
+                    arrival: req.arrival,
+                    admitted: now,
+                    finished: now,
+                    deadline: req.deadline,
+                    ok: false,
+                    dropped: true,
+                    service_cycles: 0,
+                    queue_cycles: now - req.arrival,
+                    latency_cycles: now - req.arrival,
+                    energy_pj: 0.0,
+                });
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Retires every run finishing exactly at `now` (in request-id order)
+    /// and records its outcome.
+    fn complete_at(&mut self, now: u64) {
+        let mut done: Vec<usize> = (0..self.running.len())
+            .filter(|&i| self.running[i].done_at == now)
+            .collect();
+        done.sort_by_key(|&i| self.trace.requests[self.running[i].idx].id);
+        // Remove from the back so indices stay valid. `done` is sorted by
+        // request id; removing in reverse index order preserves the push
+        // order below only if ids and indices agree, so push in id order
+        // after collecting.
+        let mut finished: Vec<Running> = Vec::with_capacity(done.len());
+        for &i in done.iter().rev() {
+            finished.push(self.running.remove(i));
+        }
+        finished.sort_by_key(|run| self.trace.requests[run.idx].id);
+        for run in finished {
+            let req = &self.trace.requests[run.idx];
+            self.outcomes.push(RequestOutcome {
+                id: req.id,
+                tenant: req.tenant.clone(),
+                model: req.model.clone(),
+                arrival: req.arrival,
+                admitted: run.admitted,
+                finished: now,
+                deadline: req.deadline,
+                ok: run.ok,
+                dropped: false,
+                service_cycles: run.done_at - run.admitted,
+                queue_cycles: run.admitted - req.arrival,
+                latency_cycles: now - req.arrival,
+                energy_pj: run.energy_pj,
+            });
+        }
+    }
+
+    /// The time of the next event: the earliest of the next arrival and
+    /// the earliest completion.
+    fn next_event(&self, next_arrival: Option<u64>) -> Option<u64> {
+        let next_done = self.running.iter().map(|r| r.done_at).min();
+        match (next_arrival, next_done) {
+            (Some(a), Some(d)) => Some(a.min(d)),
+            (Some(a), None) => Some(a),
+            (None, Some(d)) => Some(d),
+            (None, None) => None,
+        }
+    }
+
+    fn run_queued(&mut self) -> Result<(), ServeError> {
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut next = 0usize; // next trace index to arrive
+        loop {
+            let arrival = self.trace.requests.get(next).map(|r| r.arrival);
+            let Some(now) = self.next_event(arrival) else {
+                break;
+            };
+            self.complete_at(now);
+            while next < self.trace.requests.len() && self.trace.requests[next].arrival == now {
+                queue.push_back(next);
+                next += 1;
+            }
+            // Admission: repeatedly pick the policy's head and admit it
+            // if it fits; head-blocking otherwise.
+            while let Some(pos) = self.pick(&queue) {
+                let idx = queue[pos];
+                let entry = self
+                    .registry
+                    .get(&self.trace.requests[idx].model)
+                    .expect("validated");
+                let avoid = self.avoid_now();
+                if self.placement(entry, &avoid).is_none() {
+                    if self.running.is_empty() {
+                        return Err(ServeError::PoolTooSmall {
+                            reason: format!(
+                                "model `{}` no longer fits the empty pool \
+                                 ({} tiles degraded)",
+                                entry.name,
+                                self.degraded.len()
+                            ),
+                        });
+                    }
+                    break;
+                }
+                queue.remove(pos);
+                self.admit(idx, now, &avoid)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The queue position the policy wants to admit next.
+    fn pick(&self, queue: &VecDeque<usize>) -> Option<usize> {
+        if queue.is_empty() {
+            return None;
+        }
+        match self.cfg.policy {
+            Policy::Fcfs => Some(0),
+            Policy::Sjf => (0..queue.len()).min_by_key(|&p| {
+                let req = &self.trace.requests[queue[p]];
+                let est = self
+                    .registry
+                    .get(&req.model)
+                    .map_or(u64::MAX, |e| e.est_cycles);
+                (est, req.arrival, req.id)
+            }),
+            _ => unreachable!("run_queued only handles FCFS/SJF"),
+        }
+    }
+
+    fn run_time_shared(&mut self) -> Result<(), ServeError> {
+        // Per-tenant FIFO queues, tenant names in sorted order.
+        let mut tenants: Vec<String> = self
+            .trace
+            .requests
+            .iter()
+            .map(|r| r.tenant.clone())
+            .collect();
+        tenants.sort();
+        tenants.dedup();
+        let mut queues: BTreeMap<String, VecDeque<usize>> = tenants
+            .iter()
+            .map(|t| (t.clone(), VecDeque::new()))
+            .collect();
+        let mut cursor = 0usize;
+        let mut next = 0usize;
+        loop {
+            let arrival = self.trace.requests.get(next).map(|r| r.arrival);
+            let Some(now) = self.next_event(arrival) else {
+                break;
+            };
+            self.complete_at(now);
+            while next < self.trace.requests.len() && self.trace.requests[next].arrival == now {
+                let t = self.trace.requests[next].tenant.clone();
+                queues.get_mut(&t).expect("tenant known").push_back(next);
+                next += 1;
+            }
+            // One request at a time gets the whole pool; round-robin
+            // across tenants with pending work. The outer loop re-tries
+            // when an admission drops instantly (the pool is still free).
+            while self.running.is_empty() && !tenants.is_empty() {
+                let mut admitted = false;
+                for step in 0..tenants.len() {
+                    let t = &tenants[(cursor + step) % tenants.len()];
+                    let Some(&idx) = queues[t].front() else {
+                        continue;
+                    };
+                    let entry = self
+                        .registry
+                        .get(&self.trace.requests[idx].model)
+                        .expect("validated");
+                    let avoid = self.avoid_now();
+                    if self.placement(entry, &avoid).is_none() {
+                        return Err(ServeError::PoolTooSmall {
+                            reason: format!(
+                                "model `{}` no longer fits the empty pool \
+                                 ({} tiles degraded)",
+                                entry.name,
+                                self.degraded.len()
+                            ),
+                        });
+                    }
+                    queues.get_mut(t.as_str()).expect("tenant known").pop_front();
+                    cursor = (cursor + step + 1) % tenants.len();
+                    self.admit(idx, now, &avoid)?;
+                    admitted = true;
+                    break;
+                }
+                if !admitted {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_partitioned(&mut self) -> Result<(), ServeError> {
+        // Region sizes: each tenant's largest requested model.
+        let mut tenants: Vec<String> = self
+            .trace
+            .requests
+            .iter()
+            .map(|r| r.tenant.clone())
+            .collect();
+        tenants.sort();
+        tenants.dedup();
+        let need: Vec<usize> = tenants
+            .iter()
+            .map(|t| {
+                self.trace
+                    .requests
+                    .iter()
+                    .filter(|r| &r.tenant == t)
+                    .map(|r| self.registry.get(&r.model).expect("validated").tiles)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let total: usize = need.iter().sum();
+        if total > self.pool_size {
+            return Err(ServeError::PoolTooSmall {
+                reason: format!(
+                    "static partition needs {total} tiles for {} tenants, \
+                     pool holds {}",
+                    tenants.len(),
+                    self.pool_size
+                ),
+            });
+        }
+
+        let mut regions = self.carve_regions(&tenants, &need)?;
+        let mut queues: BTreeMap<String, VecDeque<usize>> = tenants
+            .iter()
+            .map(|t| (t.clone(), VecDeque::new()))
+            .collect();
+        let mut next = 0usize;
+        loop {
+            let arrival = self.trace.requests.get(next).map(|r| r.arrival);
+            let Some(now) = self.next_event(arrival) else {
+                break;
+            };
+            let degraded_before = self.degraded.len();
+            self.complete_at(now);
+            while next < self.trace.requests.len() && self.trace.requests[next].arrival == now {
+                let t = self.trace.requests[next].tenant.clone();
+                queues.get_mut(&t).expect("tenant known").push_back(next);
+                next += 1;
+            }
+            if self.degraded.len() > degraded_before {
+                // A tile died mid-run: re-carve the static partition
+                // around the casualty (only free regions move; occupied
+                // tiles are excluded from the new carve by avoid_now).
+                regions = self.carve_regions(&tenants, &need)?;
+            }
+            // Each tenant admits onto its own region when free; repeat
+            // the pass while it makes progress so an instantly-dropped
+            // request doesn't strand the rest of its tenant's queue.
+            loop {
+                let mut progressed = false;
+                for (ti, t) in tenants.iter().enumerate() {
+                    let busy = self
+                        .running
+                        .iter()
+                        .any(|r| &self.trace.requests[r.idx].tenant == t);
+                    if busy {
+                        continue;
+                    }
+                    let Some(&idx) = queues[t].front() else {
+                        continue;
+                    };
+                    let entry = self
+                        .registry
+                        .get(&self.trace.requests[idx].model)
+                        .expect("validated");
+                    // Confine the run to this tenant's region: avoid
+                    // everything else.
+                    let region = &regions[ti];
+                    let avoid: Vec<Tile> = zigzag_order()
+                        .into_iter()
+                        .filter(|tile| !region.contains(tile) || self.degraded.contains(tile))
+                        .collect();
+                    if self.placement(entry, &avoid).is_none() {
+                        continue; // region shrank below this model; re-carve next event
+                    }
+                    queues.get_mut(t.as_str()).expect("tenant known").pop_front();
+                    self.admit(idx, now, &avoid)?;
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            // Livelock guard: pending work, nothing running, nothing left
+            // to arrive, and the admission pass above placed nothing —
+            // the remaining regions can no longer host their queue heads
+            // and never will.
+            let pending: usize = queues.values().map(VecDeque::len).sum();
+            if pending > 0 && self.running.is_empty() && next >= self.trace.requests.len() {
+                return Err(ServeError::PoolTooSmall {
+                    reason: format!(
+                        "degradation shrank a partition below its tenant's \
+                         footprint ({} tiles degraded)",
+                        self.degraded.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Carves consecutive per-tenant regions from the healthy pool
+    /// serpentine, skipping degraded and currently occupied tiles.
+    fn carve_regions(
+        &self,
+        tenants: &[String],
+        need: &[usize],
+    ) -> Result<Vec<Vec<Tile>>, ServeError> {
+        let mut avoid = self.mask.clone();
+        avoid.extend_from_slice(&self.degraded);
+        for r in &self.running {
+            avoid.extend_from_slice(&r.tiles);
+        }
+        let order = healthy_order(&avoid);
+        let total: usize = need.iter().sum();
+        if order.len() < total {
+            return Err(ServeError::PoolTooSmall {
+                reason: format!(
+                    "static partition needs {total} healthy tiles, {} remain",
+                    order.len()
+                ),
+            });
+        }
+        let mut regions = Vec::with_capacity(tenants.len());
+        let mut offset = 0;
+        for &n in need {
+            regions.push(order[offset..offset + n].to_vec());
+            offset += n;
+        }
+        Ok(regions)
+    }
+}

@@ -1,0 +1,448 @@
+//! SLO accounting: folding per-request outcomes into a serving report.
+//!
+//! All latency figures are in fabric cycles. Percentiles are
+//! nearest-rank over the completed requests' end-to-end latencies
+//! (queueing + service), computed on integers so the report is exactly
+//! reproducible. Floats that do appear (utilization, rates, energy) are
+//! serialized with fixed precision for the same reason: a serving run
+//! with a fixed trace must emit byte-identical JSON regardless of how
+//! the underlying simulations were driven.
+
+/// What happened to one request, after the fact.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// Trace-assigned request id.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Model served.
+    pub model: String,
+    /// Arrival time, cycles.
+    pub arrival: u64,
+    /// When the scheduler granted tiles (equals `finished` for drops).
+    pub admitted: u64,
+    /// When the last ofmap byte drained (drop time for drops).
+    pub finished: u64,
+    /// Absolute deadline, if the request carried one.
+    pub deadline: Option<u64>,
+    /// Whether the ofmap matched the golden reference.
+    pub ok: bool,
+    /// True if the request never produced a result (its simulation
+    /// failed in a way recovery could not absorb).
+    pub dropped: bool,
+    /// Cycles spent executing on the fabric.
+    pub service_cycles: u64,
+    /// Cycles spent waiting for admission.
+    pub queue_cycles: u64,
+    /// End-to-end latency (`finished - arrival`).
+    pub latency_cycles: u64,
+    /// CMem + NoC dynamic energy of the run, picojoules.
+    pub energy_pj: f64,
+}
+
+impl RequestOutcome {
+    /// Whether this request missed its SLO: it carried a deadline and
+    /// either dropped or finished past it.
+    #[must_use]
+    pub fn missed_deadline(&self) -> bool {
+        match self.deadline {
+            Some(d) => self.dropped || self.finished > d,
+            None => false,
+        }
+    }
+}
+
+/// Aggregated SLO figures for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantSlo {
+    /// Tenant name.
+    pub tenant: String,
+    /// Requests the tenant issued.
+    pub requests: u64,
+    /// Requests that completed with a result.
+    pub completed: u64,
+    /// Requests dropped without a result.
+    pub dropped: u64,
+    /// Median end-to-end latency, cycles (nearest rank; 0 if nothing
+    /// completed).
+    pub p50_latency_cycles: u64,
+    /// 95th-percentile latency, cycles.
+    pub p95_latency_cycles: u64,
+    /// 99th-percentile latency, cycles.
+    pub p99_latency_cycles: u64,
+    /// Mean admission queueing delay over all requests, cycles.
+    pub mean_queue_cycles: f64,
+    /// Mean fabric service time over completed requests, cycles.
+    pub mean_service_cycles: f64,
+    /// Requests that carried a deadline and missed it (drops count).
+    pub deadline_misses: u64,
+    /// `deadline_misses` over requests that carried a deadline (0 when
+    /// none did).
+    pub miss_rate: f64,
+    /// Mean CMem + NoC energy per completed request, picojoules.
+    pub energy_pj_per_request: f64,
+}
+
+/// The full serving report: fleet-level figures plus per-tenant SLOs and
+/// the raw per-request outcomes.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Scheduler policy label (`fcfs`, `sjf`, ...).
+    pub policy: String,
+    /// Tiles the scheduler was allowed to place on.
+    pub pool_tiles: usize,
+    /// Tiles retired from the pool by fault recovery during the run.
+    pub degraded_tiles: usize,
+    /// Total requests in the trace.
+    pub requests: u64,
+    /// Requests that completed with a result.
+    pub completed: u64,
+    /// Requests dropped without a result.
+    pub dropped: u64,
+    /// Cycle at which the last request finished (0 for an empty trace).
+    pub makespan_cycles: u64,
+    /// Busy tile-cycles over `pool_tiles × makespan` — the fraction of
+    /// the schedulable fabric that was actually computing.
+    pub utilization: f64,
+    /// Fleet median latency, cycles.
+    pub p50_latency_cycles: u64,
+    /// Fleet 95th-percentile latency, cycles.
+    pub p95_latency_cycles: u64,
+    /// Fleet 99th-percentile latency, cycles.
+    pub p99_latency_cycles: u64,
+    /// Fleet deadline-miss rate (over requests that carried deadlines).
+    pub deadline_miss_rate: f64,
+    /// Mean energy per completed request, picojoules.
+    pub energy_pj_per_request: f64,
+    /// Per-tenant SLO breakdowns, sorted by tenant name.
+    pub tenants: Vec<TenantSlo>,
+    /// Raw outcomes, sorted by request id.
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+/// Nearest-rank percentile of a **sorted** slice (p in (0, 100]); 0 for
+/// an empty slice.
+#[must_use]
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+struct Aggregate {
+    requests: u64,
+    completed: u64,
+    dropped: u64,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    mean_queue: f64,
+    mean_service: f64,
+    misses: u64,
+    miss_rate: f64,
+    energy_per_req: f64,
+}
+
+fn aggregate(outcomes: &[&RequestOutcome]) -> Aggregate {
+    let requests = outcomes.len() as u64;
+    let completed: Vec<&&RequestOutcome> = outcomes.iter().filter(|o| !o.dropped).collect();
+    let mut latencies: Vec<u64> = completed.iter().map(|o| o.latency_cycles).collect();
+    latencies.sort_unstable();
+    let with_deadline = outcomes.iter().filter(|o| o.deadline.is_some()).count() as u64;
+    let misses = outcomes.iter().filter(|o| o.missed_deadline()).count() as u64;
+    #[allow(clippy::cast_precision_loss)]
+    let div = |num: f64, den: u64| if den == 0 { 0.0 } else { num / den as f64 };
+    #[allow(clippy::cast_precision_loss)]
+    Aggregate {
+        requests,
+        completed: completed.len() as u64,
+        dropped: requests - completed.len() as u64,
+        p50: percentile(&latencies, 50.0),
+        p95: percentile(&latencies, 95.0),
+        p99: percentile(&latencies, 99.0),
+        mean_queue: div(
+            outcomes.iter().map(|o| o.queue_cycles as f64).sum(),
+            requests,
+        ),
+        mean_service: div(
+            completed.iter().map(|o| o.service_cycles as f64).sum(),
+            completed.len() as u64,
+        ),
+        misses,
+        miss_rate: div(misses as f64, with_deadline),
+        energy_per_req: div(
+            completed.iter().map(|o| o.energy_pj).sum(),
+            completed.len() as u64,
+        ),
+    }
+}
+
+impl ServeReport {
+    /// Builds the report from raw outcomes.
+    ///
+    /// `busy_tile_cycles` is Σ over completed requests of
+    /// `service_cycles × tiles occupied`; utilization divides it by the
+    /// pool's total capacity over the makespan.
+    #[must_use]
+    pub fn from_outcomes(
+        policy: &str,
+        pool_tiles: usize,
+        degraded_tiles: usize,
+        busy_tile_cycles: u64,
+        mut outcomes: Vec<RequestOutcome>,
+    ) -> Self {
+        outcomes.sort_by_key(|o| o.id);
+        let all: Vec<&RequestOutcome> = outcomes.iter().collect();
+        let fleet = aggregate(&all);
+        let makespan = outcomes.iter().map(|o| o.finished).max().unwrap_or(0);
+        #[allow(clippy::cast_precision_loss)]
+        let capacity = (pool_tiles as u64 * makespan) as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let utilization = if capacity > 0.0 {
+            busy_tile_cycles as f64 / capacity
+        } else {
+            0.0
+        };
+
+        let mut names: Vec<&str> = outcomes.iter().map(|o| o.tenant.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        let tenants = names
+            .iter()
+            .map(|name| {
+                let subset: Vec<&RequestOutcome> =
+                    outcomes.iter().filter(|o| o.tenant == *name).collect();
+                let a = aggregate(&subset);
+                TenantSlo {
+                    tenant: (*name).to_string(),
+                    requests: a.requests,
+                    completed: a.completed,
+                    dropped: a.dropped,
+                    p50_latency_cycles: a.p50,
+                    p95_latency_cycles: a.p95,
+                    p99_latency_cycles: a.p99,
+                    mean_queue_cycles: a.mean_queue,
+                    mean_service_cycles: a.mean_service,
+                    deadline_misses: a.misses,
+                    miss_rate: a.miss_rate,
+                    energy_pj_per_request: a.energy_per_req,
+                }
+            })
+            .collect();
+
+        ServeReport {
+            policy: policy.to_string(),
+            pool_tiles,
+            degraded_tiles,
+            requests: fleet.requests,
+            completed: fleet.completed,
+            dropped: fleet.dropped,
+            makespan_cycles: makespan,
+            utilization,
+            p50_latency_cycles: fleet.p50,
+            p95_latency_cycles: fleet.p95,
+            p99_latency_cycles: fleet.p99,
+            deadline_miss_rate: fleet.miss_rate,
+            energy_pj_per_request: fleet.energy_per_req,
+            tenants,
+            outcomes,
+        }
+    }
+
+    /// Serializes the report as deterministic JSON.
+    ///
+    /// Engine and thread count are deliberately absent: for a fixed
+    /// trace the bytes must be identical however the simulations were
+    /// driven, and including them would make that property untestable.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048 + 256 * self.outcomes.len());
+        s.push_str("{\n");
+        s.push_str(&format!("  \"policy\": {},\n", json_str(&self.policy)));
+        s.push_str(&format!("  \"pool_tiles\": {},\n", self.pool_tiles));
+        s.push_str(&format!("  \"degraded_tiles\": {},\n", self.degraded_tiles));
+        s.push_str(&format!("  \"requests\": {},\n", self.requests));
+        s.push_str(&format!("  \"completed\": {},\n", self.completed));
+        s.push_str(&format!("  \"dropped\": {},\n", self.dropped));
+        s.push_str(&format!("  \"makespan_cycles\": {},\n", self.makespan_cycles));
+        s.push_str(&format!("  \"utilization\": {:.4},\n", self.utilization));
+        s.push_str(&format!(
+            "  \"latency_cycles\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},\n",
+            self.p50_latency_cycles, self.p95_latency_cycles, self.p99_latency_cycles
+        ));
+        s.push_str(&format!(
+            "  \"deadline_miss_rate\": {:.4},\n",
+            self.deadline_miss_rate
+        ));
+        s.push_str(&format!(
+            "  \"energy_pj_per_request\": {:.1},\n",
+            self.energy_pj_per_request
+        ));
+        s.push_str("  \"tenants\": [\n");
+        for (i, t) in self.tenants.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!("\"tenant\": {}, ", json_str(&t.tenant)));
+            s.push_str(&format!("\"requests\": {}, ", t.requests));
+            s.push_str(&format!("\"completed\": {}, ", t.completed));
+            s.push_str(&format!("\"dropped\": {}, ", t.dropped));
+            s.push_str(&format!(
+                "\"latency_cycles\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, ",
+                t.p50_latency_cycles, t.p95_latency_cycles, t.p99_latency_cycles
+            ));
+            s.push_str(&format!("\"mean_queue_cycles\": {:.1}, ", t.mean_queue_cycles));
+            s.push_str(&format!(
+                "\"mean_service_cycles\": {:.1}, ",
+                t.mean_service_cycles
+            ));
+            s.push_str(&format!("\"deadline_misses\": {}, ", t.deadline_misses));
+            s.push_str(&format!("\"miss_rate\": {:.4}, ", t.miss_rate));
+            s.push_str(&format!(
+                "\"energy_pj_per_request\": {:.1}}}{}\n",
+                t.energy_pj_per_request,
+                if i + 1 < self.tenants.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"outcomes\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!("\"id\": {}, ", o.id));
+            s.push_str(&format!("\"tenant\": {}, ", json_str(&o.tenant)));
+            s.push_str(&format!("\"model\": {}, ", json_str(&o.model)));
+            s.push_str(&format!("\"arrival\": {}, ", o.arrival));
+            s.push_str(&format!("\"admitted\": {}, ", o.admitted));
+            s.push_str(&format!("\"finished\": {}, ", o.finished));
+            match o.deadline {
+                Some(d) => s.push_str(&format!("\"deadline\": {d}, ")),
+                None => s.push_str("\"deadline\": null, "),
+            }
+            s.push_str(&format!("\"ok\": {}, ", o.ok));
+            s.push_str(&format!("\"dropped\": {}, ", o.dropped));
+            s.push_str(&format!("\"service_cycles\": {}, ", o.service_cycles));
+            s.push_str(&format!("\"queue_cycles\": {}, ", o.queue_cycles));
+            s.push_str(&format!("\"latency_cycles\": {}, ", o.latency_cycles));
+            s.push_str(&format!(
+                "\"energy_pj\": {:.1}}}{}\n",
+                o.energy_pj,
+                if i + 1 < self.outcomes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Quotes and escapes a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u64, tenant: &str, arrival: u64, latency: u64) -> RequestOutcome {
+        RequestOutcome {
+            id,
+            tenant: tenant.into(),
+            model: "m".into(),
+            arrival,
+            admitted: arrival,
+            finished: arrival + latency,
+            deadline: None,
+            ok: true,
+            dropped: false,
+            service_cycles: latency,
+            queue_cycles: 0,
+            latency_cycles: latency,
+            energy_pj: 10.0,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 95.0), 95);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn tenants_sorted_and_fleet_counts_add_up() {
+        let outcomes = vec![
+            outcome(2, "zeta", 100, 50),
+            outcome(0, "alpha", 0, 10),
+            outcome(1, "zeta", 50, 30),
+        ];
+        let r = ServeReport::from_outcomes("fcfs", 16, 0, 0, outcomes);
+        assert_eq!(r.requests, 3);
+        assert_eq!(r.completed, 3);
+        let names: Vec<&str> = r.tenants.iter().map(|t| t.tenant.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        let ids: Vec<u64> = r.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, [0, 1, 2]);
+        assert_eq!(r.makespan_cycles, 150);
+    }
+
+    #[test]
+    fn deadline_misses_count_drops() {
+        let mut hit = outcome(0, "a", 0, 10);
+        hit.deadline = Some(100);
+        let mut late = outcome(1, "a", 0, 200);
+        late.deadline = Some(100);
+        let mut drop = outcome(2, "a", 0, 0);
+        drop.deadline = Some(100);
+        drop.dropped = true;
+        let free = outcome(3, "a", 0, 999); // no deadline: can't miss
+        let r = ServeReport::from_outcomes("fcfs", 16, 0, 0, vec![hit, late, drop, free]);
+        assert_eq!(r.tenants[0].deadline_misses, 2);
+        assert!((r.deadline_miss_rate - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.dropped, 1);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_capacity() {
+        let r = ServeReport::from_outcomes("fcfs", 10, 0, 500, vec![outcome(0, "a", 0, 100)]);
+        // capacity = 10 tiles * 100 cycles
+        assert!((r.utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_parseable_shape_and_escapes() {
+        let mut o = outcome(0, "ten\"ant", 0, 10);
+        o.deadline = Some(42);
+        let r = ServeReport::from_outcomes("sjf", 16, 1, 0, vec![o]);
+        let j = r.to_json();
+        assert!(j.contains("\"policy\": \"sjf\""));
+        assert!(j.contains("\"ten\\\"ant\""));
+        assert!(j.contains("\"deadline\": 42"));
+        assert!(j.contains("\"degraded_tiles\": 1"));
+        assert!(!j.contains("engine"), "engine must not leak into report");
+        assert!(!j.contains("threads"), "threads must not leak into report");
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

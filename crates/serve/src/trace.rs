@@ -1,0 +1,579 @@
+//! Request-arrival traces: seeded synthetic generators and a JSON loader.
+//!
+//! A [`Trace`] is the serving layer's input: a time-sorted list of
+//! [`Request`]s, each naming a tenant, a registered model, an arrival
+//! cycle, and an optional absolute deadline. Traces come from three
+//! places:
+//!
+//! * [`Trace::poisson`] — per-tenant Poisson processes (exponential
+//!   inter-arrival gaps) merged into one stream;
+//! * [`Trace::bursty`] — per-tenant on/off-modulated Poisson: arrivals
+//!   cluster inside periodic burst windows, the adversarial shape for
+//!   tail-latency comparisons between scheduler policies;
+//! * [`Trace::from_json`] — a trace file, so recorded or hand-written
+//!   workloads replay exactly.
+//!
+//! All generation is driven by [`crate::rng::Rng`]: a fixed seed yields a
+//! byte-identical trace (and, downstream, a byte-identical serving
+//! report) on every run.
+
+use crate::rng::Rng;
+use crate::ServeError;
+use serde::{Deserialize, Serialize};
+
+/// One inference request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Dense index in arrival order (assigned by the trace constructor).
+    pub id: u64,
+    /// The tenant the request belongs to (SLOs are tracked per tenant).
+    pub tenant: String,
+    /// The registered model the request wants to run.
+    pub model: String,
+    /// Arrival time, fabric cycles.
+    pub arrival: u64,
+    /// Absolute completion deadline in fabric cycles, if the tenant has a
+    /// latency SLO.
+    pub deadline: Option<u64>,
+}
+
+/// One tenant's offered load, input to the synthetic generators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantLoad {
+    /// Tenant name.
+    pub tenant: String,
+    /// Registered model every request of this tenant runs.
+    pub model: String,
+    /// Mean inter-arrival gap, fabric cycles.
+    pub mean_gap: u64,
+    /// Relative deadline granted to each request (absolute deadline =
+    /// arrival + this), if the tenant has one.
+    pub deadline: Option<u64>,
+}
+
+/// A time-sorted request stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Requests in non-decreasing arrival order; ids are dense in this
+    /// order.
+    pub requests: Vec<Request>,
+}
+
+/// Fraction of the burst period that is "on" in [`Trace::bursty`]. The
+/// in-burst rate is boosted by the reciprocal (4×) so the long-run
+/// offered load matches the Poisson generator's.
+const BURST_DUTY: f64 = 0.25;
+
+impl Trace {
+    /// Builds a trace from raw requests: sorts by `(arrival, tenant,
+    /// model)` and reassigns dense ids, so equal inputs give identical
+    /// traces regardless of input order.
+    #[must_use]
+    pub fn from_requests(mut requests: Vec<Request>) -> Self {
+        requests.sort_by(|a, b| {
+            (a.arrival, &a.tenant, &a.model, a.deadline)
+                .cmp(&(b.arrival, &b.tenant, &b.model, b.deadline))
+        });
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.id = i as u64;
+        }
+        Trace { requests }
+    }
+
+    /// Merged per-tenant Poisson streams over `[0, horizon)` cycles.
+    /// Each tenant draws from its own seeded RNG sub-stream, so adding a
+    /// tenant never perturbs the others' arrivals.
+    #[must_use]
+    pub fn poisson(loads: &[TenantLoad], horizon: u64, seed: u64) -> Self {
+        let mut requests = Vec::new();
+        for (ti, load) in loads.iter().enumerate() {
+            let mut rng = Rng::new(seed.wrapping_add((ti as u64).wrapping_mul(0x9E37)));
+            let mut t = 0u64;
+            loop {
+                let gap = rng.next_exp(load.mean_gap as f64).round().max(1.0);
+                t = t.saturating_add(gap as u64);
+                if t >= horizon {
+                    break;
+                }
+                requests.push(Request {
+                    id: 0,
+                    tenant: load.tenant.clone(),
+                    model: load.model.clone(),
+                    arrival: t,
+                    deadline: load.deadline.map(|d| t + d),
+                });
+            }
+        }
+        Trace::from_requests(requests)
+    }
+
+    /// On/off-modulated Poisson streams: each tenant's arrivals are
+    /// confined to burst windows covering the first quarter of every
+    /// `burst_period` cycles, where the instantaneous rate is boosted 4×
+    /// over the tenant's mean. The long-run offered load matches
+    /// [`Trace::poisson`]; only the clustering changes — which is exactly
+    /// what separates scheduler policies at the tail.
+    #[must_use]
+    pub fn bursty(loads: &[TenantLoad], horizon: u64, burst_period: u64, seed: u64) -> Self {
+        let burst_period = burst_period.max(4);
+        let on = ((burst_period as f64 * BURST_DUTY) as u64).max(1);
+        let mut requests = Vec::new();
+        for (ti, load) in loads.iter().enumerate() {
+            let mut rng = Rng::new(seed.wrapping_add((ti as u64).wrapping_mul(0xB5E7)));
+            // inside a burst the gap shrinks by the duty factor, so the
+            // long-run rate stays the tenant's mean
+            let burst_gap = load.mean_gap as f64 * BURST_DUTY;
+            let mut t = 0u64;
+            loop {
+                let gap = rng.next_exp(burst_gap).round().max(1.0);
+                t = t.saturating_add(gap as u64);
+                // skip the off phase: arrivals only land inside a window
+                if t % burst_period >= on {
+                    t = (t / burst_period + 1) * burst_period;
+                    // the gap's remainder restarts inside the next window
+                    continue;
+                }
+                if t >= horizon {
+                    break;
+                }
+                requests.push(Request {
+                    id: 0,
+                    tenant: load.tenant.clone(),
+                    model: load.model.clone(),
+                    arrival: t,
+                    deadline: load.deadline.map(|d| t + d),
+                });
+            }
+        }
+        Trace::from_requests(requests)
+    }
+
+    /// Renders the trace as a JSON document ([`Trace::from_json`] reads
+    /// it back verbatim).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"requests\":[");
+        for (i, r) in self.requests.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"tenant\":{:?},\"model\":{:?},\"arrival\":{},\"deadline\":{}}}",
+                r.tenant,
+                r.model,
+                r.arrival,
+                r.deadline.map_or("null".to_string(), |d| d.to_string()),
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parses a trace from its JSON form:
+    ///
+    /// ```json
+    /// {"requests": [
+    ///   {"tenant": "vision", "model": "resnet18_segment",
+    ///    "arrival": 0, "deadline": 500000},
+    ///   {"tenant": "keyword", "model": "small", "arrival": 1200}
+    /// ]}
+    /// ```
+    ///
+    /// `deadline` may be a number, `null`, or absent. Requests are
+    /// re-sorted and re-numbered, so hand-edited files need no care about
+    /// ordering or ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadTrace`] on malformed JSON or missing
+    /// fields.
+    pub fn from_json(text: &str) -> Result<Self, ServeError> {
+        let mut p = Parser::new(text);
+        p.skip_ws();
+        p.expect('{')?;
+        let mut requests = Vec::new();
+        let mut saw_requests = false;
+        loop {
+            p.skip_ws();
+            if p.eat('}') {
+                break;
+            }
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(':')?;
+            if key == "requests" {
+                saw_requests = true;
+                requests = p.request_array()?;
+            } else {
+                p.skip_value()?;
+            }
+            p.skip_ws();
+            if !p.eat(',') {
+                p.skip_ws();
+                p.expect('}')?;
+                break;
+            }
+        }
+        if !saw_requests {
+            return Err(ServeError::BadTrace {
+                reason: "missing `requests` array".into(),
+            });
+        }
+        p.skip_ws();
+        if !p.done() {
+            return Err(p.err("trailing characters after the trace object"));
+        }
+        Ok(Trace::from_requests(requests))
+    }
+}
+
+/// A hand-rolled parser for the trace subset of JSON (the serde shim has
+/// no deserializer — see `shims/README.md`).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, reason: &str) -> ServeError {
+        ServeError::BadTrace {
+            reason: format!("{reason} (at byte {})", self.pos),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c as u8) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ServeError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{c}`")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ServeError> {
+        self.skip_ws();
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        _ => return Err(self.err("unsupported string escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if !b.is_ascii_control() => {
+                    // multi-byte UTF-8 passes through byte by byte; the
+                    // input is a &str so the bytes are valid
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                    );
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ServeError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a non-negative integer"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("integer out of range"))
+    }
+
+    fn keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skips any value (used for unknown keys, keeping the format
+    /// forward-extensible).
+    fn skip_value(&mut self) -> Result<(), ServeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+            }
+            Some(b'0'..=b'9') => {
+                self.number()?;
+            }
+            Some(b'n') if self.keyword("null") => {}
+            Some(b't') if self.keyword("true") => {}
+            Some(b'f') if self.keyword("false") => {}
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if !self.eat(']') {
+                    loop {
+                        self.skip_value()?;
+                        self.skip_ws();
+                        if !self.eat(',') {
+                            self.expect(']')?;
+                            break;
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.skip_ws();
+                if !self.eat('}') {
+                    loop {
+                        self.string()?;
+                        self.skip_ws();
+                        self.expect(':')?;
+                        self.skip_value()?;
+                        self.skip_ws();
+                        if !self.eat(',') {
+                            self.expect('}')?;
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => return Err(self.err("expected a JSON value")),
+        }
+        Ok(())
+    }
+
+    fn request_array(&mut self) -> Result<Vec<Request>, ServeError> {
+        self.skip_ws();
+        self.expect('[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.eat(']') {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.request()?);
+            self.skip_ws();
+            if !self.eat(',') {
+                self.expect(']')?;
+                return Ok(out);
+            }
+        }
+    }
+
+    fn request(&mut self) -> Result<Request, ServeError> {
+        self.skip_ws();
+        self.expect('{')?;
+        let (mut tenant, mut model, mut arrival, mut deadline) = (None, None, None, None);
+        loop {
+            self.skip_ws();
+            if self.eat('}') {
+                break;
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "tenant" => tenant = Some(self.string()?),
+                "model" => model = Some(self.string()?),
+                "arrival" => arrival = Some(self.number()?),
+                "deadline" => {
+                    if self.keyword("null") {
+                        deadline = None;
+                    } else {
+                        deadline = Some(self.number()?);
+                    }
+                }
+                _ => self.skip_value()?,
+            }
+            self.skip_ws();
+            if !self.eat(',') {
+                self.skip_ws();
+                self.expect('}')?;
+                break;
+            }
+        }
+        let model = model.ok_or_else(|| self.err("request missing `model`"))?;
+        Ok(Request {
+            id: 0,
+            tenant: tenant.unwrap_or_else(|| model.clone()),
+            model,
+            arrival: arrival.ok_or_else(|| self.err("request missing `arrival`"))?,
+            deadline,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads() -> Vec<TenantLoad> {
+        vec![
+            TenantLoad {
+                tenant: "vision".into(),
+                model: "resnet18_segment".into(),
+                mean_gap: 50_000,
+                deadline: Some(400_000),
+            },
+            TenantLoad {
+                tenant: "keyword".into(),
+                model: "small".into(),
+                mean_gap: 10_000,
+                deadline: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn poisson_is_sorted_dense_and_deterministic() {
+        let a = Trace::poisson(&loads(), 500_000, 42);
+        let b = Trace::poisson(&loads(), 500_000, 42);
+        assert_eq!(a, b);
+        assert!(!a.requests.is_empty());
+        for (i, r) in a.requests.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(r.arrival < 500_000);
+            if i > 0 {
+                assert!(r.arrival >= a.requests[i - 1].arrival);
+            }
+        }
+        // both tenants show up, deadlines only where configured
+        assert!(a.requests.iter().any(|r| r.tenant == "vision"));
+        assert!(a.requests.iter().any(|r| r.tenant == "keyword"));
+        for r in &a.requests {
+            match r.tenant.as_str() {
+                "vision" => assert_eq!(r.deadline, Some(r.arrival + 400_000)),
+                _ => assert_eq!(r.deadline, None),
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_rate_roughly_matches() {
+        let t = Trace::poisson(&loads(), 2_000_000, 1);
+        let keyword = t.requests.iter().filter(|r| r.tenant == "keyword").count();
+        // mean gap 10_000 over 2M cycles → ~200 expected
+        assert!((120..=280).contains(&keyword), "{keyword}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(
+            Trace::poisson(&loads(), 500_000, 1),
+            Trace::poisson(&loads(), 500_000, 2)
+        );
+    }
+
+    #[test]
+    fn bursty_clusters_arrivals() {
+        let period = 100_000u64;
+        let t = Trace::bursty(&loads(), 2_000_000, period, 42);
+        assert!(!t.requests.is_empty());
+        let on = (period as f64 * BURST_DUTY) as u64;
+        for r in &t.requests {
+            assert!(r.arrival % period < on, "arrival outside burst window");
+        }
+    }
+
+    #[test]
+    fn bursty_is_deterministic() {
+        let a = Trace::bursty(&loads(), 1_000_000, 100_000, 9);
+        let b = Trace::bursty(&loads(), 1_000_000, 100_000, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = Trace::poisson(&loads(), 300_000, 13);
+        let parsed = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn json_accepts_sparse_requests() {
+        let t = Trace::from_json(
+            r#"{ "requests": [
+                {"model": "small", "arrival": 10},
+                {"tenant": "v", "model": "big", "arrival": 5,
+                 "deadline": 500, "note": "ignored", "extra": [1, {"a": true}]}
+            ] }"#,
+        )
+        .unwrap();
+        assert_eq!(t.requests.len(), 2);
+        // sorted by arrival, tenant defaults to the model name
+        assert_eq!(t.requests[0].tenant, "v");
+        assert_eq!(t.requests[0].deadline, Some(500));
+        assert_eq!(t.requests[1].tenant, "small");
+        assert_eq!(t.requests[1].deadline, None);
+    }
+
+    #[test]
+    fn json_errors_are_typed() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            r#"{"requests": [{"arrival": 1}]}"#,
+            r#"{"requests": [{"model": "m"}]}"#,
+            r#"{"requests": [{"model": "m", "arrival": -4}]}"#,
+            r#"{"requests": []} trailing"#,
+        ] {
+            match Trace::from_json(bad) {
+                Err(ServeError::BadTrace { .. }) => {}
+                other => panic!("`{bad}` should fail as BadTrace, got {other:?}"),
+            }
+        }
+        // the empty list itself is fine
+        assert!(Trace::from_json(r#"{"requests": []}"#).unwrap().requests.is_empty());
+    }
+}

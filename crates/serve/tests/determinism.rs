@@ -1,0 +1,53 @@
+//! Property test: a serving run is a pure function of its trace seed and
+//! config — the report's JSON bytes are identical whichever simulation
+//! engine drives the fabric and however many node-stepping threads each
+//! simulation uses.
+
+use maicc_serve::registry::three_model_mix;
+use maicc_serve::server::{serve, Policy, ServeConfig};
+use maicc_serve::trace::Trace;
+use maicc_sim::stream::Engine;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn prop_report_bytes_invariant_across_engines_and_threads(
+        seed in 0u64..10_000,
+        policy_idx in 0usize..2,
+        bursty in any::<bool>(),
+    ) {
+        let (registry, loads) = three_model_mix();
+        let trace = if bursty {
+            Trace::bursty(&loads, 150_000, 60_000, seed)
+        } else {
+            Trace::poisson(&loads, 150_000, seed)
+        };
+        let policy = [Policy::Fcfs, Policy::Sjf][policy_idx];
+        let mut baseline: Option<String> = None;
+        for engine in [Engine::EventDriven, Engine::CycleAccurate] {
+            for threads in [1usize, 4] {
+                let cfg = ServeConfig {
+                    policy,
+                    engine,
+                    threads,
+                    pool_tiles: 16,
+                    ..ServeConfig::default()
+                };
+                let json = serve(&registry, &trace, &cfg).unwrap().to_json();
+                match &baseline {
+                    None => baseline = Some(json),
+                    Some(b) => prop_assert_eq!(
+                        b,
+                        &json,
+                        "seed {} policy {:?} diverged under {:?} x {} threads",
+                        seed,
+                        policy,
+                        engine,
+                        threads
+                    ),
+                }
+            }
+        }
+    }
+}

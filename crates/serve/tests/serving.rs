@@ -1,0 +1,191 @@
+//! End-to-end serving tests: policies, SLO accounting, error paths, and
+//! fault-driven pool degradation.
+
+use maicc_serve::registry::three_model_mix;
+use maicc_serve::server::{serve, FaultConfig, Policy, ServeConfig};
+use maicc_serve::trace::{Request, Trace};
+use maicc_serve::ServeError;
+use maicc_sim::stream::Engine;
+use maicc_sim::RecoveryPolicy;
+
+fn cfg(policy: Policy, pool_tiles: usize) -> ServeConfig {
+    ServeConfig {
+        policy,
+        pool_tiles,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn fcfs_completes_everything_and_matches_golden() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::poisson(&loads, 400_000, 7);
+    assert!(trace.requests.len() >= 5, "trace too sparse to be interesting");
+    let report = serve(&registry, &trace, &cfg(Policy::Fcfs, 16)).unwrap();
+    assert_eq!(report.requests, trace.requests.len() as u64);
+    assert_eq!(report.completed, report.requests);
+    assert_eq!(report.dropped, 0);
+    assert!(report.outcomes.iter().all(|o| o.ok), "every ofmap matches golden");
+    assert!(report.makespan_cycles > 0);
+    assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+    assert!(report.energy_pj_per_request > 0.0);
+    // Latency decomposes: queue + service = latency for completed runs.
+    for o in &report.outcomes {
+        assert_eq!(o.queue_cycles + o.service_cycles, o.latency_cycles, "req {}", o.id);
+        assert!(o.admitted >= o.arrival);
+        assert_eq!(o.finished, o.admitted + o.service_cycles);
+    }
+    // All three tenants are represented.
+    let names: Vec<&str> = report.tenants.iter().map(|t| t.tenant.as_str()).collect();
+    assert_eq!(names, ["assist", "keyword", "vision"]);
+}
+
+#[test]
+fn report_bytes_identical_across_engines_and_threads() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::poisson(&loads, 250_000, 11);
+    let mut baseline: Option<String> = None;
+    for engine in [Engine::EventDriven, Engine::CycleAccurate] {
+        for threads in [1, 4] {
+            let config = ServeConfig {
+                engine,
+                threads,
+                ..cfg(Policy::Fcfs, 16)
+            };
+            let json = serve(&registry, &trace, &config).unwrap().to_json();
+            match &baseline {
+                None => baseline = Some(json),
+                Some(b) => assert_eq!(
+                    b, &json,
+                    "report diverged under {engine:?} x {threads} threads"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn sjf_and_fcfs_tail_latency_diverge_on_bursty_trace() {
+    let (registry, loads) = three_model_mix();
+    // A tight pool (8 tiles: only one medium/large model at a time)
+    // under bursty load builds real queues, so admission order shows up
+    // at the tail.
+    let trace = Trace::bursty(&loads, 600_000, 200_000, 13);
+    let fcfs = serve(&registry, &trace, &cfg(Policy::Fcfs, 8)).unwrap();
+    let sjf = serve(&registry, &trace, &cfg(Policy::Sjf, 8)).unwrap();
+    assert_eq!(fcfs.requests, sjf.requests);
+    assert_ne!(
+        fcfs.p99_latency_cycles, sjf.p99_latency_cycles,
+        "policies should reorder the tail under contention"
+    );
+    // SJF favours the short keyword jobs over FCFS.
+    let kw = |r: &maicc_serve::slo::ServeReport| {
+        r.tenants
+            .iter()
+            .find(|t| t.tenant == "keyword")
+            .unwrap()
+            .p99_latency_cycles
+    };
+    assert!(
+        kw(&sjf) <= kw(&fcfs),
+        "SJF keyword p99 {} should not exceed FCFS {}",
+        kw(&sjf),
+        kw(&fcfs)
+    );
+}
+
+#[test]
+fn partitioned_and_time_shared_complete_the_mix() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::poisson(&loads, 400_000, 7);
+    // 16 tiles = exactly the sum of the three footprints (7 + 6 + 3).
+    let part = serve(&registry, &trace, &cfg(Policy::Partitioned, 16)).unwrap();
+    assert_eq!(part.completed, part.requests);
+    assert_eq!(part.policy, "partitioned");
+    let ts = serve(&registry, &trace, &cfg(Policy::TimeShared, 16)).unwrap();
+    assert_eq!(ts.completed, ts.requests);
+    assert_eq!(ts.policy, "time_shared");
+    // Time-sharing serialises the fabric: requests never overlap, so its
+    // makespan is at least every other policy's.
+    assert!(ts.makespan_cycles >= part.makespan_cycles);
+}
+
+#[test]
+fn partitioned_rejects_a_pool_that_cannot_hold_all_tenants() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::poisson(&loads, 400_000, 7);
+    match serve(&registry, &trace, &cfg(Policy::Partitioned, 10)) {
+        Err(ServeError::PoolTooSmall { reason }) => {
+            assert!(reason.contains("partition"), "{reason}");
+        }
+        other => panic!("expected PoolTooSmall, got {other:?}"),
+    }
+}
+
+#[test]
+fn model_wider_than_pool_is_rejected_up_front() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::poisson(&loads, 400_000, 7);
+    match serve(&registry, &trace, &cfg(Policy::Fcfs, 3)) {
+        Err(ServeError::PoolTooSmall { reason }) => {
+            assert!(reason.contains("resnet18_segment"), "{reason}");
+        }
+        other => panic!("expected PoolTooSmall, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_model_is_rejected_up_front() {
+    let (registry, _) = three_model_mix();
+    let trace = Trace::from_requests(vec![Request {
+        id: 0,
+        tenant: "ghost".into(),
+        model: "nope".into(),
+        arrival: 0,
+        deadline: None,
+    }]);
+    match serve(&registry, &trace, &cfg(Policy::Fcfs, 16)) {
+        Err(ServeError::UnknownModel { model }) => assert_eq!(model, "nope"),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+}
+
+#[test]
+fn hard_fault_mid_run_retires_a_tile_from_the_pool() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::poisson(&loads, 300_000, 7);
+    let first_id = trace.requests[0].id;
+    let config = ServeConfig {
+        recovery: Some(RecoveryPolicy {
+            max_replays: 8,
+            remap: true,
+            checkpoint_values: 8,
+        }),
+        fault: Some(FaultConfig {
+            fail_at_requests: vec![first_id],
+            ..FaultConfig::default()
+        }),
+        ..cfg(Policy::Fcfs, 16)
+    };
+    let report = serve(&registry, &trace, &config).unwrap();
+    assert!(
+        report.degraded_tiles >= 1,
+        "remap recovery should retire the faulted tile"
+    );
+    assert_eq!(report.completed + report.dropped, report.requests);
+    // The faulted request itself still completed correctly via replay.
+    let victim = report.outcomes.iter().find(|o| o.id == first_id).unwrap();
+    assert!(victim.ok && !victim.dropped);
+}
+
+#[test]
+fn deadline_misses_show_up_under_contention() {
+    let (registry, loads) = three_model_mix();
+    // Serialise everything through a tight pool so the latency-sensitive
+    // tenant's 150k-cycle deadline is hard to hold during bursts.
+    let trace = Trace::bursty(&loads, 600_000, 200_000, 13);
+    let report = serve(&registry, &trace, &cfg(Policy::TimeShared, 8)).unwrap();
+    let misses: u64 = report.tenants.iter().map(|t| t.deadline_misses).sum();
+    assert!(misses > 0, "expected at least one miss on a bursty tight pool");
+    assert!(report.deadline_miss_rate > 0.0);
+}

@@ -844,6 +844,16 @@ impl StreamSim {
         self.recovery_stats
     }
 
+    /// Every tile this simulation currently steers around: the initial
+    /// avoid set passed to [`StreamSim::new_avoiding`] plus any tile
+    /// remap recovery has since retired. Serving layers diff this
+    /// against the set they supplied to learn which tiles went bad
+    /// during a run.
+    #[must_use]
+    pub fn retired_tiles(&self) -> &[Tile] {
+        &self.avoid
+    }
+
     /// Merged CMem fault statistics across all computing cores.
     #[must_use]
     pub fn cmem_fault_stats(&self) -> FaultStats {
