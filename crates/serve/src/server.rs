@@ -395,7 +395,17 @@ impl Server<'_> {
                 } else {
                     let mut post = avoid.to_vec();
                     post.extend(self.degraded.iter().copied());
-                    self.placement(entry, &post).unwrap_or(tiles)
+                    match self.placement(entry, &post) {
+                        Some(p) => p,
+                        // Re-placement can fail when retirement shrank the
+                        // pool below the footprint; fall back to the
+                        // original grant minus the casualties so occupancy
+                        // never counts a retired tile.
+                        None => tiles
+                            .into_iter()
+                            .filter(|t| !self.degraded.contains(t))
+                            .collect(),
+                    }
                 };
                 self.busy_tile_cycles += out.cycles * occupied.len() as u64;
                 self.running.push(Running {
@@ -436,14 +446,12 @@ impl Server<'_> {
     /// Retires every run finishing exactly at `now` (in request-id order)
     /// and records its outcome.
     fn complete_at(&mut self, now: u64) {
-        let mut done: Vec<usize> = (0..self.running.len())
+        // The range scan yields ascending indices; removing from the back
+        // keeps the remaining ones valid. Ordering for the report happens
+        // afterwards, on the collected runs, by request id.
+        let done: Vec<usize> = (0..self.running.len())
             .filter(|&i| self.running[i].done_at == now)
             .collect();
-        done.sort_by_key(|&i| self.trace.requests[self.running[i].idx].id);
-        // Remove from the back so indices stay valid. `done` is sorted by
-        // request id; removing in reverse index order preserves the push
-        // order below only if ids and indices agree, so push in id order
-        // after collecting.
         let mut finished: Vec<Running> = Vec::with_capacity(done.len());
         for &i in done.iter().rev() {
             finished.push(self.running.remove(i));
@@ -643,6 +651,10 @@ impl Server<'_> {
         }
 
         let mut regions = self.carve_regions(&tenants, &need)?;
+        // Degraded count as of the last carve: growth past this (admits
+        // fold casualties in mid-iteration) means a region lost a tile
+        // and the partition must move.
+        let mut carved_at = self.degraded.len();
         let mut queues: BTreeMap<String, VecDeque<usize>> = tenants
             .iter()
             .map(|t| (t.clone(), VecDeque::new()))
@@ -653,18 +665,18 @@ impl Server<'_> {
             let Some(now) = self.next_event(arrival) else {
                 break;
             };
-            let degraded_before = self.degraded.len();
             self.complete_at(now);
             while next < self.trace.requests.len() && self.trace.requests[next].arrival == now {
                 let t = self.trace.requests[next].tenant.clone();
                 queues.get_mut(&t).expect("tenant known").push_back(next);
                 next += 1;
             }
-            if self.degraded.len() > degraded_before {
+            if self.degraded.len() > carved_at {
                 // A tile died mid-run: re-carve the static partition
                 // around the casualty (only free regions move; occupied
                 // tiles are excluded from the new carve by avoid_now).
                 regions = self.carve_regions(&tenants, &need)?;
+                carved_at = self.degraded.len();
             }
             // Each tenant admits onto its own region when free; repeat
             // the pass while it makes progress so an instantly-dropped

@@ -335,8 +335,8 @@ impl ServeReport {
     }
 }
 
-/// Quotes and escapes a string for JSON.
-fn json_str(s: &str) -> String {
+/// Quotes and escapes a string for JSON (shared with the trace writer).
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -158,9 +158,9 @@ impl Trace {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"tenant\":{:?},\"model\":{:?},\"arrival\":{},\"deadline\":{}}}",
-                r.tenant,
-                r.model,
+                "{{\"tenant\":{},\"model\":{},\"arrival\":{},\"deadline\":{}}}",
+                crate::slo::json_str(&r.tenant),
+                crate::slo::json_str(&r.model),
                 r.arrival,
                 r.deadline.map_or("null".to_string(), |d| d.to_string()),
             ));
@@ -295,11 +295,23 @@ impl<'a> Parser<'a> {
                         Some(b'"') => out.push('"'),
                         Some(b'\\') => out.push('\\'),
                         Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue; // unicode_escape consumed its digits
+                        }
                         _ => return Err(self.err("unsupported string escape")),
                     }
                     self.pos += 1;
                 }
-                Some(b) if !b.is_ascii_control() => {
+                // JSON requires escapes only below 0x20; anything else
+                // (including DEL and multi-byte leads) passes through raw.
+                Some(b) if b >= 0x20 => {
                     // multi-byte UTF-8 passes through byte by byte; the
                     // input is a &str so the bytes are valid
                     let start = self.pos;
@@ -315,6 +327,40 @@ impl<'a> Parser<'a> {
                 _ => return Err(self.err("unterminated string")),
             }
         }
+    }
+
+    /// Parses the `XXXX` of a `\uXXXX` escape (the `\u` is already
+    /// consumed), pairing surrogates per RFC 8259 §7.
+    fn unicode_escape(&mut self) -> Result<char, ServeError> {
+        let high = self.hex4()?;
+        let code = if (0xD800..=0xDBFF).contains(&high) {
+            if !(self.eat('\\') && self.eat('u')) {
+                return Err(self.err("unpaired high surrogate"));
+            }
+            let low = self.hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&low) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            0x1_0000 + ((high - 0xD800) << 10) + (low - 0xDC00)
+        } else {
+            high
+        };
+        char::from_u32(code).ok_or_else(|| self.err("invalid unicode escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, ServeError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("expected four hex digits after \\u")),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
     }
 
     fn number(&mut self) -> Result<u64, ServeError> {
@@ -537,6 +583,52 @@ mod tests {
         let t = Trace::poisson(&loads(), 300_000, 13);
         let parsed = Trace::from_json(&t.to_json()).unwrap();
         assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn json_round_trip_escapes_hostile_names() {
+        // Control chars (incl. ESC, the {:?}-formatting trap), quotes,
+        // backslashes, DEL, and non-ASCII must all survive the
+        // to_json/from_json round trip as valid JSON.
+        let t = Trace::from_requests(vec![
+            Request {
+                id: 0,
+                tenant: "esc\u{1b}[31m\"quoted\"\\back".into(),
+                model: "tab\there\nnewline".into(),
+                arrival: 5,
+                deadline: Some(100),
+            },
+            Request {
+                id: 0,
+                tenant: "del\u{7f}süß-日本語".into(),
+                model: "\u{1}\u{1f}".into(),
+                arrival: 9,
+                deadline: None,
+            },
+        ]);
+        let json = t.to_json();
+        assert!(!json.contains("\\u{"), "Rust Debug escapes are not JSON: {json}");
+        assert_eq!(Trace::from_json(&json).unwrap(), t);
+    }
+
+    #[test]
+    fn json_parses_standard_escapes() {
+        let t = Trace::from_json(
+            r#"{"requests": [{"tenant": "aA\n\t\r\b\f\u001b\u00e9\ud83d\ude00",
+                             "model": "m", "arrival": 1}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            t.requests[0].tenant,
+            "aA\n\t\r\u{8}\u{c}\u{1b}\u{e9}\u{1f600}"
+        );
+        for bad in [
+            r#"{"requests": [{"tenant": "\u12", "model": "m", "arrival": 1}]}"#,
+            r#"{"requests": [{"tenant": "\ud800x", "model": "m", "arrival": 1}]}"#,
+            r#"{"requests": [{"tenant": "\ud800\u0041", "model": "m", "arrival": 1}]}"#,
+        ] {
+            assert!(Trace::from_json(bad).is_err(), "`{bad}` should fail");
+        }
     }
 
     #[test]

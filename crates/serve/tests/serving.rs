@@ -179,6 +179,54 @@ fn hard_fault_mid_run_retires_a_tile_from_the_pool() {
 }
 
 #[test]
+fn partitioned_recarves_after_mid_run_retirement() {
+    let (registry, _) = three_model_mix();
+    // The vision tenant mixes the 7-tile segment with the 3-tile small
+    // net, so its region (carved for the segment) has slack for remap
+    // recovery to retire a tile while the small net runs. The later
+    // segment request only fits if the partition then re-carves around
+    // the casualty — under the pre-fix scheduler it head-blocked on the
+    // shrunken region and serve() errored with PoolTooSmall.
+    let mk = |tenant: &str, model: &str, arrival: u64| Request {
+        id: 0,
+        tenant: tenant.into(),
+        model: model.into(),
+        arrival,
+        deadline: None,
+    };
+    let trace = Trace::from_requests(vec![
+        mk("vision", "small", 0), // id 0: the faulted run
+        mk("keyword", "small", 50_000),
+        mk("vision", "resnet18_segment", 100_000),
+        mk("keyword", "small", 150_000),
+    ]);
+    assert_eq!(trace.requests[0].model, "small");
+    let config = ServeConfig {
+        recovery: Some(RecoveryPolicy {
+            max_replays: 8,
+            remap: true,
+            checkpoint_values: 8,
+        }),
+        fault: Some(FaultConfig {
+            fail_at_requests: vec![0],
+            ..FaultConfig::default()
+        }),
+        ..cfg(Policy::Partitioned, 16)
+    };
+    let report = serve(&registry, &trace, &config).unwrap();
+    assert!(
+        report.degraded_tiles >= 1,
+        "remap recovery should retire the faulted tile"
+    );
+    // The re-carve keeps every tenant schedulable: nothing head-blocks
+    // on the shrunken region and the whole trace drains.
+    assert_eq!(report.completed, report.requests);
+    assert_eq!(report.dropped, 0);
+    let victim = report.outcomes.iter().find(|o| o.id == 0).unwrap();
+    assert!(victim.ok && !victim.dropped, "faulted run replays to a correct result");
+}
+
+#[test]
 fn deadline_misses_show_up_under_contention() {
     let (registry, loads) = three_model_mix();
     // Serialise everything through a tight pool so the latency-sensitive
