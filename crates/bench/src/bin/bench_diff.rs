@@ -15,6 +15,13 @@
 //! more than `PCT` percent over the baseline (mis-parses and missing
 //! files still exit 0 — only a measured regression fails). Benchmarks
 //! present on only one side are listed as added or removed.
+//!
+//! Besides the timing rows the tool also diffs the report's `derived`
+//! block. Derived metrics are informational except the
+//! `serve_overload_*` family, where "higher" means "worse" (Hard-tenant
+//! p99, shed rate, preemption/retry counts): those are held to the same
+//! `--fail-on-regress` threshold, skipping keys whose baseline is 0
+//! (absent or not yet measured).
 
 use std::process::ExitCode;
 
@@ -46,6 +53,51 @@ fn worst_regression(base: &[(String, u64)], new: &[(String, u64)]) -> Option<(St
         .filter_map(|(name, new_ns)| {
             let (_, base_ns) = base.iter().find(|(b, _)| b == name)?;
             let pct = (*new_ns as f64 - *base_ns as f64) / *base_ns as f64 * 100.0;
+            (pct > 0.0).then(|| (name.clone(), pct))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+/// `(key, value)` pairs from the report's `"derived": {...}` object, in
+/// file order. Values are parsed as `f64` (the harness emits plain
+/// integers and fixed-point decimals, never exponents or strings).
+fn parse_derived(json: &str) -> Vec<(String, f64)> {
+    let Some(start) = json.find("\"derived\": {") else {
+        return Vec::new();
+    };
+    let body = &json[start + 12..];
+    let Some(end) = body.find('}') else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in body[..end].lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+/// The largest percentage increase of any gated derived metric (the
+/// `serve_overload_*` family, where higher is worse). Keys with a zero
+/// or missing baseline are skipped.
+fn worst_derived_regression(
+    base: &[(String, f64)],
+    new: &[(String, f64)],
+) -> Option<(String, f64)> {
+    new.iter()
+        .filter(|(name, _)| name.starts_with("serve_overload_"))
+        .filter_map(|(name, new_v)| {
+            let (_, base_v) = base.iter().find(|(b, _)| b == name)?;
+            if *base_v <= 0.0 {
+                return None;
+            }
+            let pct = (new_v - base_v) / base_v * 100.0;
             (pct > 0.0).then(|| (name.clone(), pct))
         })
         .max_by(|a, b| a.1.total_cmp(&b.1))
@@ -111,11 +163,33 @@ fn main() -> ExitCode {
             println!("{name:<34} {base_ns:>14} {:>14}  removed", "-");
         }
     }
+    let base_derived = parse_derived(&base_json);
+    let new_derived = parse_derived(&new_json);
+    for (name, new_v) in &new_derived {
+        match base_derived.iter().find(|(b, _)| b == name) {
+            Some((_, base_v)) if *base_v > 0.0 => {
+                let pct = (new_v - base_v) / base_v * 100.0;
+                println!("{name:<34} {base_v:>14.3} {new_v:>14.3} {pct:>+8.1}%");
+            }
+            Some((_, base_v)) => {
+                println!("{name:<34} {base_v:>14.3} {new_v:>14.3}        -");
+            }
+            None => println!("{name:<34} {:>14} {new_v:>14.3}    added", "-"),
+        }
+    }
     if let Some(limit) = fail_limit {
         if let Some((name, pct)) = worst_regression(&base, &new) {
             if pct > limit {
                 eprintln!(
                     "bench_diff: `{name}` regressed {pct:+.1}% (> {limit:.1}% limit)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some((name, pct)) = worst_derived_regression(&base_derived, &new_derived) {
+            if pct > limit {
+                eprintln!(
+                    "bench_diff: derived `{name}` worsened {pct:+.1}% (> {limit:.1}% limit)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -126,7 +200,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{parse_medians, worst_regression};
+    use super::{parse_derived, parse_medians, worst_derived_regression, worst_regression};
 
     #[test]
     fn parses_harness_shape() {
@@ -145,6 +219,35 @@ mod tests {
     #[test]
     fn empty_input_yields_no_entries() {
         assert!(parse_medians("{}").is_empty());
+    }
+
+    #[test]
+    fn parses_and_gates_derived_metrics() {
+        let base = r#"{
+  "derived": {
+    "speedup_vs_sequential": 2.50,
+    "serve_overload_hard_p99_cycles": 300000,
+    "serve_overload_shed_rate": 0.500,
+    "serve_overload_preemptions": 0
+  }
+}"#;
+        let new = r#"{
+  "derived": {
+    "speedup_vs_sequential": 1.00,
+    "serve_overload_hard_p99_cycles": 390000,
+    "serve_overload_shed_rate": 0.520,
+    "serve_overload_preemptions": 3
+  }
+}"#;
+        let b = parse_derived(base);
+        let n = parse_derived(new);
+        assert_eq!(b.len(), 4);
+        // Hard p99 went up 30% — the worst gated metric. The collapsed
+        // speedup is ungated; the preemption jump has a 0 baseline and
+        // is skipped.
+        let (name, pct) = worst_derived_regression(&b, &n).unwrap();
+        assert_eq!(name, "serve_overload_hard_p99_cycles");
+        assert!((pct - 30.0).abs() < 1e-9, "{pct}");
     }
 
     #[test]

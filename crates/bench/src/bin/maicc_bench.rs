@@ -37,6 +37,10 @@
 //!   bursty three-model trace over a contended 8-tile pool; the check
 //!   value is the fleet p99 latency in fabric cycles, so the two rows
 //!   also record how far the policies' tails diverge.
+//! * `serve_overload` — the overload-hardened loop on the 2×-rate tiered
+//!   mix with fault churn, preemption, and retries engaged; the check
+//!   value is the Hard tenant's p99, and the run's shed rate, preemption
+//!   and retry counts land in the `derived` block.
 //!
 //! Every iteration checks functional correctness (ofmap == golden,
 //! modelled cycle counts identical across variants), so a speedup that
@@ -48,10 +52,11 @@ use maicc::exec::config::ExecConfig;
 use maicc::exec::pipeline_model::run_network;
 use maicc::exec::segment::Strategy;
 use maicc::nn::resnet::resnet18;
-use maicc::serve::registry::three_model_mix;
-use maicc::serve::server::{serve, Policy, ServeConfig};
+use maicc::serve::overload::RetryBudget;
+use maicc::serve::registry::{overload_mix, three_model_mix};
+use maicc::serve::server::{serve, FaultConfig, Policy, ServeConfig};
 use maicc::serve::trace::Trace;
-use maicc::sim::stream::{Engine, StreamConfig, StreamSim};
+use maicc::sim::stream::{Engine, RecoveryPolicy, StreamConfig, StreamSim};
 use maicc::sram::fault::FaultPlan;
 use maicc_bench::{percentile, pre_pr};
 use std::time::Instant;
@@ -205,12 +210,29 @@ fn stream_segment(
     r.cycles
 }
 
+/// Counters from one overload-hardened serving run, surfaced as derived
+/// metrics next to the timing rows.
+struct OverloadStats {
+    hard_p99_cycles: u64,
+    shed: u64,
+    preemptions: u64,
+    retries: u64,
+    requests: u64,
+}
+
 fn json_escape_free(s: &str) -> &str {
     debug_assert!(s.chars().all(|c| c != '"' && c != '\\' && !c.is_control()));
     s
 }
 
-fn write_json(path: &str, quick: bool, iters: usize, threads: usize, results: &[Summary]) {
+fn write_json(
+    path: &str,
+    quick: bool,
+    iters: usize,
+    threads: usize,
+    results: &[Summary],
+    overload: Option<&OverloadStats>,
+) {
     let mut out = String::from("{\n");
     out.push_str("  \"harness\": \"maicc_bench\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
@@ -283,12 +305,35 @@ fn write_json(path: &str, quick: bool, iters: usize, threads: usize, results: &[
     out.push_str(&format!("    \"serve_fcfs_p99_cycles\": {fcfs_p99},\n"));
     out.push_str(&format!("    \"serve_sjf_p99_cycles\": {sjf_p99},\n"));
     out.push_str(&format!(
-        "    \"serve_p99_fcfs_over_sjf\": {:.2}\n",
+        "    \"serve_p99_fcfs_over_sjf\": {:.2},\n",
         if sjf_p99 > 0 {
             fcfs_p99 as f64 / sjf_p99 as f64
         } else {
             0.0
         }
+    ));
+    // Overload-hardening health: Hard-tenant tail, how much load was
+    // shed, and how often preemption/retry fired on the seeded 2× trace.
+    #[allow(clippy::cast_precision_loss)]
+    let shed_rate = overload.map_or(0.0, |o| {
+        if o.requests > 0 {
+            o.shed as f64 / o.requests as f64
+        } else {
+            0.0
+        }
+    });
+    out.push_str(&format!(
+        "    \"serve_overload_hard_p99_cycles\": {},\n",
+        overload.map_or(0, |o| o.hard_p99_cycles)
+    ));
+    out.push_str(&format!("    \"serve_overload_shed_rate\": {shed_rate:.3},\n"));
+    out.push_str(&format!(
+        "    \"serve_overload_preemptions\": {},\n",
+        overload.map_or(0, |o| o.preemptions)
+    ));
+    out.push_str(&format!(
+        "    \"serve_overload_retries\": {}\n",
+        overload.map_or(0, |o| o.retries)
     ));
     out.push_str("  }\n}\n");
     std::fs::write(path, out).expect("write BENCH_results.json");
@@ -431,6 +476,69 @@ fn main() {
             }));
         }
     }
+    let mut overload_stats: Option<OverloadStats> = None;
+    if want("serve_overload") {
+        // The acceptance scenario: 2×-rate tiered mix on a 10-tile pool
+        // with hard faults retiring tiles mid-service. The check value
+        // is the Hard tenant's p99; the bench asserts the hardening
+        // invariant (no unrecoverable Hard request) every iteration.
+        let (ov_registry, ov_loads, ov_cfg) = overload_mix();
+        let ov_trace = Trace::bursty(&ov_loads, 1_200_000, 200_000, 42);
+        let fail_at: Vec<u64> = ov_trace
+            .requests
+            .iter()
+            .filter(|r| r.tenant == "vision")
+            .take(2)
+            .map(|r| r.id)
+            .collect();
+        let run_overload = || {
+            let cfg = ServeConfig {
+                policy: Policy::Sjf,
+                pool_tiles: 10,
+                recovery: Some(RecoveryPolicy {
+                    max_replays: 8,
+                    remap: true,
+                    checkpoint_values: 8,
+                }),
+                fault: Some(FaultConfig {
+                    fail_at_requests: fail_at.clone(),
+                    ..FaultConfig::default()
+                }),
+                overload: Some(ov_cfg.clone()),
+                retry_budget: Some(RetryBudget::default()),
+                ..ServeConfig::default()
+            };
+            let report = serve(&ov_registry, &ov_trace, &cfg).expect("overload mix serves");
+            let vision = report
+                .tenants
+                .iter()
+                .find(|t| t.tenant == "vision")
+                .expect("Hard tenant present");
+            assert_eq!(vision.unrecoverable, 0, "Hard tenant lost a request");
+            report
+        };
+        let rep = run_overload();
+        let hard_p99 = rep
+            .tenants
+            .iter()
+            .find(|t| t.tenant == "vision")
+            .map_or(0, |t| t.p99_latency_cycles);
+        overload_stats = Some(OverloadStats {
+            hard_p99_cycles: hard_p99,
+            shed: rep.shed,
+            preemptions: rep.preemptions,
+            retries: rep.retries,
+            requests: rep.requests,
+        });
+        results.push(measure("serve_overload", warmup, iters, || {
+            let report = run_overload();
+            report
+                .tenants
+                .iter()
+                .find(|t| t.tenant == "vision")
+                .map_or(0, |t| t.p99_latency_cycles)
+        }));
+    }
     assert!(
         !results.is_empty(),
         "--bench {:?} matched no benchmark",
@@ -449,7 +557,7 @@ fn main() {
         "modelled cycles diverged across variants: {cycles:?}"
     );
 
-    write_json(&out, quick, iters, threads, &results);
+    write_json(&out, quick, iters, threads, &results, overload_stats.as_ref());
 
     let median = |name: &str| {
         results

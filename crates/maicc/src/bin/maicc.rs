@@ -9,7 +9,7 @@
 //! maicc campaign [--workload small|resnet18] [--seed N] [--ecc off|detect|correct]
 //!                [--retry on|off] [--assert-no-unrecoverable] [--json]
 //! maicc serve  [--policy fcfs|sjf|partitioned|time-shared] [--trace file.json]
-//!              [--seed N] [--horizon N] [--bursty] [--pool N]
+//!              [--seed N] [--horizon N] [--bursty] [--overload] [--pool N]
 //!              [--engine event|cycle] [--threads N] [--quick] [--json]
 //! ```
 
@@ -69,11 +69,13 @@ fn print_help() {
          maicc campaign [--workload small|resnet18] [--seed N] [--ecc off|detect|correct]\n  \
          \u{20}              [--retry on|off] [--assert-no-unrecoverable] [--json]\n  \
          maicc serve  [--policy fcfs|sjf|partitioned|time-shared] [--trace file.json]\n  \
-         \u{20}            [--seed N] [--horizon N] [--bursty] [--pool N]\n  \
+         \u{20}            [--seed N] [--horizon N] [--bursty] [--overload] [--pool N]\n  \
          \u{20}            [--engine event|cycle] [--threads N] [--quick] [--json]\n\n\
          models: resnet18 (default), vgg11, tinynet\n\
          strategies: heuristic (default), greedy, single\n\
-         serve policies: fcfs (default), sjf, partitioned, time-shared"
+         serve policies: fcfs (default), sjf, partitioned, time-shared\n\
+         serve --overload: 2x-rate tiered mix + admission control, shedding,\n\
+         \u{20}                preemption, retry, brownout, and fault churn"
     );
 }
 
@@ -301,12 +303,15 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use maicc::serve::registry::three_model_mix;
-    use maicc::serve::server::{serve, Policy, ServeConfig};
+    use maicc::serve::overload::RetryBudget;
+    use maicc::serve::registry::{overload_mix, three_model_mix};
+    use maicc::serve::server::{serve, FaultConfig, Policy, ServeConfig};
     use maicc::serve::trace::Trace;
-    use maicc::sim::stream::Engine;
+    use maicc::sim::stream::{Engine, RecoveryPolicy};
 
+    let overload = args.iter().any(|a| a == "--overload");
     let policy = match flag(args, "--policy") {
+        None if overload => Policy::Sjf,
         None => Policy::Fcfs,
         Some(p) => Policy::from_label(&p).ok_or(format!("unknown policy `{p}`"))?,
     };
@@ -331,19 +336,55 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
     let pool_tiles = match flag(args, "--pool") {
         Some(v) => v.parse().map_err(|_| format!("bad pool size `{v}`"))?,
+        None if overload => 10usize,
         None => 16usize,
     };
 
-    let (registry, loads) = three_model_mix();
+    // `--overload` swaps in the 2×-rate mix with priority tiers and the
+    // full hardening kit; otherwise the fair-weather three-model mix.
+    let (registry, loads, overload_cfg) = if overload {
+        let (r, l, o) = overload_mix();
+        (r, l, Some(o))
+    } else {
+        let (r, l) = three_model_mix();
+        (r, l, None)
+    };
     let trace = match flag(args, "--trace") {
         Some(path) => {
             let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
             Trace::from_json(&text).map_err(|e| e.to_string())?
         }
-        None if args.iter().any(|a| a == "--bursty") => {
+        None if overload || args.iter().any(|a| a == "--bursty") => {
             Trace::bursty(&loads, horizon, 200_000, seed)
         }
         None => Trace::poisson(&loads, horizon, seed),
+    };
+
+    // Under overload, keep the hardware churning too: hard-fault the
+    // first two Hard-tier arrivals (deterministic ids), so remap
+    // recovery retires tiles mid-service while the scheduler sheds,
+    // preempts, and retries around the shrinking pool.
+    let (recovery, fault) = if overload {
+        let fail_at: Vec<u64> = trace
+            .requests
+            .iter()
+            .filter(|r| r.tenant == "vision")
+            .take(2)
+            .map(|r| r.id)
+            .collect();
+        (
+            Some(RecoveryPolicy {
+                max_replays: 8,
+                remap: true,
+                checkpoint_values: 8,
+            }),
+            Some(FaultConfig {
+                fail_at_requests: fail_at,
+                ..FaultConfig::default()
+            }),
+        )
+    } else {
+        (None, None)
     };
 
     let cfg = ServeConfig {
@@ -351,6 +392,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         engine,
         threads,
         pool_tiles,
+        recovery,
+        fault,
+        overload: overload_cfg,
+        retry_budget: overload.then(RetryBudget::default),
         ..ServeConfig::default()
     };
     let report = serve(&registry, &trace, &cfg).map_err(|e| e.to_string())?;
@@ -368,6 +413,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             report.makespan_cycles,
             report.utilization * 100.0
         );
+        if overload {
+            println!(
+                "  shed {} | unrecoverable {} | preemptions {} | retries {}",
+                report.shed, report.unrecoverable, report.preemptions, report.retries
+            );
+        }
         println!(
             "  latency p50/p95/p99 = {}/{}/{} cycles | miss rate {:.1}% | {:.0} pJ/request",
             report.p50_latency_cycles,
@@ -377,7 +428,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             report.energy_pj_per_request
         );
         for t in &report.tenants {
-            println!(
+            print!(
                 "  {:<10} {:>4} reqs  p99 {:>9} cycles  misses {:>3} ({:.1}%)  {:.0} pJ/req",
                 t.tenant,
                 t.requests,
@@ -386,6 +437,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 t.miss_rate * 100.0,
                 t.energy_pj_per_request
             );
+            if overload {
+                print!("  shed {:>3}  unrec {:>2}", t.shed, t.unrecoverable);
+            }
+            println!();
         }
     }
     Ok(())

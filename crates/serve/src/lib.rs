@@ -13,7 +13,12 @@
 //! bit-level [`maicc_sim::stream::StreamSim`] on the tiles it was granted,
 //! and an [SLO accountant](slo) folds the outcomes into per-tenant
 //! p50/p95/p99 latency, queueing delay, deadline misses, fabric
-//! utilization, and energy per request.
+//! utilization, and energy per request. Attaching an
+//! [`overload::OverloadConfig`] hardens the loop for sustained overload:
+//! bounded per-tenant admission queues, deadline-aware shedding, priority
+//! tiers with checkpoint-based preemption, bounded-backoff retry of
+//! unrecoverable runs, and a brownout mode that squeezes best-effort
+//! tile grants first.
 //!
 //! The serving loop is a discrete-event simulation in *fabric cycles*: it
 //! jumps between request arrivals and completions, so its determinism
@@ -40,6 +45,7 @@
 //! # }
 //! ```
 
+pub mod overload;
 pub mod registry;
 pub mod rng;
 pub mod server;
@@ -74,6 +80,20 @@ pub enum ServeError {
         /// Human-readable description.
         reason: String,
     },
+    /// A request in the trace is self-contradictory (e.g. `deadline: 0`
+    /// or a deadline at/earlier than its own arrival).
+    BadRequest {
+        /// The offending request's id.
+        id: u64,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The serving configuration is self-contradictory (e.g. overload
+    /// hardening combined with a scheduler that cannot honor it).
+    BadConfig {
+        /// Human-readable description.
+        reason: String,
+    },
     /// An underlying simulation failed in a way serving cannot absorb.
     Sim(maicc_sim::SimError),
 }
@@ -87,6 +107,10 @@ impl fmt::Display for ServeError {
             ServeError::BadTrace { reason } => write!(f, "bad trace: {reason}"),
             ServeError::PoolTooSmall { reason } => write!(f, "pool too small: {reason}"),
             ServeError::BadModel { reason } => write!(f, "bad model: {reason}"),
+            ServeError::BadRequest { id, reason } => {
+                write!(f, "bad request {id}: {reason}")
+            }
+            ServeError::BadConfig { reason } => write!(f, "bad config: {reason}"),
             ServeError::Sim(e) => write!(f, "simulation: {e}"),
         }
     }

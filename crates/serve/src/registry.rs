@@ -17,6 +17,7 @@
 //!   shortest-job-first ordering reuses the same cost model the offline
 //!   mapper trusts rather than inventing a second one.
 
+use crate::overload::{OverloadConfig, Tier};
 use crate::ServeError;
 use maicc_exec::config::ExecConfig;
 use maicc_exec::pipeline_model::run_network;
@@ -165,6 +166,15 @@ impl ModelRegistry {
         Ok(())
     }
 
+    /// Inserts a pre-built entry without re-deriving its footprint,
+    /// estimate, or golden — an escape hatch for replaying recorded
+    /// registries and for tests that need a deliberately inconsistent
+    /// entry. `serve()` re-validates the facts it relies on (notably a
+    /// non-zero tile footprint) before scheduling anything.
+    pub fn insert_raw(&mut self, entry: ModelEntry) {
+        self.entries.push(entry);
+    }
+
     /// Looks a model up by name.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&ModelEntry> {
@@ -221,6 +231,35 @@ pub fn three_model_mix() -> (ModelRegistry, Vec<TenantLoad>) {
         },
     ];
     (reg, loads)
+}
+
+/// The overload-scenario mix: the same three models as
+/// [`three_model_mix`], offered at **twice** the rate (halved mean
+/// gaps), plus the tier map the overload campaign uses — `vision` is
+/// latency-critical ([`Tier::Hard`]), `assist` ordinary
+/// ([`Tier::Soft`]), and `keyword` a scavenger ([`Tier::BestEffort`]).
+/// On the 8-tile contended pool the CLI/bench/CI overload runs use,
+/// this offers roughly 2× the fabric's sustainable load.
+///
+/// # Panics
+///
+/// Panics if the built-in workloads fail to register — a programming
+/// error, not a data condition.
+#[must_use]
+pub fn overload_mix() -> (ModelRegistry, Vec<TenantLoad>, OverloadConfig) {
+    let (reg, mut loads) = three_model_mix();
+    for load in &mut loads {
+        load.mean_gap /= 2;
+    }
+    let overload = OverloadConfig {
+        tiers: vec![
+            ("vision".into(), Tier::Hard),
+            ("assist".into(), Tier::Soft),
+            ("keyword".into(), Tier::BestEffort),
+        ],
+        ..OverloadConfig::default()
+    };
+    (reg, loads, overload)
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ use maicc_sim::RecoveryPolicy;
 use maicc_sram::ecc::EccMode;
 use maicc_sram::fault::FaultPlan;
 
+use crate::overload::{OverloadConfig, RetryBudget, Tier};
 use crate::registry::{ModelEntry, ModelRegistry};
 use crate::slo::{RequestOutcome, ServeReport};
 use crate::trace::Trace;
@@ -99,7 +100,8 @@ pub struct FaultConfig {
     pub retry: Option<RetryPolicy>,
     /// Request ids whose run gets a dead CMem slice on its first
     /// computing core — a hard fault that (with remap recovery) retires
-    /// a tile from the pool mid-service.
+    /// a tile from the pool mid-service. Fires only on a request's
+    /// first attempt: a retry re-runs on clean hardware.
     pub fail_at_requests: Vec<u64>,
 }
 
@@ -125,6 +127,14 @@ pub struct ServeConfig {
     pub fault: Option<FaultConfig>,
     /// Tiles already known-bad before serving starts.
     pub initial_failed: Vec<Tile>,
+    /// Overload hardening (bounded admission, tiers, preemption,
+    /// brownout); `None` keeps the fair-weather loop. Only
+    /// [`Policy::Fcfs`] and [`Policy::Sjf`] support it.
+    pub overload: Option<OverloadConfig>,
+    /// Retry of unrecoverable runs with bounded exponential backoff.
+    /// Only honored by the overload loop; the fair-weather loop drops
+    /// unrecoverable requests immediately.
+    pub retry_budget: Option<RetryBudget>,
 }
 
 impl Default for ServeConfig {
@@ -138,6 +148,8 @@ impl Default for ServeConfig {
             recovery: None,
             fault: None,
             initial_failed: Vec::new(),
+            overload: None,
+            retry_budget: None,
         }
     }
 }
@@ -148,6 +160,10 @@ struct RunOutput {
     energy_pj: f64,
     ok: bool,
     newly_retired: Vec<Tile>,
+    /// Cycles at which the run took sink-progress checkpoints (empty
+    /// without a [`RecoveryPolicy`]); the overload loop's preemption
+    /// resumes a victim from the last of these.
+    ckpt_log: Vec<u64>,
 }
 
 /// A request currently holding tiles.
@@ -158,6 +174,34 @@ struct Running {
     tiles: Vec<Tile>,
     ok: bool,
     energy_pj: f64,
+    // Overload-loop state; the fair-weather loop leaves the defaults.
+    tier: Tier,
+    /// Service cycles banked at a checkpoint before this admission
+    /// (non-zero only for resumed preemption victims).
+    progress: u64,
+    /// Fabric cycles burned in earlier preempted partial runs.
+    executed: u64,
+    ckpt_log: Vec<u64>,
+    attempt: u32,
+    retries: u32,
+    preemptions: u32,
+}
+
+/// A request waiting for admission under the overload loop.
+struct Pending {
+    idx: usize,
+    tier: Tier,
+    /// Service cycles banked at the last sink-progress checkpoint of a
+    /// preempted run (0 for fresh arrivals).
+    progress: u64,
+    /// Fabric cycles already burned across preempted partial runs.
+    executed: u64,
+    /// 0 = first run; retries increment it (re-salting fault plans).
+    attempt: u32,
+    retries: u32,
+    preemptions: u32,
+    /// Earliest cycle admission may consider this entry (retry backoff).
+    available_at: u64,
 }
 
 /// Key for memoizing fault-free runs: model name plus the exact tiles
@@ -177,7 +221,7 @@ struct Server<'a> {
     running: Vec<Running>,
     outcomes: Vec<RequestOutcome>,
     busy_tile_cycles: u64,
-    memo: BTreeMap<RunKey, (u64, f64, bool)>,
+    memo: BTreeMap<RunKey, (u64, f64, bool, Vec<u64>)>,
 }
 
 /// Runs a trace against a registry under a config and returns the SLO
@@ -190,6 +234,14 @@ struct Server<'a> {
 /// * [`ServeError::PoolTooSmall`] — the pool cannot fit a requested
 ///   model (or, under [`Policy::Partitioned`], the per-tenant regions),
 ///   at start or after fault recovery shrinks it.
+/// * [`ServeError::BadModel`] — a trace model resolves to a registry
+///   entry with a zero-tile footprint (an inconsistent entry that would
+///   otherwise underflow placement).
+/// * [`ServeError::BadRequest`] — a request carries an impossible
+///   deadline (`0`, or at/earlier than its own arrival).
+/// * [`ServeError::BadConfig`] — overload hardening combined with
+///   [`Policy::Partitioned`] or [`Policy::TimeShared`], which cannot
+///   honor cross-tenant priority admission.
 /// * [`ServeError::Sim`] — a simulation failed in a way the serving
 ///   layer cannot attribute to a single request.
 pub fn serve(
@@ -198,11 +250,43 @@ pub fn serve(
     cfg: &ServeConfig,
 ) -> Result<ServeReport, ServeError> {
     for r in &trace.requests {
-        if registry.get(&r.model).is_none() {
+        let Some(entry) = registry.get(&r.model) else {
             return Err(ServeError::UnknownModel {
                 model: r.model.clone(),
             });
+        };
+        if entry.tiles == 0 {
+            return Err(ServeError::BadModel {
+                reason: format!("model `{}` has a zero-tile footprint", entry.name),
+            });
         }
+        if let Some(d) = r.deadline {
+            if d == 0 {
+                return Err(ServeError::BadRequest {
+                    id: r.id,
+                    reason: "deadline is 0".into(),
+                });
+            }
+            if d <= r.arrival {
+                return Err(ServeError::BadRequest {
+                    id: r.id,
+                    reason: format!(
+                        "deadline {d} is at or before arrival {}",
+                        r.arrival
+                    ),
+                });
+            }
+        }
+    }
+    if cfg.overload.is_some()
+        && matches!(cfg.policy, Policy::Partitioned | Policy::TimeShared)
+    {
+        return Err(ServeError::BadConfig {
+            reason: format!(
+                "overload hardening requires fcfs or sjf, not {}",
+                cfg.policy.label()
+            ),
+        });
     }
 
     let healthy = healthy_order(&cfg.initial_failed);
@@ -254,6 +338,9 @@ pub fn serve(
 
 impl Server<'_> {
     fn run(&mut self) -> Result<(), ServeError> {
+        if self.cfg.overload.is_some() {
+            return self.run_overload();
+        }
         match self.cfg.policy {
             Policy::Fcfs | Policy::Sjf => self.run_queued(),
             Policy::TimeShared => self.run_time_shared(),
@@ -284,12 +371,14 @@ impl Server<'_> {
     }
 
     /// Executes one admitted request on the fabric, confined to the
-    /// tiles outside `avoid`.
+    /// tiles outside `avoid`. `attempt` is 0 for a request's first run;
+    /// retries pass higher values so their fault plans draw fresh seeds.
     fn run_one(
         &mut self,
         entry: &ModelEntry,
         avoid: &[Tile],
         req_id: u64,
+        attempt: u32,
     ) -> Result<RunOutput, ServeError> {
         let placement = self
             .placement(entry, avoid)
@@ -298,14 +387,26 @@ impl Server<'_> {
             entry.name.clone(),
             placement.iter().map(|t| (t.x, t.y)).collect(),
         );
-        let fault_free = self.cfg.fault.is_none();
+        // A run is memoizable when nothing request-specific can perturb
+        // it: no fabric-wide fault plans, and no targeted dead slice for
+        // this request. Config-constant knobs (ECC mode, NoC retry) are
+        // fine — the memo lives inside one serve() call.
+        let fault_free = match &self.cfg.fault {
+            None => true,
+            Some(f) => {
+                f.cmem.is_none()
+                    && f.noc.is_none()
+                    && !(attempt == 0 && f.fail_at_requests.contains(&req_id))
+            }
+        };
         if fault_free {
-            if let Some(&(cycles, energy_pj, ok)) = self.memo.get(&key) {
+            if let Some((cycles, energy_pj, ok, ckpt_log)) = self.memo.get(&key) {
                 return Ok(RunOutput {
-                    cycles,
-                    energy_pj,
-                    ok,
+                    cycles: *cycles,
+                    energy_pj: *energy_pj,
+                    ok: *ok,
                     newly_retired: Vec::new(),
+                    ckpt_log: ckpt_log.clone(),
                 });
             }
         }
@@ -321,19 +422,34 @@ impl Server<'_> {
             sim.set_recovery_policy(Some(recovery));
         }
         if let Some(fault) = &self.cfg.fault {
+            // Fault-plan seeds are salted per request (runs fault
+            // independently but deterministically) and, additively, per
+            // attempt — a retry must not replay the exact fault draw
+            // that killed attempt 0. Attempt 0 preserves the historical
+            // seeds bit-for-bit.
+            let attempt_salt =
+                u64::from(attempt).wrapping_mul(0xA24B_AED4_963E_E407);
             if let Some(plan) = &fault.cmem {
                 let mut p = plan.clone();
                 p.seed = plan
                     .seed
-                    .wrapping_add(req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    .wrapping_add(req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_add(attempt_salt);
                 sim.attach_cmem_fault_plan(&p);
             }
             if let Some(plan) = &fault.noc {
-                sim.attach_noc_fault_plan(plan.clone());
+                let mut p = plan.clone();
+                if attempt > 0 {
+                    p.seed = plan
+                        .seed
+                        .wrapping_add(req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        .wrapping_add(attempt_salt);
+                }
+                sim.attach_noc_fault_plan(p);
             }
             sim.set_ecc_mode(fault.ecc);
             sim.set_noc_retry_policy(fault.retry);
-            if fault.fail_at_requests.contains(&req_id) {
+            if attempt == 0 && fault.fail_at_requests.contains(&req_id) {
                 sim.attach_cmem_fault_plan_to(
                     0,
                     &FaultPlan {
@@ -356,14 +472,19 @@ impl Server<'_> {
                     .filter(|t| !avoid.contains(t))
                     .copied()
                     .collect();
+                let ckpt_log = sim.checkpoint_log().to_vec();
                 if fault_free {
-                    self.memo.insert(key, (result.cycles, energy_pj, ok));
+                    self.memo.insert(
+                        key,
+                        (result.cycles, energy_pj, ok, ckpt_log.clone()),
+                    );
                 }
                 Ok(RunOutput {
                     cycles: result.cycles,
                     energy_pj,
                     ok,
                     newly_retired,
+                    ckpt_log,
                 })
             }
             Err(e) => Err(ServeError::Sim(e)),
@@ -379,7 +500,7 @@ impl Server<'_> {
         let tiles = self
             .placement(entry, avoid)
             .expect("caller checked fit before admitting");
-        match self.run_one(entry, avoid, req.id) {
+        match self.run_one(entry, avoid, req.id, 0) {
             Ok(out) => {
                 for t in out.newly_retired {
                     if !self.degraded.contains(&t) {
@@ -415,6 +536,13 @@ impl Server<'_> {
                     tiles: occupied,
                     ok: out.ok,
                     energy_pj: out.energy_pj,
+                    tier: Tier::default(),
+                    progress: 0,
+                    executed: 0,
+                    ckpt_log: out.ckpt_log,
+                    attempt: 0,
+                    retries: 0,
+                    preemptions: 0,
                 });
                 Ok(())
             }
@@ -430,12 +558,16 @@ impl Server<'_> {
                     admitted: now,
                     finished: now,
                     deadline: req.deadline,
+                    tier: None,
                     ok: false,
                     dropped: true,
+                    shed: false,
                     service_cycles: 0,
                     queue_cycles: now - req.arrival,
                     latency_cycles: now - req.arrival,
                     energy_pj: 0.0,
+                    preemptions: 0,
+                    retries: 0,
                 });
                 Ok(())
             }
@@ -467,12 +599,16 @@ impl Server<'_> {
                 admitted: run.admitted,
                 finished: now,
                 deadline: req.deadline,
+                tier: None,
                 ok: run.ok,
                 dropped: false,
+                shed: false,
                 service_cycles: run.done_at - run.admitted,
                 queue_cycles: run.admitted - req.arrival,
                 latency_cycles: now - req.arrival,
                 energy_pj: run.energy_pj,
+                preemptions: 0,
+                retries: 0,
             });
         }
     }
@@ -763,5 +899,446 @@ impl Server<'_> {
             offset += n;
         }
         Ok(regions)
+    }
+
+    // ----- the overload-hardened event loop --------------------------
+    //
+    // Phase order at every event (DESIGN.md §13):
+    //   retire → release retries → arrivals (+ queue-cap shed) →
+    //   preempt → admit → shed
+    // Admission is strict priority across tiers (policy order within a
+    // tier) with head-blocking: the single best candidate either admits
+    // or stalls the pass, so a Hard head drains the pool instead of
+    // being starved by best-effort backfill.
+
+    /// The tier admission rank plus the in-tier policy key for one
+    /// pending entry — the global admission order is the minimum of
+    /// `(tier, key, arrival, id)`.
+    fn admission_key(&self, p: &Pending) -> (u8, u64, u64, u64) {
+        let req = &self.trace.requests[p.idx];
+        let key = match self.cfg.policy {
+            Policy::Sjf => self
+                .registry
+                .get(&req.model)
+                .map_or(u64::MAX, |e| e.est_cycles)
+                .saturating_sub(p.progress),
+            _ => 0,
+        };
+        (p.tier.rank(), key, req.arrival, req.id)
+    }
+
+    /// The pending entry admission wants next, if any.
+    fn pick_overload(&self, pending: &[Pending]) -> Option<usize> {
+        (0..pending.len()).min_by_key(|&i| self.admission_key(&pending[i]))
+    }
+
+    /// Records a shed: the request is dropped without ever touching the
+    /// fabric (queue overflow, a busted deadline estimate, or a pool
+    /// that can no longer hold its model).
+    fn push_shed(&mut self, p: Pending, now: u64) {
+        let req = &self.trace.requests[p.idx];
+        let latency = now - req.arrival;
+        self.outcomes.push(RequestOutcome {
+            id: req.id,
+            tenant: req.tenant.clone(),
+            model: req.model.clone(),
+            arrival: req.arrival,
+            admitted: now,
+            finished: now,
+            deadline: req.deadline,
+            tier: Some(p.tier),
+            ok: false,
+            dropped: true,
+            shed: true,
+            service_cycles: p.executed,
+            queue_cycles: latency.saturating_sub(p.executed),
+            latency_cycles: latency,
+            energy_pj: 0.0,
+            preemptions: p.preemptions,
+            retries: p.retries,
+        });
+    }
+
+    /// Retires every run finishing exactly at `now`, with the overload
+    /// loop's accounting: occupancy bills at completion (preempted
+    /// segments billed at eviction), and service time includes the
+    /// preempted partial runs.
+    fn complete_overload_at(&mut self, now: u64) {
+        let done: Vec<usize> = (0..self.running.len())
+            .filter(|&i| self.running[i].done_at == now)
+            .collect();
+        let mut finished: Vec<Running> = Vec::with_capacity(done.len());
+        for &i in done.iter().rev() {
+            finished.push(self.running.remove(i));
+        }
+        finished.sort_by_key(|run| self.trace.requests[run.idx].id);
+        for run in finished {
+            let req = &self.trace.requests[run.idx];
+            let segment = run.done_at - run.admitted;
+            self.busy_tile_cycles += segment * run.tiles.len() as u64;
+            let service = run.executed + segment;
+            let latency = now - req.arrival;
+            self.outcomes.push(RequestOutcome {
+                id: req.id,
+                tenant: req.tenant.clone(),
+                model: req.model.clone(),
+                arrival: req.arrival,
+                admitted: run.admitted,
+                finished: now,
+                deadline: req.deadline,
+                tier: Some(run.tier),
+                ok: run.ok,
+                dropped: false,
+                shed: false,
+                service_cycles: service,
+                queue_cycles: latency.saturating_sub(service),
+                latency_cycles: latency,
+                energy_pj: run.energy_pj,
+                preemptions: run.preemptions,
+                retries: run.retries,
+            });
+        }
+    }
+
+    /// If the admission head is a blocked `Hard` request, evicts running
+    /// `BestEffort` work (most recently admitted first) until the head
+    /// fits — but only when eviction can actually make it fit. A victim
+    /// resumes from the latest sink-progress checkpoint of its current
+    /// run at or before the preemption point (restarting from zero when
+    /// no [`RecoveryPolicy`] armed the checkpoint machinery), and
+    /// re-enters its tenant's queue with its original seniority.
+    fn preempt_for_hard(&mut self, pending: &mut Vec<Pending>, now: u64) {
+        let Some(pos) = self.pick_overload(pending) else {
+            return;
+        };
+        if pending[pos].tier != Tier::Hard {
+            return;
+        }
+        let entry = self
+            .registry
+            .get(&self.trace.requests[pending[pos].idx].model)
+            .expect("validated");
+        if self.placement(entry, &self.avoid_now()).is_some() {
+            return; // fits without violence
+        }
+        // Pointless-eviction guard: would it fit even with every
+        // best-effort runner gone?
+        let mut avoid_no_be = self.mask.clone();
+        avoid_no_be.extend_from_slice(&self.degraded);
+        for r in &self.running {
+            if r.tier != Tier::BestEffort {
+                avoid_no_be.extend_from_slice(&r.tiles);
+            }
+        }
+        if self.placement(entry, &avoid_no_be).is_none() {
+            return;
+        }
+        while self.placement(entry, &self.avoid_now()).is_none() {
+            let victim = (0..self.running.len())
+                .filter(|&i| self.running[i].tier == Tier::BestEffort)
+                .max_by_key(|&i| {
+                    (
+                        self.running[i].admitted,
+                        self.trace.requests[self.running[i].idx].id,
+                    )
+                });
+            let Some(vi) = victim else { break };
+            let v = self.running.remove(vi);
+            let elapsed = now - v.admitted;
+            self.busy_tile_cycles += elapsed * v.tiles.len() as u64;
+            // The victim's position in its (full-model) run timeline is
+            // carried progress + elapsed wall time; it keeps the latest
+            // checkpoint at or before that point.
+            let position = v.progress + elapsed;
+            let kept = v
+                .ckpt_log
+                .iter()
+                .copied()
+                .filter(|&c| c <= position)
+                .max()
+                .unwrap_or(0);
+            pending.push(Pending {
+                idx: v.idx,
+                tier: v.tier,
+                progress: kept,
+                executed: v.executed + elapsed,
+                attempt: v.attempt,
+                retries: v.retries,
+                preemptions: v.preemptions + 1,
+                available_at: now,
+            });
+        }
+    }
+
+    /// Admits one pending entry: runs it (under its attempt's fault
+    /// salt), folds casualties into the pool, and schedules completion
+    /// after the cycles its carried checkpoint progress still owes. An
+    /// unrecoverable run re-enters admission as an elevated-priority
+    /// retry while budget lasts, else drops.
+    fn admit_overload(
+        &mut self,
+        p: Pending,
+        now: u64,
+        avoid: &[Tile],
+        parked: &mut Vec<Pending>,
+        tenant_retries: &mut BTreeMap<String, u32>,
+    ) -> Result<(), ServeError> {
+        let req = &self.trace.requests[p.idx];
+        let (req_id, tenant) = (req.id, req.tenant.clone());
+        let entry = self.registry.get(&req.model).expect("validated");
+        let tiles = self
+            .placement(entry, avoid)
+            .expect("caller checked fit before admitting");
+        match self.run_one(entry, avoid, req_id, p.attempt) {
+            Ok(out) => {
+                for t in out.newly_retired {
+                    if !self.degraded.contains(&t) {
+                        self.degraded.push(t);
+                    }
+                }
+                self.degraded.sort_unstable_by_key(|t| (t.y, t.x));
+                let occupied = if self.degraded.is_empty() {
+                    tiles
+                } else {
+                    let mut post = avoid.to_vec();
+                    post.extend(self.degraded.iter().copied());
+                    match self.placement(entry, &post) {
+                        Some(placed) => placed,
+                        None => tiles
+                            .into_iter()
+                            .filter(|t| !self.degraded.contains(t))
+                            .collect(),
+                    }
+                };
+                let remaining = out.cycles.saturating_sub(p.progress).max(1);
+                self.running.push(Running {
+                    idx: p.idx,
+                    admitted: now,
+                    done_at: now + remaining,
+                    tiles: occupied,
+                    ok: out.ok,
+                    energy_pj: out.energy_pj,
+                    tier: p.tier,
+                    progress: p.progress,
+                    executed: p.executed,
+                    ckpt_log: out.ckpt_log,
+                    attempt: p.attempt,
+                    retries: p.retries,
+                    preemptions: p.preemptions,
+                });
+                Ok(())
+            }
+            Err(ServeError::Sim(_)) => {
+                // Unrecoverable. Retry with backoff at elevated priority
+                // while the budgets last; the failed attempt occupies no
+                // fabric time.
+                let used = tenant_retries.get(&tenant).copied().unwrap_or(0);
+                if let Some(budget) = self.cfg.retry_budget {
+                    if p.attempt < budget.max_retries_per_request
+                        && used < budget.per_tenant_retries
+                    {
+                        *tenant_retries.entry(tenant).or_insert(0) += 1;
+                        parked.push(Pending {
+                            tier: p.tier.elevated(),
+                            progress: 0,
+                            attempt: p.attempt + 1,
+                            retries: p.retries + 1,
+                            available_at: now + budget.backoff_cycles(p.attempt),
+                            ..p
+                        });
+                        return Ok(());
+                    }
+                }
+                let req = &self.trace.requests[p.idx];
+                let latency = now - req.arrival;
+                self.outcomes.push(RequestOutcome {
+                    id: req.id,
+                    tenant: req.tenant.clone(),
+                    model: req.model.clone(),
+                    arrival: req.arrival,
+                    admitted: now,
+                    finished: now,
+                    deadline: req.deadline,
+                    tier: Some(p.tier),
+                    ok: false,
+                    dropped: true,
+                    shed: false,
+                    service_cycles: p.executed,
+                    queue_cycles: latency.saturating_sub(p.executed),
+                    latency_cycles: latency,
+                    energy_pj: 0.0,
+                    preemptions: p.preemptions,
+                    retries: p.retries,
+                });
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn run_overload(&mut self) -> Result<(), ServeError> {
+        let ov = self.cfg.overload.clone().expect("dispatch checked");
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut parked: Vec<Pending> = Vec::new();
+        let mut tenant_retries: BTreeMap<String, u32> = BTreeMap::new();
+        let mut above_since: Option<u64> = None;
+        let mut next = 0usize;
+        loop {
+            let arrival = self.trace.requests.get(next).map(|r| r.arrival);
+            let release = parked.iter().map(|p| p.available_at).min();
+            let done = self.running.iter().map(|r| r.done_at).min();
+            let Some(now) = [arrival, release, done].into_iter().flatten().min()
+            else {
+                break;
+            };
+
+            // Phase 1: retire finished runs, then release retries whose
+            // backoff expired, then fold in arrivals (shedding past the
+            // per-tenant queue cap).
+            self.complete_overload_at(now);
+            let mut i = 0;
+            while i < parked.len() {
+                if parked[i].available_at <= now {
+                    pending.push(parked.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            while next < self.trace.requests.len()
+                && self.trace.requests[next].arrival == now
+            {
+                let tenant = self.trace.requests[next].tenant.clone();
+                let tier = ov.tier_of(&tenant);
+                let waiting = pending
+                    .iter()
+                    .filter(|p| self.trace.requests[p.idx].tenant == tenant)
+                    .count();
+                let arrival_entry = Pending {
+                    idx: next,
+                    tier,
+                    progress: 0,
+                    executed: 0,
+                    attempt: 0,
+                    retries: 0,
+                    preemptions: 0,
+                    available_at: now,
+                };
+                if ov.queue_cap > 0 && waiting >= ov.queue_cap {
+                    self.push_shed(arrival_entry, now);
+                } else {
+                    pending.push(arrival_entry);
+                }
+                next += 1;
+            }
+
+            // Brownout streak: instantaneous occupancy after retirement,
+            // sampled once per event. Active once the streak covers the
+            // window; it collapses the first event occupancy dips below
+            // the high-water mark.
+            let pool_now = self.pool_size.saturating_sub(self.degraded.len());
+            let brownout = ov.brownout.as_ref().map(|b| {
+                let occupied: usize =
+                    self.running.iter().map(|r| r.tiles.len()).sum();
+                #[allow(clippy::cast_precision_loss)]
+                let high = pool_now > 0
+                    && occupied as f64 / pool_now as f64 >= b.high_water;
+                if high {
+                    above_since.get_or_insert(now);
+                } else {
+                    above_since = None;
+                }
+                (
+                    above_since.is_some_and(|s| now - s >= b.window_cycles),
+                    b.best_effort_fraction,
+                )
+            });
+
+            // Phase 2: preempt for a blocked Hard head.
+            if ov.preempt {
+                self.preempt_for_hard(&mut pending, now);
+            }
+
+            // Phase 3: admit in strict (tier, policy) order with
+            // head-blocking.
+            while let Some(pos) = self.pick_overload(&pending) {
+                let req = &self.trace.requests[pending[pos].idx];
+                let entry = self.registry.get(&req.model).expect("validated");
+                let avoid = self.avoid_now();
+                if self.placement(entry, &avoid).is_none() {
+                    break;
+                }
+                if let Some((true, fraction)) = brownout {
+                    if pending[pos].tier == Tier::BestEffort {
+                        let be_occupied: usize = self
+                            .running
+                            .iter()
+                            .filter(|r| r.tier == Tier::BestEffort)
+                            .map(|r| r.tiles.len())
+                            .sum();
+                        let pool_now =
+                            self.pool_size.saturating_sub(self.degraded.len());
+                        #[allow(
+                            clippy::cast_precision_loss,
+                            clippy::cast_possible_truncation,
+                            clippy::cast_sign_loss
+                        )]
+                        let cap = (pool_now as f64 * fraction).floor() as usize;
+                        if be_occupied + entry.tiles > cap {
+                            break;
+                        }
+                    }
+                }
+                let p = pending.remove(pos);
+                self.admit_overload(p, now, &avoid, &mut parked, &mut tenant_retries)?;
+            }
+
+            // Phase 4: deadline-aware shedding of the remaining backlog.
+            // Retries are exempt — they exist to deliver a result, late
+            // or not.
+            if ov.shed_late {
+                let mut i = 0;
+                while i < pending.len() {
+                    let p = &pending[i];
+                    let req = &self.trace.requests[p.idx];
+                    let hopeless = p.attempt == 0
+                        && req.deadline.is_some_and(|d| {
+                            let est = self
+                                .registry
+                                .get(&req.model)
+                                .map_or(0, |e| e.est_cycles);
+                            now + est.saturating_sub(p.progress) > d
+                        });
+                    if hopeless {
+                        let p = pending.remove(i);
+                        self.push_shed(p, now);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+
+            // Termination guard: with an idle fabric, nothing left to
+            // arrive or release, and a head that still cannot place, the
+            // head will never fit the (degraded) empty pool — shed it
+            // and let the rest of the backlog try again.
+            while self.running.is_empty()
+                && next >= self.trace.requests.len()
+                && parked.is_empty()
+                && !pending.is_empty()
+            {
+                let pos = self.pick_overload(&pending).expect("non-empty");
+                let req = &self.trace.requests[pending[pos].idx];
+                let entry = self.registry.get(&req.model).expect("validated");
+                let avoid = self.avoid_now();
+                if self.placement(entry, &avoid).is_some() {
+                    let p = pending.remove(pos);
+                    self.admit_overload(p, now, &avoid, &mut parked, &mut tenant_retries)?;
+                } else {
+                    let p = pending.remove(pos);
+                    self.push_shed(p, now);
+                }
+            }
+        }
+        Ok(())
     }
 }

@@ -8,6 +8,8 @@
 //! with a fixed trace must emit byte-identical JSON regardless of how
 //! the underlying simulations were driven.
 
+use crate::overload::Tier;
+
 /// What happened to one request, after the fact.
 #[derive(Debug, Clone)]
 pub struct RequestOutcome {
@@ -25,12 +27,21 @@ pub struct RequestOutcome {
     pub finished: u64,
     /// Absolute deadline, if the request carried one.
     pub deadline: Option<u64>,
+    /// The tenant's priority tier under the overload loop; `None` for
+    /// fair-weather serving.
+    pub tier: Option<Tier>,
     /// Whether the ofmap matched the golden reference.
     pub ok: bool,
     /// True if the request never produced a result (its simulation
-    /// failed in a way recovery could not absorb).
+    /// failed in a way recovery could not absorb, or it was shed).
     pub dropped: bool,
-    /// Cycles spent executing on the fabric.
+    /// True if admission control dropped the request without running it
+    /// (queue overflow or a deadline its analytic estimate already
+    /// busts). Always implies `dropped`; a drop that is *not* a shed is
+    /// unrecoverable.
+    pub shed: bool,
+    /// Cycles spent executing on the fabric (including partial runs a
+    /// preemption later discarded back to a checkpoint).
     pub service_cycles: u64,
     /// Cycles spent waiting for admission.
     pub queue_cycles: u64,
@@ -38,9 +49,21 @@ pub struct RequestOutcome {
     pub latency_cycles: u64,
     /// CMem + NoC dynamic energy of the run, picojoules.
     pub energy_pj: f64,
+    /// Times this request was preempted by a higher tier.
+    pub preemptions: u32,
+    /// Times this request was retried after an unrecoverable run.
+    pub retries: u32,
 }
 
 impl RequestOutcome {
+    /// Whether this request was dropped without ever producing a result
+    /// *and* was not a deliberate shed — the failure mode overload
+    /// hardening exists to eliminate for `Hard` tenants.
+    #[must_use]
+    pub fn unrecoverable(&self) -> bool {
+        self.dropped && !self.shed
+    }
+
     /// Whether this request missed its SLO: it carried a deadline and
     /// either dropped or finished past it.
     #[must_use]
@@ -63,6 +86,15 @@ pub struct TenantSlo {
     pub completed: u64,
     /// Requests dropped without a result.
     pub dropped: u64,
+    /// Drops that were deliberate load sheds (admission control).
+    pub shed: u64,
+    /// Drops that were *not* sheds: the simulation failed past every
+    /// replay, remap, and retry.
+    pub unrecoverable: u64,
+    /// Preemption events suffered by this tenant's requests.
+    pub preemptions: u64,
+    /// Retry attempts consumed by this tenant's requests.
+    pub retries: u64,
     /// Median end-to-end latency, cycles (nearest rank; 0 if nothing
     /// completed).
     pub p50_latency_cycles: u64,
@@ -99,6 +131,14 @@ pub struct ServeReport {
     pub completed: u64,
     /// Requests dropped without a result.
     pub dropped: u64,
+    /// Fleet-wide deliberate load sheds (subset of `dropped`).
+    pub shed: u64,
+    /// Fleet-wide unrecoverable drops (`dropped - shed`).
+    pub unrecoverable: u64,
+    /// Fleet-wide preemption events.
+    pub preemptions: u64,
+    /// Fleet-wide retry attempts consumed.
+    pub retries: u64,
     /// Cycle at which the last request finished (0 for an empty trace).
     pub makespan_cycles: u64,
     /// Busy tile-cycles over `pool_tiles × makespan` — the fraction of
@@ -136,6 +176,10 @@ struct Aggregate {
     requests: u64,
     completed: u64,
     dropped: u64,
+    shed: u64,
+    unrecoverable: u64,
+    preemptions: u64,
+    retries: u64,
     p50: u64,
     p95: u64,
     p99: u64,
@@ -160,6 +204,10 @@ fn aggregate(outcomes: &[&RequestOutcome]) -> Aggregate {
         requests,
         completed: completed.len() as u64,
         dropped: requests - completed.len() as u64,
+        shed: outcomes.iter().filter(|o| o.shed).count() as u64,
+        unrecoverable: outcomes.iter().filter(|o| o.unrecoverable()).count() as u64,
+        preemptions: outcomes.iter().map(|o| u64::from(o.preemptions)).sum(),
+        retries: outcomes.iter().map(|o| u64::from(o.retries)).sum(),
         p50: percentile(&latencies, 50.0),
         p95: percentile(&latencies, 95.0),
         p99: percentile(&latencies, 99.0),
@@ -221,6 +269,10 @@ impl ServeReport {
                     requests: a.requests,
                     completed: a.completed,
                     dropped: a.dropped,
+                    shed: a.shed,
+                    unrecoverable: a.unrecoverable,
+                    preemptions: a.preemptions,
+                    retries: a.retries,
                     p50_latency_cycles: a.p50,
                     p95_latency_cycles: a.p95,
                     p99_latency_cycles: a.p99,
@@ -240,6 +292,10 @@ impl ServeReport {
             requests: fleet.requests,
             completed: fleet.completed,
             dropped: fleet.dropped,
+            shed: fleet.shed,
+            unrecoverable: fleet.unrecoverable,
+            preemptions: fleet.preemptions,
+            retries: fleet.retries,
             makespan_cycles: makespan,
             utilization,
             p50_latency_cycles: fleet.p50,
@@ -267,6 +323,10 @@ impl ServeReport {
         s.push_str(&format!("  \"requests\": {},\n", self.requests));
         s.push_str(&format!("  \"completed\": {},\n", self.completed));
         s.push_str(&format!("  \"dropped\": {},\n", self.dropped));
+        s.push_str(&format!("  \"shed\": {},\n", self.shed));
+        s.push_str(&format!("  \"unrecoverable\": {},\n", self.unrecoverable));
+        s.push_str(&format!("  \"preemptions\": {},\n", self.preemptions));
+        s.push_str(&format!("  \"retries\": {},\n", self.retries));
         s.push_str(&format!("  \"makespan_cycles\": {},\n", self.makespan_cycles));
         s.push_str(&format!("  \"utilization\": {:.4},\n", self.utilization));
         s.push_str(&format!(
@@ -288,6 +348,10 @@ impl ServeReport {
             s.push_str(&format!("\"requests\": {}, ", t.requests));
             s.push_str(&format!("\"completed\": {}, ", t.completed));
             s.push_str(&format!("\"dropped\": {}, ", t.dropped));
+            s.push_str(&format!("\"shed\": {}, ", t.shed));
+            s.push_str(&format!("\"unrecoverable\": {}, ", t.unrecoverable));
+            s.push_str(&format!("\"preemptions\": {}, ", t.preemptions));
+            s.push_str(&format!("\"retries\": {}, ", t.retries));
             s.push_str(&format!(
                 "\"latency_cycles\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, ",
                 t.p50_latency_cycles, t.p95_latency_cycles, t.p99_latency_cycles
@@ -319,8 +383,15 @@ impl ServeReport {
                 Some(d) => s.push_str(&format!("\"deadline\": {d}, ")),
                 None => s.push_str("\"deadline\": null, "),
             }
+            match o.tier {
+                Some(t) => s.push_str(&format!("\"tier\": {}, ", json_str(t.label()))),
+                None => s.push_str("\"tier\": null, "),
+            }
             s.push_str(&format!("\"ok\": {}, ", o.ok));
             s.push_str(&format!("\"dropped\": {}, ", o.dropped));
+            s.push_str(&format!("\"shed\": {}, ", o.shed));
+            s.push_str(&format!("\"preemptions\": {}, ", o.preemptions));
+            s.push_str(&format!("\"retries\": {}, ", o.retries));
             s.push_str(&format!("\"service_cycles\": {}, ", o.service_cycles));
             s.push_str(&format!("\"queue_cycles\": {}, ", o.queue_cycles));
             s.push_str(&format!("\"latency_cycles\": {}, ", o.latency_cycles));
@@ -367,12 +438,16 @@ mod tests {
             admitted: arrival,
             finished: arrival + latency,
             deadline: None,
+            tier: None,
             ok: true,
             dropped: false,
+            shed: false,
             service_cycles: latency,
             queue_cycles: 0,
             latency_cycles: latency,
             energy_pj: 10.0,
+            preemptions: 0,
+            retries: 0,
         }
     }
 

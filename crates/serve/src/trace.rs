@@ -82,11 +82,16 @@ impl Trace {
 
     /// Merged per-tenant Poisson streams over `[0, horizon)` cycles.
     /// Each tenant draws from its own seeded RNG sub-stream, so adding a
-    /// tenant never perturbs the others' arrivals.
+    /// tenant never perturbs the others' arrivals. A tenant with
+    /// `mean_gap == 0` offers no load (an empty stream) rather than
+    /// degenerating into an arrival every cycle.
     #[must_use]
     pub fn poisson(loads: &[TenantLoad], horizon: u64, seed: u64) -> Self {
         let mut requests = Vec::new();
         for (ti, load) in loads.iter().enumerate() {
+            if load.mean_gap == 0 {
+                continue;
+            }
             let mut rng = Rng::new(seed.wrapping_add((ti as u64).wrapping_mul(0x9E37)));
             let mut t = 0u64;
             loop {
@@ -113,12 +118,19 @@ impl Trace {
     /// over the tenant's mean. The long-run offered load matches
     /// [`Trace::poisson`]; only the clustering changes — which is exactly
     /// what separates scheduler policies at the tail.
+    ///
+    /// A `burst_period` longer than the horizon clamps: arrivals simply
+    /// land in the single partial on-window the horizon covers. A tenant
+    /// with `mean_gap == 0` offers no load, as in [`Trace::poisson`].
     #[must_use]
     pub fn bursty(loads: &[TenantLoad], horizon: u64, burst_period: u64, seed: u64) -> Self {
         let burst_period = burst_period.max(4);
         let on = ((burst_period as f64 * BURST_DUTY) as u64).max(1);
         let mut requests = Vec::new();
         for (ti, load) in loads.iter().enumerate() {
+            if load.mean_gap == 0 {
+                continue;
+            }
             let mut rng = Rng::new(seed.wrapping_add((ti as u64).wrapping_mul(0xB5E7)));
             // inside a burst the gap shrinks by the duty factor, so the
             // long-run rate stays the tenant's mean
@@ -127,14 +139,21 @@ impl Trace {
             loop {
                 let gap = rng.next_exp(burst_gap).round().max(1.0);
                 t = t.saturating_add(gap as u64);
-                // skip the off phase: arrivals only land inside a window
-                if t % burst_period >= on {
-                    t = (t / burst_period + 1) * burst_period;
-                    // the gap's remainder restarts inside the next window
-                    continue;
-                }
                 if t >= horizon {
                     break;
+                }
+                // skip the off phase: arrivals only land inside a window
+                if t % burst_period >= on {
+                    // saturating: a huge period must clamp at the
+                    // horizon, not overflow the window arithmetic
+                    t = (t / burst_period)
+                        .saturating_add(1)
+                        .saturating_mul(burst_period);
+                    if t >= horizon {
+                        break;
+                    }
+                    // the gap's remainder restarts inside the next window
+                    continue;
                 }
                 requests.push(Request {
                     id: 0,

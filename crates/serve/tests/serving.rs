@@ -237,3 +237,107 @@ fn deadline_misses_show_up_under_contention() {
     assert!(misses > 0, "expected at least one miss on a bursty tight pool");
     assert!(report.deadline_miss_rate > 0.0);
 }
+
+// ----- typed error variants for untrusted input ----------------------
+//
+// Everything a trace file or a replayed registry can feed the server
+// must come back as a typed `ServeError`, never a panic.
+
+#[test]
+fn zero_tile_registry_entry_is_rejected() {
+    use maicc_serve::registry::ModelEntry;
+    let (mut registry, _) = three_model_mix();
+    let stream = registry.get("small").unwrap().stream.clone();
+    registry.insert_raw(ModelEntry {
+        name: "hollow".into(),
+        stream,
+        tiles: 0, // a corrupt recorded registry
+        est_cycles: 1,
+        golden: vec![],
+    });
+    let trace = Trace::from_requests(vec![Request {
+        id: 0,
+        tenant: "t".into(),
+        model: "hollow".into(),
+        arrival: 0,
+        deadline: None,
+    }]);
+    match serve(&registry, &trace, &ServeConfig::default()) {
+        Err(ServeError::BadModel { reason }) => {
+            assert!(reason.contains("zero-tile"), "{reason}")
+        }
+        other => panic!("expected BadModel, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_deadline_is_rejected() {
+    let (registry, _) = three_model_mix();
+    let trace = Trace::from_requests(vec![Request {
+        id: 0,
+        tenant: "t".into(),
+        model: "small".into(),
+        arrival: 0,
+        deadline: Some(0),
+    }]);
+    match serve(&registry, &trace, &ServeConfig::default()) {
+        Err(ServeError::BadRequest { id: 0, reason }) => {
+            assert!(reason.contains("deadline is 0"), "{reason}")
+        }
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadline_at_or_before_arrival_is_rejected() {
+    let (registry, _) = three_model_mix();
+    let trace = Trace::from_requests(vec![Request {
+        id: 0,
+        tenant: "t".into(),
+        model: "small".into(),
+        arrival: 5_000,
+        deadline: Some(5_000), // absolute deadline at the arrival instant
+    }]);
+    match serve(&registry, &trace, &ServeConfig::default()) {
+        Err(ServeError::BadRequest { id: 0, reason }) => {
+            assert!(reason.contains("at or before arrival"), "{reason}")
+        }
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+}
+
+#[test]
+fn overload_rejects_unsupported_policies() {
+    use maicc_serve::overload::OverloadConfig;
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::poisson(&loads, 100_000, 7);
+    for policy in [Policy::Partitioned, Policy::TimeShared] {
+        let config = ServeConfig {
+            overload: Some(OverloadConfig::default()),
+            ..cfg(policy, 16)
+        };
+        match serve(&registry, &trace, &config) {
+            Err(ServeError::BadConfig { reason }) => {
+                assert!(reason.contains("fcfs or sjf"), "{reason}")
+            }
+            other => panic!("expected BadConfig for {policy:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_trace_json_is_a_typed_error() {
+    for text in [
+        "",                                     // empty
+        "{",                                    // truncated
+        "[1, 2",                                // not an object
+        r#"{"requests": [{"id": "x"}]}"#,       // wrong field type
+        r#"{"requests": [{"tenant": "t"}]}"#,   // missing fields
+        "{\"requests\": [{\"id\": 0, \"tenant\": \"t\", \"model\": \"m\", \"arrival\": 1e999}]}",
+    ] {
+        match Trace::from_json(text) {
+            Err(ServeError::BadTrace { .. }) => {}
+            other => panic!("{text:?}: expected BadTrace, got {other:?}"),
+        }
+    }
+}

@@ -471,6 +471,9 @@ pub struct StreamSim {
     checkpoint_mark: usize,
     /// Coordinates of the node whose step raised the last typed error.
     fault_coord: Option<Coord>,
+    /// Cycles at which checkpoints of the current run were taken, in
+    /// order. Rollbacks truncate past entries; a remap rebuild clears it.
+    ckpt_log: Vec<u64>,
     /// Tiles the placement must skip (grows as remap-recovery retires
     /// tiles with hard faults).
     avoid: Vec<Tile>,
@@ -706,6 +709,7 @@ impl StreamSim {
             checkpoint: None,
             checkpoint_mark: 0,
             fault_coord: None,
+            ckpt_log: Vec::new(),
             avoid: failed.to_vec(),
             cmem_plan: None,
             targeted_plans: Vec::new(),
@@ -844,6 +848,18 @@ impl StreamSim {
         self.recovery_stats
     }
 
+    /// Cycles at which the last [`StreamSim::run`] took sink-progress
+    /// checkpoints, ascending (empty with no [`RecoveryPolicy`]). The
+    /// trigger counts *logical* progress at the sink, so the log is
+    /// bit-identical across [`Engine`]s and thread counts — a serving
+    /// layer preempting a run mid-flight uses it to find the latest
+    /// architectural state the victim can resume from instead of
+    /// restarting.
+    #[must_use]
+    pub fn checkpoint_log(&self) -> &[u64] {
+        &self.ckpt_log
+    }
+
     /// Every tile this simulation currently steers around: the initial
     /// avoid set passed to [`StreamSim::new_avoiding`] plus any tile
     /// remap recovery has since retired. Serving layers diff this
@@ -891,6 +907,7 @@ impl StreamSim {
     /// re-executed work.
     pub fn run(&mut self, budget: u64) -> Result<StreamResult, SimError> {
         let dims = self.layer_dims();
+        self.ckpt_log.clear();
         // the pool workers borrow the config for the whole run, so hand
         // them a run-local copy (one clone per run, microseconds)
         let cfg = self.cfg.clone();
@@ -973,6 +990,7 @@ impl StreamSim {
     /// one-shot fault) for a later rollback.
     fn take_checkpoint(&mut self) {
         self.recovery_stats.checkpoints += 1;
+        self.ckpt_log.push(self.mesh.cycle());
         self.checkpoint = Some(Box::new(Checkpoint {
             nodes: self.nodes.clone(),
             mesh: self.mesh.clone(),
@@ -1014,7 +1032,9 @@ impl StreamSim {
             return false;
         };
         let wasted_cycles = self.mesh.cycle().saturating_sub(ck.mesh.cycle());
+        let ck_cycle = ck.mesh.cycle();
         let pj_before = self.live_cmem_pj();
+        self.ckpt_log.retain(|&c| c <= ck_cycle);
         self.nodes = ck.nodes.clone();
         self.mesh = ck.mesh.clone();
         self.fault = ck.fault;
@@ -1080,6 +1100,7 @@ impl StreamSim {
         self.reseed_fault_rngs(u64::from(self.recovery_stats.replays));
         self.checkpoint_mark = 0;
         self.checkpoint = None;
+        self.ckpt_log.clear();
         self.take_checkpoint();
         true
     }
