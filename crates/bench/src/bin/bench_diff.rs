@@ -21,7 +21,9 @@
 //! `serve_overload_*` family, where "higher" means "worse" (Hard-tenant
 //! p99, shed rate, preemption/retry counts): those are held to the same
 //! `--fail-on-regress` threshold, skipping keys whose baseline is 0
-//! (absent or not yet measured).
+//! (absent or not yet measured). `speedup_vs_sequential` additionally
+//! gets an absolute floor ([`SPEEDUP_FLOOR`]) under the same flag: a
+//! collapsed parallel path fails even against a drifted baseline.
 
 use std::process::ExitCode;
 
@@ -101,6 +103,26 @@ fn worst_derived_regression(
             (pct > 0.0).then(|| (name.clone(), pct))
         })
         .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+/// Absolute floor for the parallel-speedup derived metric. Unlike the
+/// relative regression gate this does not compare against the baseline:
+/// a collapsed parallel path (mutex contention, accidental
+/// serialization) should fail CI even if the checked-in baseline has
+/// already drifted down. 2.5 leaves headroom below the 3.0 the harness
+/// records at 4 threads so ordinary run-to-run noise doesn't flap.
+const SPEEDUP_FLOOR: f64 = 2.5;
+
+/// Returns the new report's `speedup_vs_sequential` if it is below the
+/// floor. The harness emits 0.00 when the sequential/parallel bench
+/// pair didn't run (filtered `--bench` invocations), so zero means
+/// "not measured", not "collapsed", and passes — as does a report
+/// without the key at all.
+fn speedup_floor_breach(new: &[(String, f64)]) -> Option<f64> {
+    new.iter()
+        .find(|(name, _)| name == "speedup_vs_sequential")
+        .map(|&(_, v)| v)
+        .filter(|v| *v > 0.0 && *v < SPEEDUP_FLOOR)
 }
 
 fn main() -> ExitCode {
@@ -194,13 +216,23 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        if let Some(v) = speedup_floor_breach(&new_derived) {
+            eprintln!(
+                "bench_diff: derived `speedup_vs_sequential` = {v:.2} below the \
+                 {SPEEDUP_FLOOR:.1} floor — the parallel path has collapsed"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{parse_derived, parse_medians, worst_derived_regression, worst_regression};
+    use super::{
+        parse_derived, parse_medians, speedup_floor_breach, worst_derived_regression,
+        worst_regression,
+    };
 
     #[test]
     fn parses_harness_shape() {
@@ -242,12 +274,32 @@ mod tests {
         let b = parse_derived(base);
         let n = parse_derived(new);
         assert_eq!(b.len(), 4);
-        // Hard p99 went up 30% — the worst gated metric. The collapsed
-        // speedup is ungated; the preemption jump has a 0 baseline and
-        // is skipped.
+        // Hard p99 went up 30% — the worst gated metric by relative
+        // regression. The collapsed speedup is caught separately by the
+        // absolute floor; the preemption jump has a 0 baseline and is
+        // skipped.
         let (name, pct) = worst_derived_regression(&b, &n).unwrap();
         assert_eq!(name, "serve_overload_hard_p99_cycles");
         assert!((pct - 30.0).abs() < 1e-9, "{pct}");
+        assert_eq!(speedup_floor_breach(&n), Some(1.00));
+    }
+
+    #[test]
+    fn speedup_floor_gates_on_new_value_only() {
+        // At or above the floor: passes, regardless of the baseline.
+        let ok = parse_derived(r#"{"derived": {"speedup_vs_sequential": 2.50}}"#);
+        assert_eq!(speedup_floor_breach(&ok), None);
+        let good = parse_derived(r#"{"derived": {"speedup_vs_sequential": 3.03}}"#);
+        assert_eq!(speedup_floor_breach(&good), None);
+        // Below the floor: fails even if the baseline had drifted down.
+        let bad = parse_derived(r#"{"derived": {"speedup_vs_sequential": 2.49}}"#);
+        assert_eq!(speedup_floor_breach(&bad), Some(2.49));
+        // 0.00 = bench pair not run (filtered --bench invocation): passes.
+        let unrun = parse_derived(r#"{"derived": {"speedup_vs_sequential": 0.00}}"#);
+        assert_eq!(speedup_floor_breach(&unrun), None);
+        // Missing metric entirely: not a breach either.
+        let absent = parse_derived(r#"{"derived": {"serve_overload_shed_rate": 0.5}}"#);
+        assert_eq!(speedup_floor_breach(&absent), None);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! cargo run --release -p maicc-bench --bin maicc_bench [-- OPTIONS]
 //!
 //!   --quick             one iteration, no warmup (CI smoke mode)
-//!   --iters N           timed iterations per workload (default 5)
+//!   --iters N           timed iterations per workload (default 5;
+//!                       normal mode adds two per-bench warmup runs)
 //!   --threads N         worker threads for the parallel row
 //!                       (default: host core count)
 //!   --bench SUBSTRING   only run benchmarks whose name contains SUBSTRING
@@ -372,7 +373,11 @@ fn main() {
     if quick {
         iters = 1;
     }
-    let warmup = usize::from(!quick);
+    // two per-bench warmup runs: the first pays first-touch allocation
+    // (pools, page faults), the second settles branch predictors and
+    // caches, so the timed percentiles measure steady state — this is
+    // what kept table5_scheduled_replay's p90 at 2.4x its median
+    let warmup = if quick { 0 } else { 2 };
     assert!(iters > 0, "need at least one iteration");
     if threads == 0 {
         threads = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
@@ -459,6 +464,7 @@ fn main() {
             let cfg = ServeConfig {
                 policy,
                 pool_tiles: 8,
+                threads,
                 ..ServeConfig::default()
             };
             let report = serve(&serve_registry, &serve_trace, &cfg).expect("mix serves");
@@ -495,6 +501,7 @@ fn main() {
             let cfg = ServeConfig {
                 policy: Policy::Sjf,
                 pool_tiles: 10,
+                threads,
                 recovery: Some(RecoveryPolicy {
                     max_replays: 8,
                     remap: true,

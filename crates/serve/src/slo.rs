@@ -11,7 +11,7 @@
 use crate::overload::Tier;
 
 /// What happened to one request, after the fact.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestOutcome {
     /// Trace-assigned request id.
     pub id: u64,
@@ -76,7 +76,7 @@ impl RequestOutcome {
 }
 
 /// Aggregated SLO figures for one tenant.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TenantSlo {
     /// Tenant name.
     pub tenant: String,
@@ -117,7 +117,7 @@ pub struct TenantSlo {
 
 /// The full serving report: fleet-level figures plus per-tenant SLOs and
 /// the raw per-request outcomes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Scheduler policy label (`fcfs`, `sjf`, ...).
     pub policy: String,

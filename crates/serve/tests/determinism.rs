@@ -26,7 +26,7 @@ proptest! {
         let policy = [Policy::Fcfs, Policy::Sjf][policy_idx];
         let mut baseline: Option<String> = None;
         for engine in [Engine::EventDriven, Engine::CycleAccurate] {
-            for threads in [1usize, 4] {
+            for threads in [1usize, 2, 4, 8] {
                 let cfg = ServeConfig {
                     policy,
                     engine,
@@ -77,7 +77,7 @@ proptest! {
         let policy = [Policy::Fcfs, Policy::Sjf][policy_idx];
         let mut baseline: Option<String> = None;
         for engine in [Engine::EventDriven, Engine::CycleAccurate] {
-            for threads in [1usize, 4] {
+            for threads in [1usize, 2, 4, 8] {
                 let cfg = ServeConfig {
                     policy,
                     engine,

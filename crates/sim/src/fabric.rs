@@ -8,15 +8,26 @@
 //! as latency. Remote stores therefore behave as **mailboxes**: the
 //! consumer polls the same global address the producer wrote.
 //!
-//! The fabric state lives behind an [`Arc`]`<`[`Mutex`]`>`, so ports (and
-//! the [`maicc_core::node::Node`]s that own them) are `Send`: independent
-//! cores of a multi-DNN deployment can be stepped from worker threads,
-//! the same parallelism the event-driven [`crate::stream`] engine uses.
+//! ## Ownership-striped state
+//!
+//! The fabric used to be one `Arc<Mutex<FabricInner>>`, which serialized
+//! every worker thread on a single lock. It is now partitioned the same
+//! way the streaming engine partitions node state: storage is split into
+//! [`STRIPES`] independently locked stripes keyed by the *owning tile*
+//! bits of the address (the `y` field of a remote window, the row bits of
+//! a DRAM address), and the access counters are lock-free atomics. Cores
+//! touching different tiles' windows — the common case in a multi-DNN
+//! deployment, where each model owns a disjoint tile range — never
+//! contend; an AMO still takes its owning stripe's lock for the whole
+//! read-modify-write, so atomicity is unchanged. Ports (and the
+//! [`maicc_core::node::Node`]s that own them) stay `Send`, the same
+//! parallelism the event-driven [`crate::stream`] engine uses.
 
 use maicc_core::mem_map::RowPtr;
 use maicc_core::node::{amo_result, RemotePort};
 use maicc_isa::inst::AmoKind;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Base one-way latency of a remote access besides hop distance
@@ -24,19 +35,53 @@ use std::sync::{Arc, Mutex};
 const BASE_LATENCY: u32 = 4;
 /// Extra latency for DRAM-space accesses (LLC + DRAM service).
 const DRAM_LATENCY: u32 = 30;
+/// Number of independently locked storage stripes.
+const STRIPES: usize = 16;
 
+/// The stripe owning `addr`: remote windows hash by the owning tile's
+/// coordinate bits (bits 14.. carry `y` and `x`), DRAM rows by their row
+/// bits, so traffic to distinct tiles lands on distinct locks.
+fn stripe_of(addr: u32) -> usize {
+    ((addr >> 14) as usize) % STRIPES
+}
+
+/// One stripe's storage: word mailboxes and row buffers whose owning
+/// tile hashes here.
 #[derive(Debug, Default)]
-struct FabricInner {
+struct Stripe {
     words: HashMap<u32, u32>,
     rows: HashMap<u32, Vec<u64>>,
-    accesses: u64,
-    row_transfers: u64,
+}
+
+#[derive(Debug)]
+struct FabricState {
+    stripes: [Mutex<Stripe>; STRIPES],
+    accesses: AtomicU64,
+    row_transfers: AtomicU64,
+}
+
+impl Default for FabricState {
+    fn default() -> Self {
+        FabricState {
+            stripes: std::array::from_fn(|_| Mutex::new(Stripe::default())),
+            accesses: AtomicU64::new(0),
+            row_transfers: AtomicU64::new(0),
+        }
+    }
+}
+
+impl FabricState {
+    fn stripe(&self, addr: u32) -> std::sync::MutexGuard<'_, Stripe> {
+        self.stripes[stripe_of(addr)]
+            .lock()
+            .expect("fabric stripe poisoned")
+    }
 }
 
 /// The shared fabric.
 #[derive(Debug, Clone, Default)]
 pub struct SharedFabric {
-    inner: Arc<Mutex<FabricInner>>,
+    inner: Arc<FabricState>,
 }
 
 impl SharedFabric {
@@ -56,53 +101,45 @@ impl SharedFabric {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, FabricInner> {
-        self.inner.lock().expect("fabric lock poisoned")
-    }
-
     /// Pre-loads a row (e.g. DRAM-resident transposed ifmap data).
     pub fn preload_row(&self, ptr: RowPtr, lanes: Vec<u64>) {
-        self.lock().rows.insert(ptr.pack(), lanes);
+        self.inner.stripe(ptr.pack()).rows.insert(ptr.pack(), lanes);
     }
 
     /// Reads a word back for inspection.
     #[must_use]
     pub fn word(&self, addr: u32) -> Option<u32> {
-        self.lock().words.get(&(addr & !3)).copied()
+        self.inner.stripe(addr).words.get(&(addr & !3)).copied()
     }
 
     /// Reads a row back for inspection.
     #[must_use]
     pub fn row(&self, ptr: RowPtr) -> Option<Vec<u64>> {
-        self.lock().rows.get(&ptr.pack()).cloned()
+        self.inner.stripe(ptr.pack()).rows.get(&ptr.pack()).cloned()
     }
 
     /// Total word accesses served.
     #[must_use]
     pub fn accesses(&self) -> u64 {
-        self.lock().accesses
+        self.inner.accesses.load(Ordering::Relaxed)
     }
 
     /// Total row transfers served.
     #[must_use]
     pub fn row_transfers(&self) -> u64 {
-        self.lock().row_transfers
+        self.inner.row_transfers.load(Ordering::Relaxed)
     }
 }
 
 /// One core's handle onto the fabric.
 #[derive(Debug, Clone)]
 pub struct FabricPort {
-    inner: Arc<Mutex<FabricInner>>,
+    inner: Arc<FabricState>,
     x: u8,
     y: u8,
 }
 
 impl FabricPort {
-    fn lock(&self) -> std::sync::MutexGuard<'_, FabricInner> {
-        self.inner.lock().expect("fabric lock poisoned")
-    }
-
     fn latency_to(&self, addr: u32) -> u32 {
         if addr >= 0x8000_0000 {
             // DRAM window: to the nearest LLC row (top/bottom of the mesh)
@@ -120,9 +157,14 @@ impl FabricPort {
 impl RemotePort for FabricPort {
     fn load(&mut self, addr: u32, size: u8) -> (u32, u32) {
         let lat = 2 * self.latency_to(addr); // round trip
-        let mut inner = self.lock();
-        inner.accesses += 1;
-        let word = inner.words.get(&(addr & !3)).copied().unwrap_or(0);
+        self.inner.accesses.fetch_add(1, Ordering::Relaxed);
+        let word = self
+            .inner
+            .stripe(addr)
+            .words
+            .get(&(addr & !3))
+            .copied()
+            .unwrap_or(0);
         let sh = (addr & 3) * 8;
         let v = match size {
             1 => (word >> sh) & 0xFF,
@@ -134,9 +176,9 @@ impl RemotePort for FabricPort {
 
     fn store(&mut self, addr: u32, value: u32, size: u8) -> u32 {
         let lat = self.latency_to(addr); // fire and forget
-        let mut inner = self.lock();
-        inner.accesses += 1;
-        let word = inner.words.entry(addr & !3).or_insert(0);
+        self.inner.accesses.fetch_add(1, Ordering::Relaxed);
+        let mut stripe = self.inner.stripe(addr);
+        let word = stripe.words.entry(addr & !3).or_insert(0);
         let sh = (addr & 3) * 8;
         match size {
             1 => *word = (*word & !(0xFF << sh)) | ((value & 0xFF) << sh),
@@ -148,22 +190,24 @@ impl RemotePort for FabricPort {
 
     fn amo(&mut self, kind: AmoKind, addr: u32, value: u32) -> (u32, u32) {
         let lat = 2 * self.latency_to(addr);
-        let mut inner = self.lock();
-        inner.accesses += 1;
-        let old = inner.words.get(&(addr & !3)).copied().unwrap_or(0);
+        self.inner.accesses.fetch_add(1, Ordering::Relaxed);
+        // the whole read-modify-write happens under the owning stripe's
+        // lock, so AMOs on the same word stay atomic
+        let mut stripe = self.inner.stripe(addr);
+        let old = stripe.words.get(&(addr & !3)).copied().unwrap_or(0);
         if kind != AmoKind::LrW {
             let new = amo_result(kind, old, value);
-            inner.words.insert(addr & !3, new);
+            stripe.words.insert(addr & !3, new);
         }
         (old, lat)
     }
 
     fn load_row(&mut self, ptr: RowPtr) -> (Vec<u64>, u32) {
         let lat = 2 * self.latency_to(ptr.pack());
-        let mut inner = self.lock();
-        inner.row_transfers += 1;
+        self.inner.row_transfers.fetch_add(1, Ordering::Relaxed);
         (
-            inner
+            self.inner
+                .stripe(ptr.pack())
                 .rows
                 .get(&ptr.pack())
                 .cloned()
@@ -174,9 +218,11 @@ impl RemotePort for FabricPort {
 
     fn store_row(&mut self, ptr: RowPtr, lanes: &[u64]) -> u32 {
         let lat = self.latency_to(ptr.pack());
-        let mut inner = self.lock();
-        inner.row_transfers += 1;
-        inner.rows.insert(ptr.pack(), lanes.to_vec());
+        self.inner.row_transfers.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stripe(ptr.pack())
+            .rows
+            .insert(ptr.pack(), lanes.to_vec());
         lat
     }
 }
@@ -233,8 +279,22 @@ mod tests {
     }
 
     #[test]
+    fn distinct_tile_rows_use_distinct_stripes() {
+        // windows owned by different mesh rows never share a stripe
+        // lock, so same-row traffic is the only contention left
+        let a = stripe_of(remote_addr(3, 1, 0x40));
+        let b = stripe_of(remote_addr(3, 2, 0x40));
+        assert_ne!(a, b);
+        // every offset within one tile's window stays on its stripe
+        assert_eq!(
+            stripe_of(remote_addr(3, 1, 0)),
+            stripe_of(remote_addr(3, 1, 0x3FFC))
+        );
+    }
+
+    #[test]
     fn ports_are_send_across_worker_threads() {
-        // the Arc<Mutex> fabric lets independent cores run on worker
+        // the striped fabric lets independent cores run on worker
         // threads: four ports AMO-increment one shared counter
         let fab = SharedFabric::new();
         let addr = remote_addr(3, 3, 0x40);

@@ -262,10 +262,11 @@ pub fn streamed_multi_dnn(
 }
 
 /// [`streamed_multi_dnn`] with each model's simulation itself sharded
-/// over `threads` node-stepping workers ([`StreamSim::set_parallelism`]).
-/// The stepping shards are bit-identical to sequential stepping, so the
-/// report is the same for every thread count — the knob only trades
-/// wall-clock for cores.
+/// over `threads` node-stepping workers ([`StreamSim::set_parallelism`],
+/// the ownership-partitioned two-phase schedule of DESIGN.md §14). The
+/// shard-order packet merge reproduces the sequential injection
+/// schedule, so the report is bit-identical for every thread count —
+/// the knob only trades wall-clock for cores.
 ///
 /// # Errors
 ///
@@ -478,7 +479,7 @@ mod tests {
 
         /// Node-step sharding inside each model's simulation is an
         /// implementation detail: for random one-layer workloads the
-        /// report is bit-identical across 1/2/4 stepping threads and
+        /// report is bit-identical across 1/2/4/8 stepping threads and
         /// both engines.
         #[test]
         fn prop_streamed_report_is_thread_and_engine_invariant(
@@ -499,7 +500,7 @@ mod tests {
                     .unwrap();
             proptest::prop_assert!(baseline.models.iter().all(|m| m.golden_match));
             for engine in [Engine::EventDriven, Engine::CycleAccurate] {
-                for threads in [1usize, 2, 4] {
+                for threads in [1usize, 2, 4, 8] {
                     let r =
                         streamed_multi_dnn_parallel(&models, engine, 5_000_000, threads)
                             .unwrap();

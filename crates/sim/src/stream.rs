@@ -31,7 +31,7 @@ use maicc_exec::mapping::{place_groups_avoiding, Tile};
 use maicc_nn::layer::ConvLayer;
 use maicc_nn::tensor::Tensor;
 use maicc_noc::{
-    Coord, Mesh, NocError, NocFaultPlan, NocFaultStats, NocStats, Packet, RetryPolicy,
+    Coord, Delivered, Mesh, NocError, NocFaultPlan, NocFaultStats, NocStats, Packet, RetryPolicy,
     ROW_PACKET_FLITS, WORD_PACKET_FLITS,
 };
 use maicc_sram::cmem::Cmem;
@@ -259,12 +259,13 @@ struct Checkpoint {
     lost: u64,
 }
 
-/// One shard of the per-cycle node step, handed to a pool worker.
+/// One shard of the per-cycle node step, handed to the pool worker that
+/// owns it.
 ///
 /// Carries a raw slice so the borrow can cross an `mpsc` channel. Safety
-/// protocol, upheld by [`StepPool::step`]: shards are disjoint, the pool
-/// owner touches no node while a task is outstanding, and every
-/// dispatched task's reply is collected before `step` returns.
+/// protocol, upheld by [`StepPool::step_shards`]: shards are disjoint,
+/// the pool owner touches no node while a task is outstanding, and every
+/// dispatched task's reply is collected before `step_shards` returns.
 struct StepTask {
     nodes: *mut SimNode,
     len: usize,
@@ -319,11 +320,14 @@ impl StepPool {
                         let shard = unsafe { std::slice::from_raw_parts_mut(t.nodes, t.len) };
                         let mut res = Ok(());
                         for node in shard {
-                            if node.busy_until > t.now {
+                            // `node_pending` exactly certifies a no-op
+                            // step, so skipping non-pending nodes is
+                            // bit-identical to stepping them
+                            if node.busy_until > t.now || !node_pending(node) {
                                 continue;
                             }
                             let coord = node.coord;
-                            if let Err(e) = step_node(node, t.now, dims, cfg, &mut t.out) {
+                            if let Err(e) = step_node(node, t.now, dims, cfg, &mut t.out, true) {
                                 res = Err((coord, e));
                                 break;
                             }
@@ -342,18 +346,18 @@ impl StepPool {
         }
     }
 
-    /// Steps every free node, sharded over the first `workers` pool
-    /// threads in contiguous index ranges. Per-shard packet lists are
-    /// appended to `outgoing` in shard order — which equals node order —
-    /// so the injection schedule is exactly the sequential one.
-    fn step(
+    /// The compute half of the two-phase schedule: every worker steps the
+    /// contiguous shard of nodes it owns (fixed `chunk`-sized index
+    /// ranges, computed once per run), lock-free, buffering its emitted
+    /// packets into its own queue. On return `self.scratch` holds the
+    /// per-shard output queues in shard order — which equals node-index
+    /// order — ready for [`Mesh::send_from_shards`], the exchange half.
+    fn step_shards(
         &mut self,
         nodes: &mut [SimNode],
-        workers: usize,
+        chunk: usize,
         now: u64,
-        outgoing: &mut Vec<Packet<Msg>>,
     ) -> Result<(), (Coord, SimError)> {
-        let chunk = nodes.len().div_ceil(workers);
         let mut dispatched = 0;
         for (w, shard) in nodes.chunks_mut(chunk).enumerate() {
             let out = std::mem::take(&mut self.scratch[w]);
@@ -372,14 +376,31 @@ impl StepPool {
         // before reporting the first shard's error
         let mut first_err = Ok(());
         for w in 0..dispatched {
-            let mut reply = self.workers[w].1.recv().expect("step worker alive");
+            let reply = self.workers[w].1.recv().expect("step worker alive");
             if first_err.is_ok() {
                 first_err = reply.res;
             }
-            outgoing.append(&mut reply.out);
             self.scratch[w] = reply.out;
         }
         first_err
+    }
+}
+
+fn node_pending(n: &SimNode) -> bool {
+    match &n.role {
+        Role::Cc { .. } | Role::Sink { .. } => !n.inbox.is_empty(),
+        Role::Dc {
+            staged,
+            next_pixel,
+            total_pixels,
+            in_flight,
+            ..
+        } => {
+            !n.inbox.is_empty()
+                || (*next_pixel < *total_pixels
+                    && *in_flight < CREDIT_WINDOW
+                    && staged.contains_key(next_pixel))
+        }
     }
 }
 
@@ -413,6 +434,14 @@ enum Role {
         layer: usize,
         cmem: Box<Cmem>,
         residents: Vec<Resident>,
+        /// Byte-form shadow of each resident filter vector (same index as
+        /// `residents`, truncated to the group's live channel span). The
+        /// partitioned engine uses these to compute the dot product
+        /// host-side whenever [`Cmem::mac_shortcut_ok`] certifies the
+        /// bit-plane MAC is a pure function of the operands; the CMem
+        /// arrays stay the architectural source of truth and every other
+        /// operation (ingest, broadcast, energy) still runs on them.
+        shadow_w: Vec<Vec<i8>>,
         /// rows collected for the pixel currently arriving
         arriving: HashMap<usize, Vec<Option<Vec<u64>>>>,
         /// i32 partial sums, `[local filters × OH × OW]`
@@ -627,6 +656,7 @@ impl StreamSim {
                 let hi = ((k + 1) * per_core).min(s.out_channels);
                 let mut cmem = Box::new(Cmem::new());
                 let mut residents = Vec::new();
+                let mut shadow_w = Vec::new();
                 let groups = s.in_channels.div_ceil(256);
                 for (local, f) in (lo..hi).enumerate() {
                     for q in 0..groups {
@@ -646,6 +676,11 @@ impl StreamSim {
                                     })
                                     .collect();
                                 cmem.write_vector_i8(slice, row, &filt)?;
+                                // channels past the layer's span are zero
+                                // in both operands, so the shadow keeps
+                                // only the live prefix
+                                let span = (s.in_channels - q * 256).min(256);
+                                shadow_w.push(filt[..span].to_vec());
                                 residents.push(Resident {
                                     local_filter: local,
                                     global_filter: f,
@@ -671,6 +706,7 @@ impl StreamSim {
                         layer: li,
                         cmem,
                         residents,
+                        shadow_w,
                         arriving: HashMap::new(),
                         psums,
                         next_hop,
@@ -718,18 +754,23 @@ impl StreamSim {
         })
     }
 
-    /// Sets the number of worker threads for the per-cycle node step
-    /// (clamped to at least 1; 1 means fully sequential).
+    /// Sets the number of node-step shards (clamped to at least 1; 1
+    /// means the fully sequential reference loop).
     ///
-    /// Nodes are independent within a cycle — each steps against its own
-    /// inbox and CMem — so they are sharded over a persistent
-    /// [`StepPool`] (workers spawned once per `run`, fed through `mpsc`
-    /// channels) in contiguous index ranges, and their outgoing packets
-    /// are merged back in node order. Packet injection order is therefore
-    /// identical to the sequential schedule and results stay bit-exact
-    /// (see `parallel_run_is_bit_identical_to_sequential`). Work is only
-    /// dispatched on cycles where at least two free nodes actually have
-    /// inbox work, so lightly-loaded cycles keep sequential speed.
+    /// Any value above 1 selects the **ownership-partitioned engine**
+    /// (see `run_loop_partitioned`): nodes are split into contiguous
+    /// index-range shards whose CMem/inbox state is owned outright by one
+    /// [`StepPool`] worker each, stepped lock-free within a cycle
+    /// (compute phase), with outgoing packets buffered into per-shard
+    /// queues that a deterministic merge drains in shard order — equal to
+    /// node-index order, i.e. exactly the sequential injection schedule —
+    /// between cycles (exchange phase). Results are therefore bit-exact
+    /// against the sequential loop by construction (regression- and
+    /// proptest-enforced by `parallel_matches_sequential_matrix` and
+    /// `prop_parallel_matches_sequential`). On a host without spare
+    /// cores, or when a CMem fault plan makes mid-phase errors possible,
+    /// the coordinator steps the shards itself in the same order — the
+    /// merge schedule, and so the result, is identical either way.
     pub fn set_parallelism(&mut self, threads: usize) {
         self.parallelism = threads.max(1);
     }
@@ -914,17 +955,43 @@ impl StreamSim {
         if self.recovery.is_some() && self.checkpoint.is_none() {
             self.take_checkpoint();
         }
+        // Shard geometry is fixed for the whole run (the node count is a
+        // function of the layer shapes, so remap rebuilds preserve it):
+        // hoisted here instead of being re-derived every cycle.
+        let shards = self.parallelism.min(self.nodes.len()).max(1);
+        let chunk = self.nodes.len().div_ceil(shards);
+        // Dispatching shards to real threads only pays when the host has
+        // spare cores to run them on; and with a CMem fault plan armed a
+        // shard step can fail mid-phase, where the sequential abort point
+        // (nodes after the failing one do not step that cycle) must be
+        // reproduced exactly — both cases fall back to the coordinator
+        // stepping the shards inline in shard order, which is the same
+        // merge schedule.
+        let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let use_pool = shards > 1
+            && host > 1
+            && self.cmem_plan.is_none()
+            && self.targeted_plans.is_empty();
         loop {
             let res = if self.parallelism > 1 {
-                let threads = self.parallelism;
-                let dims_ref: &[LayerDims] = &dims;
-                let cfg_ref: &StreamConfig = &cfg;
-                std::thread::scope(|scope| {
-                    let mut pool = StepPool::start(scope, threads, dims_ref, cfg_ref);
-                    self.run_loop(budget, dims_ref, cfg_ref, Some(&mut pool))
-                })
+                if use_pool {
+                    let dims_ref: &[LayerDims] = &dims;
+                    let cfg_ref: &StreamConfig = &cfg;
+                    std::thread::scope(|scope| {
+                        let mut pool = StepPool::start(scope, shards, dims_ref, cfg_ref);
+                        self.run_loop_partitioned(
+                            budget,
+                            dims_ref,
+                            cfg_ref,
+                            chunk,
+                            Some(&mut pool),
+                        )
+                    })
+                } else {
+                    self.run_loop_partitioned(budget, &dims, &cfg, chunk, None)
+                }
             } else {
-                self.run_loop(budget, &dims, &cfg, None)
+                self.run_loop(budget, &dims, &cfg)
             };
             match res {
                 Ok(()) => break,
@@ -1116,90 +1183,91 @@ impl StreamSim {
         }
     }
 
-    /// The engine-shared simulation loop; returns when the workload has
-    /// drained (`Ok`) or with the same typed errors as [`StreamSim::run`].
+    /// Reports a budget exhaustion with the most actionable error: lost
+    /// traffic degrades, a long-wedged router is named for remap
+    /// recovery, anything else is a bare timeout.
+    fn budget_exhausted(&self, budget: u64, now: u64) -> SimError {
+        let lost = self.mesh.fault_stats().packets_lost;
+        if lost > 0 {
+            return SimError::Degraded {
+                lost_packets: lost,
+                cycles: now,
+            };
+        }
+        // a router wedged for thousands of cycles is more actionable
+        // than a bare timeout: name it, so campaign reports (and remap
+        // recovery) can localize the failure
+        if !self.mesh.is_idle() {
+            if let w @ NocError::Wedged { stalled_for, .. } = self.mesh.wedge_report() {
+                if stalled_for >= WEDGE_STALL_AGE {
+                    return SimError::Fault {
+                        source: ComponentError::Noc(w),
+                    };
+                }
+            }
+        }
+        SimError::Timeout { budget }
+    }
+
+    /// Routes one delivered packet into its destination node's inbox,
+    /// applying the armed in-flight row fault if this is its packet.
+    fn deliver(&mut self, d: Delivered<Msg>) -> Result<(), SimError> {
+        let key = (d.packet.dst.x, d.packet.dst.y);
+        let idx = *self.tile_of.get(&key).ok_or_else(|| SimError::Protocol {
+            reason: format!("delivery to unknown tile {}", d.packet.dst),
+        })?;
+        let mut payload = d.packet.payload;
+        if let (Some((fl, fp)), Msg::Row { layer, pixel, row, lanes }) =
+            (self.fault, &mut payload)
+        {
+            if *layer == fl && *pixel == fp && *row == 7 {
+                // single-event upset on bit-line 0 of the sign plane:
+                // channel 0's value shifts by ±128
+                lanes[0] ^= 1;
+                self.fault = None;
+            }
+        }
+        self.nodes[idx].inbox.push_back(payload);
+        Ok(())
+    }
+
+    /// The sequential simulation loop (`parallelism == 1`), kept as the
+    /// naive reference the partitioned engine is verified against: full
+    /// active-set mesh scans, every free node stepped every cycle, every
+    /// MAC executed on the bit-plane arrays. Returns when the workload
+    /// has drained (`Ok`) or with the same typed errors as
+    /// [`StreamSim::run`].
     fn run_loop(
         &mut self,
         budget: u64,
         dims: &[LayerDims],
         cfg: &StreamConfig,
-        mut pool: Option<&mut StepPool>,
     ) -> Result<(), SimError> {
+        // the full-scan tick neither needs nor maintains the partitioned
+        // engine's active-router tracking (a rollback may have restored a
+        // mesh that carried it)
+        self.mesh.disable_partitioned_stepping();
         // reused across cycles so steady-state iterations never allocate
         let mut outgoing: Vec<Packet<Msg>> = Vec::new();
         loop {
             let now = self.mesh.cycle();
             if now >= budget {
-                let lost = self.mesh.fault_stats().packets_lost;
-                if lost > 0 {
-                    return Err(SimError::Degraded {
-                        lost_packets: lost,
-                        cycles: now,
-                    });
-                }
-                // a router wedged for thousands of cycles is more
-                // actionable than a bare timeout: name it, so campaign
-                // reports (and remap recovery) can localize the failure
-                if !self.mesh.is_idle() {
-                    if let w @ NocError::Wedged { stalled_for, .. } = self.mesh.wedge_report() {
-                        if stalled_for >= WEDGE_STALL_AGE {
-                            return Err(SimError::Fault {
-                                source: ComponentError::Noc(w),
-                            });
-                        }
-                    }
-                }
-                return Err(SimError::Timeout { budget });
+                return Err(self.budget_exhausted(budget, now));
             }
             // deliver mesh traffic
-            let delivered = self.mesh.tick();
-            for d in delivered {
-                let key = (d.packet.dst.x, d.packet.dst.y);
-                let idx = *self.tile_of.get(&key).ok_or_else(|| SimError::Protocol {
-                    reason: format!("delivery to unknown tile {}", d.packet.dst),
-                })?;
-                let mut payload = d.packet.payload;
-                if let (Some((fl, fp)), Msg::Row { layer, pixel, row, lanes }) =
-                    (self.fault, &mut payload)
-                {
-                    if *layer == fl && *pixel == fp && *row == 7 {
-                        // single-event upset on bit-line 0 of the sign
-                        // plane: channel 0's value shifts by ±128
-                        lanes[0] ^= 1;
-                        self.fault = None;
-                    }
-                }
-                self.nodes[idx].inbox.push_back(payload);
+            for d in self.mesh.tick() {
+                self.deliver(d)?;
             }
             // let every free node take one step
             let now = self.mesh.cycle();
-            let workers = if self.parallelism > 1 {
-                // dispatching to the pool costs more than stepping a
-                // handful of idle nodes; go wide only when there is work
-                let ready = self
-                    .nodes
-                    .iter()
-                    .filter(|n| n.busy_until <= now && !n.inbox.is_empty())
-                    .count();
-                if ready >= 2 {
-                    self.parallelism.min(ready)
-                } else {
-                    1
-                }
-            } else {
-                1
-            };
-            let failed: Option<(Coord, SimError)> = if workers > 1 {
-                let pool = pool.as_deref_mut().expect("parallelism > 1 spawned a pool");
-                pool.step(&mut self.nodes, workers, now, &mut outgoing).err()
-            } else {
+            let failed: Option<(Coord, SimError)> = {
                 let mut first = None;
                 for node in &mut self.nodes {
                     if node.busy_until > now {
                         continue;
                     }
                     let coord = node.coord;
-                    if let Err(e) = step_node(node, now, dims, cfg, &mut outgoing) {
+                    if let Err(e) = step_node(node, now, dims, cfg, &mut outgoing, false) {
                         first = Some((coord, e));
                         break;
                     }
@@ -1271,6 +1339,151 @@ impl StreamSim {
         }
     }
 
+    /// The ownership-partitioned simulation loop (`parallelism > 1`):
+    /// the two-phase (compute / exchange) schedule over shard-owned node
+    /// state, bit-identical to [`StreamSim::run_loop`] by construction.
+    ///
+    /// Per cycle: the mesh ticks over its tracked active-router set (a
+    /// maintained superset of routers with queued work — every phase of
+    /// the full-scan tick is predicate-guarded, so a superset scan is
+    /// byte-identical, proptest-enforced in `maicc-noc`); the node phase
+    /// runs only when a delivery landed or the precomputed wake cycle
+    /// arrived (`next_node_event` certifies every skipped step a no-op);
+    /// shards step lock-free against state they own, buffering packets
+    /// per shard; and the exchange merges the shard queues in shard
+    /// order — equal to node-index order, the sequential injection
+    /// schedule. With `pool` absent (single-core host, or a CMem fault
+    /// plan whose mid-phase abort point must match the sequential loop)
+    /// the coordinator steps the shards itself in the same order.
+    ///
+    /// Completion, quiescence, checkpoint, and budget checks reuse values
+    /// cached at the last node phase: nodes only change state in a phase
+    /// (deliveries force one), so the cached `finished`/`wake` are exact
+    /// on phase-skipped cycles and every exit fires on the same cycle as
+    /// the sequential loop.
+    #[allow(clippy::too_many_lines)]
+    fn run_loop_partitioned(
+        &mut self,
+        budget: u64,
+        dims: &[LayerDims],
+        cfg: &StreamConfig,
+        chunk: usize,
+        mut pool: Option<&mut StepPool>,
+    ) -> Result<(), SimError> {
+        // (re)build the tracked active-router set — exact after a
+        // rollback restored an older mesh or a remap rebuilt a fresh one
+        self.mesh.enable_partitioned_stepping();
+        let mut outgoing: Vec<Packet<Msg>> = Vec::new();
+        let mut delivered: Vec<Delivered<Msg>> = Vec::new();
+        // phase-cached state; `wake = Some(0)` forces the first phase
+        let mut wake: Option<u64> = Some(0);
+        let mut finished = self.finished();
+        loop {
+            let now = self.mesh.cycle();
+            if now >= budget {
+                return Err(self.budget_exhausted(budget, now));
+            }
+            delivered.clear();
+            self.mesh.tick_partitioned(&mut delivered);
+            let now = self.mesh.cycle();
+            let mut injected = false;
+            if !delivered.is_empty() || wake.is_some_and(|w| w <= now) {
+                for d in delivered.drain(..) {
+                    self.deliver(d)?;
+                }
+                // compute phase: shards step the nodes they own. Going
+                // wide only pays when at least two shards have work;
+                // otherwise the coordinator walks them inline — the same
+                // schedule, without the dispatch round-trip.
+                let failed: Option<(Coord, SimError)> = match pool.as_deref_mut() {
+                    Some(pool)
+                        if self
+                            .nodes
+                            .chunks(chunk)
+                            .filter(|s| {
+                                s.iter().any(|n| n.busy_until <= now && node_pending(n))
+                            })
+                            .count()
+                            >= 2 =>
+                    {
+                        let res = pool.step_shards(&mut self.nodes, chunk, now);
+                        // exchange phase: merge the per-shard output
+                        // queues in shard order
+                        injected = pool.scratch.iter().any(|q| !q.is_empty());
+                        self.mesh.send_from_shards(&mut pool.scratch);
+                        res.err()
+                    }
+                    _ => {
+                        let mut first = None;
+                        for node in &mut self.nodes {
+                            if node.busy_until > now || !node_pending(node) {
+                                continue;
+                            }
+                            let coord = node.coord;
+                            if let Err(e) =
+                                step_node(node, now, dims, cfg, &mut outgoing, true)
+                            {
+                                first = Some((coord, e));
+                                break;
+                            }
+                        }
+                        injected = !outgoing.is_empty();
+                        for p in outgoing.drain(..) {
+                            self.mesh.send(p);
+                        }
+                        first
+                    }
+                };
+                if let Some((coord, e)) = failed {
+                    self.fault_coord = Some(coord);
+                    return Err(e);
+                }
+                finished = self.finished();
+                // recovery snapshot on sink progress — identical trigger
+                // and cycle as the sequential loop (sink counts only move
+                // in a phase, and a lost-packet mismatch can never heal,
+                // so evaluating on phase cycles alone is exact)
+                if let Some(policy) = self.recovery {
+                    let mark = self.sink_count() / policy.checkpoint_values.max(1);
+                    if mark > self.checkpoint_mark
+                        && self.mesh.fault_stats().packets_lost
+                            == self.checkpoint.as_ref().map_or(0, |c| c.lost)
+                    {
+                        self.checkpoint_mark = mark;
+                        self.take_checkpoint();
+                    }
+                }
+                wake = self.next_node_event(now);
+            }
+            let idle = self.mesh.is_idle();
+            if finished && idle {
+                return Ok(());
+            }
+            // quiescence: `wake == None` certifies no node is busy or
+            // pending (so all inboxes are empty), unchanged since the
+            // last phase
+            if !injected && idle && wake.is_none() {
+                let lost = self.mesh.fault_stats().packets_lost;
+                if lost > 0 {
+                    return Err(SimError::Degraded {
+                        lost_packets: lost,
+                        cycles: self.mesh.cycle(),
+                    });
+                }
+                return Err(SimError::Protocol {
+                    reason: "simulation quiesced before completion".into(),
+                });
+            }
+            if self.engine == Engine::EventDriven && idle {
+                if let Some(w) = wake {
+                    if w > now + 1 {
+                        self.mesh.advance_to((w - 1).min(budget));
+                    }
+                }
+            }
+        }
+    }
+
     /// The next cycle at which any node can act, given a drained mesh:
     /// the earliest `busy_until` expiry among nodes with pending work
     /// (a queued inbox message, or a DC with a staged pixel and credit
@@ -1285,22 +1498,7 @@ impl StreamSim {
             if n.busy_until > now {
                 latest_busy = Some(latest_busy.map_or(n.busy_until, |m| m.max(n.busy_until)));
             }
-            let pending = match &n.role {
-                Role::Cc { .. } | Role::Sink { .. } => !n.inbox.is_empty(),
-                Role::Dc {
-                    staged,
-                    next_pixel,
-                    total_pixels,
-                    in_flight,
-                    ..
-                } => {
-                    !n.inbox.is_empty()
-                        || (*next_pixel < *total_pixels
-                            && *in_flight < CREDIT_WINDOW
-                            && staged.contains_key(next_pixel))
-                }
-            };
-            if pending {
+            if node_pending(n) {
                 // a free node with pending work acts on the very next
                 // cycle (it steps once per cycle, e.g. one inbox message)
                 let at = n.busy_until.max(now + 1);
@@ -1343,6 +1541,16 @@ impl StreamSim {
     }
 }
 
+/// Steps one node at cycle `now`, appending emitted packets to `out`.
+///
+/// `fast` selects the partitioned engine's host-side MAC shortcut: when
+/// [`Cmem::mac_shortcut_ok`] certifies every slice a pixel's MACs touch
+/// (no fault plan, no ECC, mask fully open), the dot products are
+/// computed from the byte-form shadows instead of the bit-plane arrays —
+/// the identical value by the signed bit-plane MAC theorem
+/// (`prop_mac_signed_matches_reference` in `maicc-sram`), with identical
+/// energy accounting via [`Cmem::charge_macs`]. The sequential reference
+/// loop passes `false` and always runs the arrays.
 #[allow(clippy::too_many_lines)]
 fn step_node(
     node: &mut SimNode,
@@ -1350,6 +1558,7 @@ fn step_node(
     dims: &[LayerDims],
     cfg: &StreamConfig,
     out: &mut Vec<Packet<Msg>>,
+    fast: bool,
 ) -> Result<(), SimError> {
     let coord = node.coord;
     match &mut node.role {
@@ -1430,6 +1639,7 @@ fn step_node(
             layer,
             cmem,
             residents,
+            shadow_w,
             arriving,
             psums,
             next_hop,
@@ -1471,19 +1681,71 @@ fn step_node(
             let stride = l.shape.stride;
             let mut macs = 0u64;
             let mut completed: Vec<(usize, usize)> = Vec::new();
-            let used: std::collections::HashSet<usize> =
-                residents.iter().map(|r| r.slice).collect();
-            let mut group_order: Vec<&Resident> = residents.iter().collect();
-            group_order.sort_by_key(|r| r.group);
+            // ascending slice order: the broadcast below stops at the
+            // first failed move, so its iteration order is observable
+            // (energy accounting, abort point) and must be deterministic
+            let used: Vec<usize> = {
+                let mut v: Vec<usize> = residents.iter().map(|r| r.slice).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            // Host-side MAC shortcut (partitioned engine only): legal
+            // when every touched slice's MAC is a pure function of its
+            // operands. The ingest and broadcast below still run on the
+            // real arrays either way.
+            let shadow = fast && used.iter().all(|&s| cmem.mac_shortcut_ok(s));
+            // the arriving pixel, untransposed back to bytes per group
+            // (only the live channel span — the rest is zero in both
+            // operands and contributes nothing to the dot)
+            let shadow_a: Vec<Vec<i8>> = if shadow {
+                (0..groups)
+                    .map(|q| {
+                        let span = (in_dim.0 - q * 256).min(256);
+                        let planes = &rows[q * 8..q * 8 + 8];
+                        (0..span)
+                            .map(|c| {
+                                let (w, b) = (c / 64, c % 64);
+                                let mut byte = 0u8;
+                                for (r, lanes) in planes.iter().enumerate() {
+                                    byte |= (((lanes[w] >> b) & 1) as u8) << r;
+                                }
+                                byte as i8
+                            })
+                            .collect()
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let mut group_order: Vec<(usize, &Resident)> =
+                residents.iter().enumerate().collect();
+            group_order.sort_by_key(|(_, r)| r.group);
             let mut current_group = usize::MAX;
-            for r in group_order {
+            for (ri, r) in group_order {
                 if r.group != current_group {
                     current_group = r.group;
                     for &s in &used {
                         cmem.move_vector(0, r.group * 8, s, 0, 8)?;
                     }
                 }
-                let dot = cmem.mac_i8(r.slice, 0, r.row)? as i32;
+                let dot = if shadow {
+                    let full: i64 = shadow_a[r.group]
+                        .iter()
+                        .zip(&shadow_w[ri])
+                        .map(|(&a, &w)| i64::from(a) * i64::from(w))
+                        .sum();
+                    debug_assert_eq!(
+                        full,
+                        cmem.slice(r.slice)
+                            .and_then(|s| s.mac_fast(0, r.row, 8, true))
+                            .expect("shortcut-certified MAC"),
+                        "shadow dot diverged from the bit-plane MAC"
+                    );
+                    full as i32
+                } else {
+                    cmem.mac_i8(r.slice, 0, r.row)? as i32
+                };
                 macs += 1;
                 let (wy, wx) = (y as isize - r.ky as isize, x as isize - r.kx as isize);
                 if wy >= 0
@@ -1497,6 +1759,10 @@ fn step_node(
                         psums[o] += dot;
                     }
                 }
+            }
+            if shadow {
+                // identical energy accounting to `macs` array MAC.C ops
+                cmem.charge_macs(macs);
             }
             // windows whose bottom-right corner this pixel was are done
             if y + 1 >= l.shape.kernel_h
@@ -1655,23 +1921,97 @@ mod tests {
     }
 
     #[test]
-    fn parallel_run_is_bit_identical_to_sequential() {
-        // the PR-2 regression, now over both engines: pool-sharded node
-        // stepping must reproduce the sequential StreamResult exactly —
-        // ofmap, cycle count, NoC stats, and energy
-        let cfg = StreamConfig::two_layer_test();
-        for engine in [Engine::EventDriven, Engine::CycleAccurate] {
-            let mut base = StreamSim::new(&cfg).unwrap();
-            base.set_engine(engine);
-            let seq = base.run(10_000_000).unwrap();
-            for threads in [2, 4, 7] {
-                let mut sim = StreamSim::new(&cfg).unwrap();
-                sim.set_engine(engine);
-                sim.set_parallelism(threads);
-                let par = sim.run(10_000_000).unwrap();
-                assert_eq!(par, seq, "divergence at {threads} threads ({engine:?})");
+    fn parallel_matches_sequential_matrix() {
+        // the PR-2 regression grown into the partitioned-engine matrix:
+        // threads {1, 2, 4, 8} × both engines × {clean, CMem transient
+        // plan + replay, NoC drop plan + replay, dead tile + remap}.
+        // Ownership-partitioned stepping must reproduce the sequential
+        // run byte-for-byte: StreamResult, recovery stats, fault and ECC
+        // observations, and the retired-tile set.
+        #[derive(Clone, Copy, Debug)]
+        enum Scenario {
+            Clean,
+            CmemPlan,
+            NocPlan,
+            Retire,
+        }
+        let build = |sc: Scenario, engine: Engine, threads: usize| {
+            let cfg = match sc {
+                Scenario::Clean => StreamConfig::two_layer_test(),
+                _ => StreamConfig::small_test(),
+            };
+            let mut sim = StreamSim::new(&cfg).unwrap();
+            sim.set_engine(engine);
+            sim.set_parallelism(threads);
+            match sc {
+                Scenario::Clean => {}
+                Scenario::CmemPlan => {
+                    sim.attach_cmem_fault_plan(&FaultPlan::with_seed(8).transient(1e-4));
+                    sim.set_ecc_mode(EccMode::DetectOnly);
+                    sim.set_recovery_policy(Some(RecoveryPolicy {
+                        max_replays: 64,
+                        remap: false,
+                        checkpoint_values: 8,
+                    }));
+                }
+                Scenario::NocPlan => {
+                    sim.attach_noc_fault_plan(
+                        NocFaultPlan::with_seed(3)
+                            .drop_rate(0.02)
+                            .retry_after(64)
+                            .max_retries(1),
+                    );
+                    sim.set_recovery_policy(Some(RecoveryPolicy {
+                        max_replays: 32,
+                        remap: false,
+                        checkpoint_values: 8,
+                    }));
+                }
+                Scenario::Retire => {
+                    sim.attach_cmem_fault_plan_to(0, &FaultPlan::none().dead_slice(2));
+                    sim.set_recovery_policy(Some(RecoveryPolicy::default()));
+                }
             }
-            assert_eq!(seq.ofmap, cfg.golden());
+            (cfg, sim)
+        };
+        for sc in [
+            Scenario::Clean,
+            Scenario::CmemPlan,
+            Scenario::NocPlan,
+            Scenario::Retire,
+        ] {
+            for engine in [Engine::EventDriven, Engine::CycleAccurate] {
+                let (cfg, mut base) = build(sc, engine, 1);
+                let seq = base.run(20_000_000).unwrap();
+                assert_eq!(seq.ofmap, cfg.golden(), "{sc:?} baseline converges");
+                for threads in [2, 4, 8] {
+                    let (_, mut sim) = build(sc, engine, threads);
+                    let par = sim.run(20_000_000).unwrap();
+                    let tag = format!("{sc:?}/{engine:?}/{threads} threads");
+                    assert_eq!(par, seq, "StreamResult diverged: {tag}");
+                    assert_eq!(
+                        sim.recovery_stats(),
+                        base.recovery_stats(),
+                        "recovery stats diverged: {tag}"
+                    );
+                    assert_eq!(
+                        sim.cmem_fault_stats(),
+                        base.cmem_fault_stats(),
+                        "CMem fault stats diverged: {tag}"
+                    );
+                    assert_eq!(
+                        sim.noc_fault_stats(),
+                        base.noc_fault_stats(),
+                        "NoC fault stats diverged: {tag}"
+                    );
+                    assert_eq!(sim.ecc_stats(), base.ecc_stats(), "ECC stats diverged: {tag}");
+                    assert_eq!(
+                        sim.retired_tiles(),
+                        base.retired_tiles(),
+                        "retired tiles diverged: {tag}"
+                    );
+                }
+            }
         }
     }
 
@@ -2067,6 +2407,45 @@ mod tests {
             prop_assert_eq!(fn_, on, "NoC fault stats diverged");
             prop_assert_eq!(frec, orec, "recovery stats diverged");
             prop_assert_eq!(fecc, oecc, "ECC stats diverged");
+        }
+
+        /// Thread-count equivalence on random workloads: every
+        /// parallelism level reproduces the sequential `StreamResult`
+        /// bit-for-bit, on both engines — the partitioned engine's merge
+        /// order makes this hold by construction, and this proptest keeps
+        /// it honest.
+        #[test]
+        fn prop_parallel_matches_sequential(
+            in_c in 4usize..12,
+            out_c in 1usize..4,
+            hw in 5usize..7,
+            salt in 0usize..8,
+            threads in 2usize..9,
+            cycle_accurate in any::<bool>(),
+            two_layers in any::<bool>(),
+        ) {
+            let layers = if two_layers {
+                vec![test_layer(in_c, out_c, salt), test_layer(out_c, 2, salt + 1)]
+            } else {
+                vec![test_layer(in_c, out_c, salt)]
+            };
+            let cfg = StreamConfig {
+                layers,
+                input: test_input(in_c, hw, hw),
+            };
+            let engine = if cycle_accurate {
+                Engine::CycleAccurate
+            } else {
+                Engine::EventDriven
+            };
+            let mut seq = StreamSim::new(&cfg).unwrap();
+            seq.set_engine(engine);
+            let s = seq.run(4_000_000).unwrap();
+            let mut par = StreamSim::new(&cfg).unwrap();
+            par.set_engine(engine);
+            par.set_parallelism(threads);
+            let p = par.run(4_000_000).unwrap();
+            prop_assert_eq!(p, s, "{} threads ({:?})", threads, engine);
         }
 
         /// Satellite regression: with empty fault plans attached, the

@@ -686,6 +686,32 @@ impl Cmem {
     pub fn mac_i8(&mut self, slice: usize, base_a: usize, base_b: usize) -> Result<i64, SramError> {
         self.mac(slice, base_a, base_b, 8, true)
     }
+
+    /// Whether a `MAC.C` on `slice` is a *pure* function of the logical
+    /// operand values: no fault plan (no RNG draws, no dead slices, no
+    /// latched upsets), no ECC (no check/encode bookkeeping), and the
+    /// slice's mask CSR fully open. Under these conditions the bit-plane
+    /// dot product equals the direct two's-complement dot product of the
+    /// operand vectors, so a caller that shadows the operands in byte
+    /// form may compute the result host-side and charge the meter via
+    /// [`Cmem::charge_macs`] — the same shortcut ladder as
+    /// [`CmemSlice::mac_fast`], one rung further. Callers must fall back
+    /// to [`Cmem::mac`] whenever this returns `false`.
+    #[must_use]
+    pub fn mac_shortcut_ok(&self, slice: usize) -> bool {
+        self.fault.is_none()
+            && self.ecc.is_none()
+            && slice < self.slices.len()
+            && self.slices[slice].mask() == 0xFF
+    }
+
+    /// Charges the energy meter for `n` externally computed `MAC.C` ops
+    /// (the [`Cmem::mac_shortcut_ok`] path). Identical accounting to `n`
+    /// calls of [`Cmem::mac`]: one `count_mac` each, nothing else — on
+    /// the pristine path `mac` touches no other meter or state.
+    pub fn charge_macs(&mut self, n: u64) {
+        self.meter.count_mac(n);
+    }
 }
 
 #[cfg(test)]
