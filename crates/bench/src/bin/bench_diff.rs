@@ -18,12 +18,14 @@
 //!
 //! Besides the timing rows the tool also diffs the report's `derived`
 //! block. Derived metrics are informational except the
-//! `serve_overload_*` family, where "higher" means "worse" (Hard-tenant
-//! p99, shed rate, preemption/retry counts): those are held to the same
+//! `serve_overload_*` family and `serve_repeat_p50_cycles`, where
+//! "higher" means "worse" (Hard-tenant p99, shed rate, preemption/retry
+//! counts, repeat-heavy warm p50): those are held to the same
 //! `--fail-on-regress` threshold, skipping keys whose baseline is 0
-//! (absent or not yet measured). `speedup_vs_sequential` additionally
-//! gets an absolute floor ([`SPEEDUP_FLOOR`]) under the same flag: a
-//! collapsed parallel path fails even against a drifted baseline.
+//! (absent or not yet measured). Two metrics additionally get absolute
+//! floors under the same flag, so a collapse fails even against a
+//! drifted baseline: `speedup_vs_sequential` ([`SPEEDUP_FLOOR`]) and
+//! `weight_cache_hit_rate` ([`HIT_RATE_FLOOR`]).
 
 use std::process::ExitCode;
 
@@ -86,14 +88,16 @@ fn parse_derived(json: &str) -> Vec<(String, f64)> {
 }
 
 /// The largest percentage increase of any gated derived metric (the
-/// `serve_overload_*` family, where higher is worse). Keys with a zero
-/// or missing baseline are skipped.
+/// `serve_overload_*` family and the repeat-heavy warm p50, where
+/// higher is worse). Keys with a zero or missing baseline are skipped.
 fn worst_derived_regression(
     base: &[(String, f64)],
     new: &[(String, f64)],
 ) -> Option<(String, f64)> {
     new.iter()
-        .filter(|(name, _)| name.starts_with("serve_overload_"))
+        .filter(|(name, _)| {
+            name.starts_with("serve_overload_") || name == "serve_repeat_p50_cycles"
+        })
         .filter_map(|(name, new_v)| {
             let (_, base_v) = base.iter().find(|(b, _)| b == name)?;
             if *base_v <= 0.0 {
@@ -123,6 +127,22 @@ fn speedup_floor_breach(new: &[(String, f64)]) -> Option<f64> {
         .find(|(name, _)| name == "speedup_vs_sequential")
         .map(|&(_, v)| v)
         .filter(|v| *v > 0.0 && *v < SPEEDUP_FLOOR)
+}
+
+/// Absolute floor for the weight cache's hit rate on the repeat-heavy
+/// Zipf mix. The harness records ~0.86; below 0.5 the cache is no
+/// longer doing its job (eviction thrash, broken retention scoring) no
+/// matter what the checked-in baseline says.
+const HIT_RATE_FLOOR: f64 = 0.5;
+
+/// Returns the new report's `weight_cache_hit_rate` if it is below the
+/// floor. As with the speedup floor, 0.0 means "bench not run" and
+/// passes, as does an absent key.
+fn hit_rate_floor_breach(new: &[(String, f64)]) -> Option<f64> {
+    new.iter()
+        .find(|(name, _)| name == "weight_cache_hit_rate")
+        .map(|&(_, v)| v)
+        .filter(|v| *v > 0.0 && *v < HIT_RATE_FLOOR)
 }
 
 fn main() -> ExitCode {
@@ -223,6 +243,13 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+        if let Some(v) = hit_rate_floor_breach(&new_derived) {
+            eprintln!(
+                "bench_diff: derived `weight_cache_hit_rate` = {v:.2} below the \
+                 {HIT_RATE_FLOOR:.1} floor — the weight cache has stopped hitting"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -230,8 +257,8 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::{
-        parse_derived, parse_medians, speedup_floor_breach, worst_derived_regression,
-        worst_regression,
+        hit_rate_floor_breach, parse_derived, parse_medians, speedup_floor_breach,
+        worst_derived_regression, worst_regression,
     };
 
     #[test]
@@ -300,6 +327,35 @@ mod tests {
         // Missing metric entirely: not a breach either.
         let absent = parse_derived(r#"{"derived": {"serve_overload_shed_rate": 0.5}}"#);
         assert_eq!(speedup_floor_breach(&absent), None);
+    }
+
+    #[test]
+    fn repeat_p50_is_gated_higher_is_worse() {
+        let b = parse_derived(
+            r#"{"derived": {"serve_repeat_p50_cycles": 200000,
+                            "serve_repeat_cold_p50_cycles": 480000}}"#,
+        );
+        // The warm p50 regressed 25%; the cold p50 (informational)
+        // halved, which must not mask the warm regression.
+        let n = parse_derived(
+            r#"{"derived": {"serve_repeat_p50_cycles": 250000,
+                            "serve_repeat_cold_p50_cycles": 240000}}"#,
+        );
+        let (name, pct) = worst_derived_regression(&b, &n).unwrap();
+        assert_eq!(name, "serve_repeat_p50_cycles");
+        assert!((pct - 25.0).abs() < 1e-9, "{pct}");
+    }
+
+    #[test]
+    fn hit_rate_floor_gates_on_new_value_only() {
+        let ok = parse_derived(r#"{"derived": {"weight_cache_hit_rate": 0.8649}}"#);
+        assert_eq!(hit_rate_floor_breach(&ok), None);
+        let bad = parse_derived(r#"{"derived": {"weight_cache_hit_rate": 0.4200}}"#);
+        assert_eq!(hit_rate_floor_breach(&bad), Some(0.42));
+        // 0.0 = bench not run; absent key likewise passes.
+        let unrun = parse_derived(r#"{"derived": {"weight_cache_hit_rate": 0.0000}}"#);
+        assert_eq!(hit_rate_floor_breach(&unrun), None);
+        assert_eq!(hit_rate_floor_breach(&[]), None);
     }
 
     #[test]

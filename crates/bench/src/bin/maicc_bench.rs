@@ -42,6 +42,13 @@
 //!   mix with fault churn, preemption, and retries engaged; the check
 //!   value is the Hard tenant's p99, and the run's shed rate, preemption
 //!   and retry counts land in the `derived` block.
+//! * `serve_repeat_heavy` — a Zipf-skewed repeat-heavy trace (the light
+//!   `small` model is the popular head) with the weight cache enabled;
+//!   the check value is the fleet p50 latency in fabric cycles. The
+//!   cache-disabled arm (every admission restreams from DRAM) runs once
+//!   for contrast; its p50 and the enabled arm's hit rate land in the
+//!   `derived` block as `serve_repeat_cold_p50_cycles` and
+//!   `weight_cache_hit_rate`.
 //!
 //! Every iteration checks functional correctness (ofmap == golden,
 //! modelled cycle counts identical across variants), so a speedup that
@@ -53,6 +60,7 @@ use maicc::exec::config::ExecConfig;
 use maicc::exec::pipeline_model::run_network;
 use maicc::exec::segment::Strategy;
 use maicc::nn::resnet::resnet18;
+use maicc::serve::cache::WeightCacheConfig;
 use maicc::serve::overload::RetryBudget;
 use maicc::serve::registry::{overload_mix, three_model_mix};
 use maicc::serve::server::{serve, FaultConfig, Policy, ServeConfig};
@@ -221,6 +229,14 @@ struct OverloadStats {
     requests: u64,
 }
 
+/// Counters from the repeat-heavy weight-cache run: the warm (enabled)
+/// arm's p50 and hit rate against the cold (disabled) arm's p50.
+struct RepeatHeavyStats {
+    p50_cycles: u64,
+    cold_p50_cycles: u64,
+    hit_rate: f64,
+}
+
 fn json_escape_free(s: &str) -> &str {
     debug_assert!(s.chars().all(|c| c != '"' && c != '\\' && !c.is_control()));
     s
@@ -233,6 +249,7 @@ fn write_json(
     threads: usize,
     results: &[Summary],
     overload: Option<&OverloadStats>,
+    repeat: Option<&RepeatHeavyStats>,
 ) {
     let mut out = String::from("{\n");
     out.push_str("  \"harness\": \"maicc_bench\",\n");
@@ -333,8 +350,35 @@ fn write_json(
         overload.map_or(0, |o| o.preemptions)
     ));
     out.push_str(&format!(
-        "    \"serve_overload_retries\": {}\n",
+        "    \"serve_overload_retries\": {},\n",
         overload.map_or(0, |o| o.retries)
+    ));
+    // Weight-cache health on the repeat-heavy Zipf mix: the warm arm's
+    // p50 (also the timing row's check value), the cold arm's p50 for
+    // contrast, their ratio, and the warm arm's hit rate. bench_diff
+    // gates the p50 relatively and the hit rate against an absolute
+    // floor.
+    out.push_str(&format!(
+        "    \"serve_repeat_p50_cycles\": {},\n",
+        repeat.map_or(0, |r| r.p50_cycles)
+    ));
+    out.push_str(&format!(
+        "    \"serve_repeat_cold_p50_cycles\": {},\n",
+        repeat.map_or(0, |r| r.cold_p50_cycles)
+    ));
+    out.push_str(&format!(
+        "    \"serve_repeat_cold_over_warm\": {:.2},\n",
+        repeat.map_or(0.0, |r| {
+            if r.p50_cycles > 0 {
+                r.cold_p50_cycles as f64 / r.p50_cycles as f64
+            } else {
+                0.0
+            }
+        })
+    ));
+    out.push_str(&format!(
+        "    \"weight_cache_hit_rate\": {:.4}\n",
+        repeat.map_or(0.0, |r| r.hit_rate)
     ));
     out.push_str("  }\n}\n");
     std::fs::write(path, out).expect("write BENCH_results.json");
@@ -546,6 +590,43 @@ fn main() {
                 .map_or(0, |t| t.p99_latency_cycles)
         }));
     }
+    let mut repeat_stats: Option<RepeatHeavyStats> = None;
+    if want("serve_repeat_heavy") {
+        // Zipf-skewed popularity over the three-model mix, with the
+        // light `small` model as the dominant head: the workload a
+        // weight cache exists for. The enabled arm keeps hot weights
+        // pinned between requests; the disabled arm restreams every
+        // admission from DRAM.
+        let (rh_registry, rh_loads) = three_model_mix();
+        let mut ranked = rh_loads;
+        ranked.reverse(); // small (keyword) first, resnet18_segment last
+        let rh_trace = Trace::zipf(&ranked, 1_200_000, 14_000, 2.0, 42);
+        let run_repeat = |enabled: bool| {
+            let cfg = ServeConfig {
+                policy: Policy::Sjf,
+                pool_tiles: 8,
+                threads,
+                weight_cache: Some(WeightCacheConfig {
+                    enabled,
+                    ..WeightCacheConfig::default()
+                }),
+                ..ServeConfig::default()
+            };
+            let report = serve(&rh_registry, &rh_trace, &cfg).expect("repeat mix serves");
+            assert_eq!(report.completed, report.requests, "repeat mix dropped requests");
+            report
+        };
+        let warm_rep = run_repeat(true);
+        let cold_rep = run_repeat(false);
+        repeat_stats = Some(RepeatHeavyStats {
+            p50_cycles: warm_rep.p50_latency_cycles,
+            cold_p50_cycles: cold_rep.p50_latency_cycles,
+            hit_rate: warm_rep.cache.as_ref().map_or(0.0, |c| c.hit_rate),
+        });
+        results.push(measure("serve_repeat_heavy", warmup, iters, || {
+            run_repeat(true).p50_latency_cycles
+        }));
+    }
     assert!(
         !results.is_empty(),
         "--bench {:?} matched no benchmark",
@@ -564,7 +645,15 @@ fn main() {
         "modelled cycles diverged across variants: {cycles:?}"
     );
 
-    write_json(&out, quick, iters, threads, &results, overload_stats.as_ref());
+    write_json(
+        &out,
+        quick,
+        iters,
+        threads,
+        &results,
+        overload_stats.as_ref(),
+        repeat_stats.as_ref(),
+    );
 
     let median = |name: &str| {
         results

@@ -232,12 +232,15 @@ impl LayerAlloc {
         let g = self.capacity.groups as f64;
         let spc = self.sub_filters_per_core().ceil();
         // per input group: one MAC per resident output neuron, plus the
-        // weight restream for later groups
+        // weight restream for groups past the first — the first group's
+        // load is the segment pre-load the pipeline model already charges
+        // as `filter_load`, so a single-group layer restreams nothing
         let weight_bytes = (s.in_c * s.out_c) as f64 / self.computing_cores as f64;
+        let restream_bytes = weight_bytes * (g - 1.0) / g;
         let t_cmem = g * (7.0 * n + (spc / 7.0).ceil() * n * n);
         let t_core = spc * cfg.accumulate_per_mac * g
             + spc * cfg.aux_per_value
-            + weight_bytes / (cfg.filter_load_bw / self.computing_cores as f64);
+            + restream_bytes / (cfg.filter_load_bw / self.computing_cores as f64);
         let t_cc = t_cmem.max(t_core);
         let t_dc = s.in_c as f64 * cfg.transpose_per_byte + g * n * cfg.row_send_cycles;
         LayerTiming {
@@ -314,6 +317,36 @@ mod tests {
         let cap = LayerCapacity::of(s);
         // 1000 outputs / 49 per core = 21 computing cores (+1 DC = 22)
         assert_eq!(cap.min_cores("linear").unwrap(), 21);
+    }
+
+    #[test]
+    fn single_group_linear_charges_no_restream() {
+        let cfg = ExecConfig::default();
+        // resnet18's classifier: 512 inputs → two 256-channel groups
+        let shapes = shapes();
+        let s = shapes.iter().find(|s| s.is_linear).unwrap();
+        let cores = LayerCapacity::of(s).min_cores("linear").unwrap();
+        let a = LayerAlloc::new(s.clone(), cores);
+        let spc = a.sub_filters_per_core().ceil();
+        let g = a.capacity.groups as f64;
+        assert_eq!(a.capacity.groups, 2);
+        // groups past the first restream their slice; the first load is
+        // the pipeline model's per-segment filter_load
+        let wb = (s.in_c * s.out_c) as f64 / a.computing_cores as f64;
+        let expect = spc * cfg.accumulate_per_mac * g
+            + spc * cfg.aux_per_value
+            + wb * (g - 1.0) / g / (cfg.filter_load_bw / a.computing_cores as f64);
+        assert!((a.timing(&cfg).t_core - expect).abs() < 1e-9);
+
+        // a single-group variant charges no restream at all: t_core is
+        // purely MAC + aux (this used to double-count the initial load)
+        let mut s1 = s.clone();
+        s1.in_c = 256;
+        let a1 = LayerAlloc::new(s1, cores);
+        let spc1 = a1.sub_filters_per_core().ceil();
+        assert_eq!(a1.capacity.groups, 1);
+        let expect1 = spc1 * cfg.accumulate_per_mac + spc1 * cfg.aux_per_value;
+        assert!((a1.timing(&cfg).t_core - expect1).abs() < 1e-9);
     }
 
     #[test]

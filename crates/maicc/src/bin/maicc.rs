@@ -9,7 +9,8 @@
 //! maicc campaign [--workload small|resnet18] [--seed N] [--ecc off|detect|correct]
 //!                [--retry on|off] [--assert-no-unrecoverable] [--json]
 //! maicc serve  [--policy fcfs|sjf|partitioned|time-shared] [--trace file.json]
-//!              [--seed N] [--horizon N] [--bursty] [--overload] [--pool N]
+//!              [--seed N] [--horizon N] [--bursty] [--zipf EXP] [--overload] [--pool N]
+//!              [--weight-cache] [--cold-cache] [--cache-llc-bytes N]
 //!              [--engine event|cycle] [--threads N] [--quick] [--json]
 //! ```
 
@@ -69,13 +70,17 @@ fn print_help() {
          maicc campaign [--workload small|resnet18] [--seed N] [--ecc off|detect|correct]\n  \
          \u{20}              [--retry on|off] [--assert-no-unrecoverable] [--json]\n  \
          maicc serve  [--policy fcfs|sjf|partitioned|time-shared] [--trace file.json]\n  \
-         \u{20}            [--seed N] [--horizon N] [--bursty] [--overload] [--pool N]\n  \
+         \u{20}            [--seed N] [--horizon N] [--bursty] [--zipf EXP] [--overload] [--pool N]\n  \
+         \u{20}            [--weight-cache] [--cold-cache] [--cache-llc-bytes N]\n  \
          \u{20}            [--engine event|cycle] [--threads N] [--quick] [--json]\n\n\
          models: resnet18 (default), vgg11, tinynet\n\
          strategies: heuristic (default), greedy, single\n\
          serve policies: fcfs (default), sjf, partitioned, time-shared\n\
          serve --overload: 2x-rate tiered mix + admission control, shedding,\n\
-         \u{20}                preemption, retry, brownout, and fault churn"
+         \u{20}                preemption, retry, brownout, and fault churn\n\
+         serve --weight-cache: pin model weights on tiles between requests\n\
+         \u{20}                    (--cold-cache models a full reload per admission;\n\
+         \u{20}                     --zipf EXP offers a repeat-heavy skewed trace)"
     );
 }
 
@@ -303,6 +308,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use maicc::serve::cache::WeightCacheConfig;
     use maicc::serve::overload::RetryBudget;
     use maicc::serve::registry::{overload_mix, three_model_mix};
     use maicc::serve::server::{serve, FaultConfig, Policy, ServeConfig};
@@ -349,15 +355,47 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let (r, l) = three_model_mix();
         (r, l, None)
     };
+    let zipf = match (
+        args.iter().any(|a| a == "--zipf"),
+        flag(args, "--zipf"),
+    ) {
+        (false, _) => None,
+        (true, Some(v)) => {
+            Some(v.parse::<f64>().map_err(|_| format!("bad zipf exponent `{v}`"))?)
+        }
+        (true, None) => return Err("--zipf takes an exponent (e.g. --zipf 2.0)".into()),
+    };
     let trace = match flag(args, "--trace") {
         Some(path) => {
             let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
             Trace::from_json(&text).map_err(|e| e.to_string())?
         }
+        None if zipf.is_some() => {
+            // Popularity ranks lightest-first (the repeat-heavy shape the
+            // weight cache serves): reverse the mix so `small` is rank 0.
+            let mut ranked = loads.clone();
+            ranked.reverse();
+            Trace::zipf(&ranked, horizon, 14_000, zipf.unwrap_or(2.0), seed)
+        }
         None if overload || args.iter().any(|a| a == "--bursty") => {
             Trace::bursty(&loads, horizon, 200_000, seed)
         }
         None => Trace::poisson(&loads, horizon, seed),
+    };
+
+    let cold_cache = args.iter().any(|a| a == "--cold-cache");
+    let weight_cache = if args.iter().any(|a| a == "--weight-cache") || cold_cache {
+        let mut wc = WeightCacheConfig {
+            enabled: !cold_cache,
+            ..WeightCacheConfig::default()
+        };
+        if let Some(v) = flag(args, "--cache-llc-bytes") {
+            wc.llc_capacity_bytes =
+                v.parse().map_err(|_| format!("bad LLC capacity `{v}`"))?;
+        }
+        Some(wc)
+    } else {
+        None
     };
 
     // Under overload, keep the hardware churning too: hard-fault the
@@ -396,6 +434,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         fault,
         overload: overload_cfg,
         retry_budget: overload.then(RetryBudget::default),
+        weight_cache,
         ..ServeConfig::default()
     };
     let report = serve(&registry, &trace, &cfg).map_err(|e| e.to_string())?;
@@ -427,6 +466,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             report.deadline_miss_rate * 100.0,
             report.energy_pj_per_request
         );
+        if let Some(c) = &report.cache {
+            println!(
+                "  weight cache: {} hits / {} misses (hit rate {:.1}%) | {} evictions | {} llc hits",
+                c.hits,
+                c.misses,
+                c.hit_rate * 100.0,
+                c.evictions,
+                c.llc_hits
+            );
+            println!(
+                "  prefetch {}/{} used (accuracy {:.1}%) | warm p50 {} vs cold p50 {} cycles",
+                c.prefetch_used,
+                c.prefetch_issued,
+                c.prefetch_accuracy * 100.0,
+                c.warm_p50_latency_cycles,
+                c.cold_p50_latency_cycles
+            );
+        }
         for t in &report.tenants {
             print!(
                 "  {:<10} {:>4} reqs  p99 {:>9} cycles  misses {:>3} ({:.1}%)  {:.0} pJ/req",

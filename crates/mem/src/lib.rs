@@ -11,7 +11,10 @@
 //!   open-page policy and per-access energy accounting;
 //! * [`llc`] — a set-associative write-back cache with LRU replacement;
 //! * [`system`] — the 32-tile memory system combining both, as the mesh's
-//!   edge tiles see it.
+//!   edge tiles see it;
+//! * [`tier`] — replay-derived load costs for streaming whole model weight
+//!   images out of either tier (the serving layer's weight cache prices
+//!   cold vs. warm loads with these).
 //!
 //! ## Example
 //!
@@ -29,6 +32,7 @@
 pub mod dram;
 pub mod llc;
 pub mod system;
+pub mod tier;
 
 /// Cache-line / DRAM-burst size in bytes (one transposed CMem row is 32 B).
 pub const LINE_BYTES: u32 = 32;

@@ -45,6 +45,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod overload;
 pub mod registry;
 pub mod rng;

@@ -23,7 +23,7 @@ use maicc_exec::config::ExecConfig;
 use maicc_exec::pipeline_model::run_network;
 use maicc_exec::segment::Strategy;
 use maicc_nn::graph::{Network, Node, NodeInput, NodeOp};
-use maicc_sim::stream::StreamConfig;
+use maicc_sim::stream::{StreamConfig, StreamSim};
 use crate::trace::TenantLoad;
 
 /// Filter-vector slots one computing core offers (7 slices × 7 rows of
@@ -45,6 +45,16 @@ pub struct ModelEntry {
     /// Golden reference ofmap, precomputed once so every completed run
     /// can be checked without re-deriving it.
     pub golden: Vec<i8>,
+    /// Total weight-image bytes streamed into CMem on a cold start (the
+    /// unit the weight cache's memory-tier costs are priced in).
+    pub weight_bytes: usize,
+    /// Weight bytes on the busiest computing core — the serialized
+    /// vertical-write phase the fabric edge pays after the memory stream.
+    pub max_tile_weight_bytes: usize,
+    /// The canonical weight image ([`StreamSim::weight_image`]): the
+    /// warm-start entry point asserts resident weights equal this before
+    /// skipping the load phase.
+    pub weight_image: Vec<Vec<i8>>,
 }
 
 /// A name → model map with deterministic iteration order (registration
@@ -82,6 +92,25 @@ pub fn footprint(cfg: &StreamConfig) -> Result<usize, ServeError> {
         tiles += 1 + s.out_channels.div_ceil(per_core);
     }
     Ok(tiles)
+}
+
+/// Weight bytes on the busiest computing core: per layer the first CC
+/// holds `min(per_core, out_channels)` filters of
+/// `kernel_h × kernel_w × groups` 256-byte filter vectors each, and the
+/// serialized vertical-write phase is bounded by the fullest core.
+#[must_use]
+pub fn max_tile_weight_bytes(cfg: &StreamConfig) -> usize {
+    cfg.layers
+        .iter()
+        .map(|l| {
+            let s = &l.shape;
+            let groups = s.in_channels.div_ceil(256);
+            let vec_per_filter = s.kernel_h * s.kernel_w * groups;
+            let per_core = SLOTS_PER_CORE / vec_per_filter.max(1);
+            per_core.min(s.out_channels) * vec_per_filter * 256
+        })
+        .max()
+        .unwrap_or(0)
 }
 
 /// Rebuilds the streamed layer chain as a `maicc-nn` network (the layers
@@ -156,12 +185,18 @@ impl ModelRegistry {
         let tiles = footprint(&stream)?;
         let est_cycles = estimate_service_cycles(name, &stream)?;
         let golden = stream.golden();
+        let weight_image = StreamSim::weight_image(&stream);
+        let weight_bytes = weight_image.len() * 256;
+        let max_tile = max_tile_weight_bytes(&stream);
         self.entries.push(ModelEntry {
             name: name.to_string(),
             stream,
             tiles,
             est_cycles,
             golden,
+            weight_bytes,
+            max_tile_weight_bytes: max_tile,
+            weight_image,
         });
         Ok(())
     }

@@ -27,9 +27,10 @@ use maicc_sim::RecoveryPolicy;
 use maicc_sram::ecc::EccMode;
 use maicc_sram::fault::FaultPlan;
 
+use crate::cache::{AdmissionPlan, WeightCache, WeightCacheConfig};
 use crate::overload::{OverloadConfig, RetryBudget, Tier};
 use crate::registry::{ModelEntry, ModelRegistry};
-use crate::slo::{RequestOutcome, ServeReport};
+use crate::slo::{CacheReport, RequestOutcome, ServeReport};
 use crate::trace::Trace;
 use crate::ServeError;
 
@@ -137,6 +138,15 @@ pub struct ServeConfig {
     /// Only honored by the overload loop; the fair-weather loop drops
     /// unrecoverable requests immediately.
     pub retry_budget: Option<RetryBudget>,
+    /// Two-tier model-weight cache ([`crate::cache`]). `None` keeps the
+    /// historical loop with no weight-load modeling at all (reports are
+    /// byte-identical to pre-cache serving); `Some` models every load
+    /// through the LLC/DRAM tier — with `enabled: false` nothing is ever
+    /// retained (the "cache off" measurement arm), with `enabled: true`
+    /// completed requests pin their weights for warm admissions. Only
+    /// [`Policy::Fcfs`] and [`Policy::Sjf`] (and the overload loop over
+    /// them) support it.
+    pub weight_cache: Option<WeightCacheConfig>,
 }
 
 impl Default for ServeConfig {
@@ -152,6 +162,7 @@ impl Default for ServeConfig {
             initial_failed: Vec::new(),
             overload: None,
             retry_budget: None,
+            weight_cache: None,
         }
     }
 }
@@ -187,6 +198,11 @@ struct Running {
     attempt: u32,
     retries: u32,
     preemptions: u32,
+    /// Whether this admission found its weights resident (weight cache
+    /// only; `false` on the no-cache path).
+    warm: bool,
+    /// Weight-load cycles this admission paid before compute started.
+    load_cycles: u64,
 }
 
 /// A request waiting for admission under the overload loop.
@@ -224,6 +240,9 @@ struct Server<'a> {
     outcomes: Vec<RequestOutcome>,
     busy_tile_cycles: u64,
     memo: BTreeMap<RunKey, (u64, f64, bool, Vec<u64>)>,
+    /// The two-tier weight cache; `None` preserves the historical
+    /// no-load-modeling loop byte-for-byte.
+    cache: Option<WeightCache>,
 }
 
 /// Runs a trace against a registry under a config and returns the SLO
@@ -290,6 +309,16 @@ pub fn serve(
             ),
         });
     }
+    if cfg.weight_cache.is_some()
+        && matches!(cfg.policy, Policy::Partitioned | Policy::TimeShared)
+    {
+        return Err(ServeError::BadConfig {
+            reason: format!(
+                "the weight cache requires fcfs or sjf, not {}",
+                cfg.policy.label()
+            ),
+        });
+    }
 
     let healthy = healthy_order(&cfg.initial_failed);
     let pool_size = if cfg.pool_tiles == 0 {
@@ -327,15 +356,22 @@ pub fn serve(
         outcomes: Vec::new(),
         busy_tile_cycles: 0,
         memo: BTreeMap::new(),
+        cache: cfg.weight_cache.clone().map(WeightCache::new),
     };
     server.run()?;
-    Ok(ServeReport::from_outcomes(
+    let cache_report = server
+        .cache
+        .as_ref()
+        .map(|c| CacheReport::build(c.counters(), &server.outcomes));
+    let mut report = ServeReport::from_outcomes(
         cfg.policy.label(),
         server.pool_size,
         server.degraded.len(),
         server.busy_tile_cycles,
         server.outcomes,
-    ))
+    );
+    report.cache = cache_report;
+    Ok(report)
 }
 
 impl Server<'_> {
@@ -372,15 +408,67 @@ impl Server<'_> {
         Some(order[..entry.tiles].to_vec())
     }
 
+    /// The analytic service estimate the scheduler should order by: the
+    /// pipeline-model cycles plus, when the weight cache is on, the load
+    /// cycles this model would pay right now (zero when resident). With
+    /// no cache this is exactly `est_cycles`, so pre-cache behavior is
+    /// untouched.
+    fn est_for(&self, entry: &ModelEntry) -> u64 {
+        let load = self
+            .cache
+            .as_ref()
+            .map_or(0, |c| c.load_estimate(entry));
+        entry.est_cycles.saturating_add(load)
+    }
+
+    /// Plans a cache-mediated admission against the current fabric state
+    /// (pure — probing a head that then head-blocks mutates nothing).
+    fn plan_for(&self, entry: &ModelEntry, now: u64) -> Option<AdmissionPlan> {
+        let base = self.avoid_now();
+        let cache = self.cache.as_ref().expect("caller checked cache is on");
+        cache.plan(entry, now, &base, |need, extra| {
+            let mut avoid = base.clone();
+            avoid.extend_from_slice(extra);
+            let order = healthy_order(&avoid);
+            (order.len() >= need).then(|| order[..need].to_vec())
+        })
+    }
+
+    /// Lets the cache stream a predicted model into currently-free tiles
+    /// (no-op without a cache, with prefetch off, or with one in flight).
+    fn try_prefetch(&mut self, now: u64) {
+        if self.cache.is_none() {
+            return;
+        }
+        let base = self.avoid_now();
+        let running: Vec<&str> = self
+            .running
+            .iter()
+            .map(|r| self.trace.requests[r.idx].model.as_str())
+            .collect();
+        let registry = self.registry;
+        let cache = self.cache.as_mut().expect("checked above");
+        cache.maybe_prefetch(now, &running, registry, |need, extra| {
+            let mut avoid = base.clone();
+            avoid.extend_from_slice(extra);
+            let order = healthy_order(&avoid);
+            (order.len() >= need).then(|| order[..need].to_vec())
+        });
+    }
+
     /// Executes one admitted request on the fabric, confined to the
     /// tiles outside `avoid`. `attempt` is 0 for a request's first run;
     /// retries pass higher values so their fault plans draw fresh seeds.
+    /// `warm` asserts the placement's CMems already hold the model's
+    /// weight image (a weight-cache hit) and takes `StreamSim`'s
+    /// warm-start entry point, which verifies the image bit-for-bit.
     fn run_one(
         &mut self,
         entry: &ModelEntry,
         avoid: &[Tile],
         req_id: u64,
         attempt: u32,
+        warm: bool,
     ) -> Result<RunOutput, ServeError> {
         let placement = self
             .placement(entry, avoid)
@@ -413,10 +501,13 @@ impl Server<'_> {
             }
         }
 
-        let mut sim = StreamSim::new_avoiding(&entry.stream, avoid).map_err(|e| {
-            ServeError::PoolTooSmall {
-                reason: format!("placement of `{}` failed: {e}", entry.name),
-            }
+        let mut sim = if warm {
+            StreamSim::new_avoiding_warm(&entry.stream, avoid, &entry.weight_image)
+        } else {
+            StreamSim::new_avoiding(&entry.stream, avoid)
+        }
+        .map_err(|e| ServeError::PoolTooSmall {
+            reason: format!("placement of `{}` failed: {e}", entry.name),
         })?;
         sim.set_engine(self.cfg.engine);
         sim.set_parallelism(self.cfg.threads);
@@ -495,14 +586,35 @@ impl Server<'_> {
 
     /// Admits the request at trace index `idx` at time `now`: runs it,
     /// folds fault casualties into the pool, and either schedules its
-    /// completion or records it as dropped.
-    fn admit(&mut self, idx: usize, now: u64, avoid: &[Tile]) -> Result<(), ServeError> {
+    /// completion or records it as dropped. With a weight cache, `plan`
+    /// carries the cache's placement and load costs: the run is confined
+    /// to exactly the planned tiles (so a warm hit reproduces the cold
+    /// run's placement and the memoized result) and its completion is
+    /// pushed out by the load cycles.
+    fn admit(
+        &mut self,
+        idx: usize,
+        now: u64,
+        avoid: &[Tile],
+        plan: Option<&AdmissionPlan>,
+    ) -> Result<(), ServeError> {
         let req = &self.trace.requests[idx];
         let entry = self.registry.get(&req.model).expect("validated");
+        let (avoid, warm, load) = match plan {
+            Some(pl) => (
+                zigzag_order()
+                    .into_iter()
+                    .filter(|t| !pl.tiles.contains(t))
+                    .collect::<Vec<Tile>>(),
+                pl.warm,
+                pl.load,
+            ),
+            None => (avoid.to_vec(), false, maicc_mem::tier::LoadCost::default()),
+        };
         let tiles = self
-            .placement(entry, avoid)
+            .placement(entry, &avoid)
             .expect("caller checked fit before admitting");
-        match self.run_one(entry, avoid, req.id, 0) {
+        match self.run_one(entry, &avoid, req.id, 0, warm) {
             Ok(out) => {
                 for t in out.newly_retired {
                     if !self.degraded.contains(&t) {
@@ -510,13 +622,16 @@ impl Server<'_> {
                     }
                 }
                 self.degraded.sort_unstable_by_key(|t| (t.y, t.x));
+                if let Some(c) = self.cache.as_mut() {
+                    c.retire_tiles(&self.degraded);
+                }
                 // Remap may have shifted the run onto different tiles;
                 // recompute occupancy from the final avoid set so later
                 // admissions see the true footprint.
                 let occupied = if self.degraded.is_empty() {
                     tiles
                 } else {
-                    let mut post = avoid.to_vec();
+                    let mut post = avoid.clone();
                     post.extend(self.degraded.iter().copied());
                     match self.placement(entry, &post) {
                         Some(p) => p,
@@ -530,14 +645,15 @@ impl Server<'_> {
                             .collect(),
                     }
                 };
-                self.busy_tile_cycles += out.cycles * occupied.len() as u64;
+                let total = out.cycles + load.cycles;
+                self.busy_tile_cycles += total * occupied.len() as u64;
                 self.running.push(Running {
                     idx,
                     admitted: now,
-                    done_at: now + out.cycles,
+                    done_at: now + total,
                     tiles: occupied,
                     ok: out.ok,
-                    energy_pj: out.energy_pj,
+                    energy_pj: out.energy_pj + load.energy_pj,
                     tier: Tier::default(),
                     progress: 0,
                     executed: 0,
@@ -545,6 +661,8 @@ impl Server<'_> {
                     attempt: 0,
                     retries: 0,
                     preemptions: 0,
+                    warm,
+                    load_cycles: load.cycles,
                 });
                 Ok(())
             }
@@ -570,6 +688,8 @@ impl Server<'_> {
                     energy_pj: 0.0,
                     preemptions: 0,
                     retries: 0,
+                    warm: None,
+                    load_cycles: 0,
                 });
                 Ok(())
             }
@@ -593,6 +713,12 @@ impl Server<'_> {
         finished.sort_by_key(|run| self.trace.requests[run.idx].id);
         for run in finished {
             let req = &self.trace.requests[run.idx];
+            if let Some(cache) = self.cache.as_mut() {
+                // The completed run's weights stay on its tiles: a later
+                // request for the same model admits warm.
+                let entry = self.registry.get(&req.model).expect("validated");
+                cache.on_release(entry, &run.tiles, now);
+            }
             self.outcomes.push(RequestOutcome {
                 id: req.id,
                 tenant: req.tenant.clone(),
@@ -611,6 +737,12 @@ impl Server<'_> {
                 energy_pj: run.energy_pj,
                 preemptions: 0,
                 retries: 0,
+                warm: if self.cache.is_some() {
+                    Some(run.warm)
+                } else {
+                    None
+                },
+                load_cycles: run.load_cycles,
             });
         }
     }
@@ -636,18 +768,48 @@ impl Server<'_> {
                 break;
             };
             self.complete_at(now);
+            if let Some(c) = self.cache.as_mut() {
+                c.settle_prefetch(now);
+            }
             while next < self.trace.requests.len() && self.trace.requests[next].arrival == now {
+                if let Some(c) = self.cache.as_mut() {
+                    c.record_arrival(&self.trace.requests[next].model, now);
+                }
                 queue.push_back(next);
                 next += 1;
             }
             // Admission: repeatedly pick the policy's head and admit it
-            // if it fits; head-blocking otherwise.
+            // if it fits; head-blocking otherwise. With a weight cache
+            // the fit probe is the cache's pure admission plan (warm
+            // tiles or cold placement with cost-aware eviction).
             while let Some(pos) = self.pick(&queue) {
                 let idx = queue[pos];
                 let entry = self
                     .registry
                     .get(&self.trace.requests[idx].model)
                     .expect("validated");
+                if self.cache.is_some() {
+                    let Some(plan) = self.plan_for(entry, now) else {
+                        if self.running.is_empty() {
+                            return Err(ServeError::PoolTooSmall {
+                                reason: format!(
+                                    "model `{}` no longer fits the empty pool \
+                                     ({} tiles degraded)",
+                                    entry.name,
+                                    self.degraded.len()
+                                ),
+                            });
+                        }
+                        break;
+                    };
+                    queue.remove(pos);
+                    self.cache
+                        .as_mut()
+                        .expect("checked above")
+                        .commit(&plan, entry, now);
+                    self.admit(idx, now, &[], Some(&plan))?;
+                    continue;
+                }
                 let avoid = self.avoid_now();
                 if self.placement(entry, &avoid).is_none() {
                     if self.running.is_empty() {
@@ -663,8 +825,11 @@ impl Server<'_> {
                     break;
                 }
                 queue.remove(pos);
-                self.admit(idx, now, &avoid)?;
+                self.admit(idx, now, &avoid, None)?;
             }
+            // With tiles still free and the queue drained (or blocked),
+            // stream a predicted model's weights while the fabric works.
+            self.try_prefetch(now);
         }
         Ok(())
     }
@@ -681,7 +846,7 @@ impl Server<'_> {
                 let est = self
                     .registry
                     .get(&req.model)
-                    .map_or(u64::MAX, |e| e.est_cycles);
+                    .map_or(u64::MAX, |e| self.est_for(e));
                 (est, req.arrival, req.id)
             }),
             _ => unreachable!("run_queued only handles FCFS/SJF"),
@@ -742,7 +907,7 @@ impl Server<'_> {
                     }
                     queues.get_mut(t.as_str()).expect("tenant known").pop_front();
                     cursor = (cursor + step + 1) % tenants.len();
-                    self.admit(idx, now, &avoid)?;
+                    self.admit(idx, now, &avoid, None)?;
                     admitted = true;
                     break;
                 }
@@ -847,7 +1012,7 @@ impl Server<'_> {
                         continue; // region shrank below this model; re-carve next event
                     }
                     queues.get_mut(t.as_str()).expect("tenant known").pop_front();
-                    self.admit(idx, now, &avoid)?;
+                    self.admit(idx, now, &avoid, None)?;
                     progressed = true;
                 }
                 if !progressed {
@@ -922,7 +1087,7 @@ impl Server<'_> {
             Policy::Sjf => self
                 .registry
                 .get(&req.model)
-                .map_or(u64::MAX, |e| e.est_cycles)
+                .map_or(u64::MAX, |e| self.est_for(e))
                 .saturating_sub(p.progress),
             _ => 0,
         };
@@ -958,6 +1123,8 @@ impl Server<'_> {
             energy_pj: 0.0,
             preemptions: p.preemptions,
             retries: p.retries,
+            warm: None,
+            load_cycles: 0,
         });
     }
 
@@ -976,6 +1143,10 @@ impl Server<'_> {
         finished.sort_by_key(|run| self.trace.requests[run.idx].id);
         for run in finished {
             let req = &self.trace.requests[run.idx];
+            if let Some(cache) = self.cache.as_mut() {
+                let entry = self.registry.get(&req.model).expect("validated");
+                cache.on_release(entry, &run.tiles, now);
+            }
             let segment = run.done_at - run.admitted;
             self.busy_tile_cycles += segment * run.tiles.len() as u64;
             let service = run.executed + segment;
@@ -998,6 +1169,12 @@ impl Server<'_> {
                 energy_pj: run.energy_pj,
                 preemptions: run.preemptions,
                 retries: run.retries,
+                warm: if self.cache.is_some() {
+                    Some(run.warm)
+                } else {
+                    None
+                },
+                load_cycles: run.load_cycles,
             });
         }
     }
@@ -1048,6 +1225,18 @@ impl Server<'_> {
             let v = self.running.remove(vi);
             let elapsed = now - v.admitted;
             self.busy_tile_cycles += elapsed * v.tiles.len() as u64;
+            if let Some(cache) = self.cache.as_mut() {
+                // The victim resumes from its checkpoint later; its
+                // weights stay on the vacated tiles so a resume there is
+                // warm instead of silently paying a cold reload. (The
+                // preemptor's own placement will evict the set only if it
+                // actually overlaps those tiles.)
+                let entry = self
+                    .registry
+                    .get(&self.trace.requests[v.idx].model)
+                    .expect("validated");
+                cache.on_release(entry, &v.tiles, now);
+            }
             // The victim's position in its (full-model) run timeline is
             // carried progress + elapsed wall time; it keeps the latest
             // checkpoint at or before that point.
@@ -1082,16 +1271,28 @@ impl Server<'_> {
         p: Pending,
         now: u64,
         avoid: &[Tile],
+        plan: Option<&AdmissionPlan>,
         parked: &mut Vec<Pending>,
         tenant_retries: &mut BTreeMap<String, u32>,
     ) -> Result<(), ServeError> {
         let req = &self.trace.requests[p.idx];
         let (req_id, tenant) = (req.id, req.tenant.clone());
         let entry = self.registry.get(&req.model).expect("validated");
+        let (avoid, warm, load) = match plan {
+            Some(pl) => (
+                zigzag_order()
+                    .into_iter()
+                    .filter(|t| !pl.tiles.contains(t))
+                    .collect::<Vec<Tile>>(),
+                pl.warm,
+                pl.load,
+            ),
+            None => (avoid.to_vec(), false, maicc_mem::tier::LoadCost::default()),
+        };
         let tiles = self
-            .placement(entry, avoid)
+            .placement(entry, &avoid)
             .expect("caller checked fit before admitting");
-        match self.run_one(entry, avoid, req_id, p.attempt) {
+        match self.run_one(entry, &avoid, req_id, p.attempt, warm) {
             Ok(out) => {
                 for t in out.newly_retired {
                     if !self.degraded.contains(&t) {
@@ -1099,10 +1300,13 @@ impl Server<'_> {
                     }
                 }
                 self.degraded.sort_unstable_by_key(|t| (t.y, t.x));
+                if let Some(c) = self.cache.as_mut() {
+                    c.retire_tiles(&self.degraded);
+                }
                 let occupied = if self.degraded.is_empty() {
                     tiles
                 } else {
-                    let mut post = avoid.to_vec();
+                    let mut post = avoid.clone();
                     post.extend(self.degraded.iter().copied());
                     match self.placement(entry, &post) {
                         Some(placed) => placed,
@@ -1112,14 +1316,17 @@ impl Server<'_> {
                             .collect(),
                     }
                 };
-                let remaining = out.cycles.saturating_sub(p.progress).max(1);
+                // A resumed run re-pays the load only when the weights are
+                // gone (cold); a warm resume on its old tiles pays nothing.
+                let remaining =
+                    out.cycles.saturating_sub(p.progress).max(1) + load.cycles;
                 self.running.push(Running {
                     idx: p.idx,
                     admitted: now,
                     done_at: now + remaining,
                     tiles: occupied,
                     ok: out.ok,
-                    energy_pj: out.energy_pj,
+                    energy_pj: out.energy_pj + load.energy_pj,
                     tier: p.tier,
                     progress: p.progress,
                     executed: p.executed,
@@ -1127,6 +1334,8 @@ impl Server<'_> {
                     attempt: p.attempt,
                     retries: p.retries,
                     preemptions: p.preemptions,
+                    warm,
+                    load_cycles: load.cycles,
                 });
                 Ok(())
             }
@@ -1171,6 +1380,8 @@ impl Server<'_> {
                     energy_pj: 0.0,
                     preemptions: p.preemptions,
                     retries: p.retries,
+                    warm: None,
+                    load_cycles: 0,
                 });
                 Ok(())
             }
@@ -1198,6 +1409,9 @@ impl Server<'_> {
             // backoff expired, then fold in arrivals (shedding past the
             // per-tenant queue cap).
             self.complete_overload_at(now);
+            if let Some(c) = self.cache.as_mut() {
+                c.settle_prefetch(now);
+            }
             let mut i = 0;
             while i < parked.len() {
                 if parked[i].available_at <= now {
@@ -1209,6 +1423,10 @@ impl Server<'_> {
             while next < self.trace.requests.len()
                 && self.trace.requests[next].arrival == now
             {
+                if let Some(cache) = self.cache.as_mut() {
+                    let model = &self.trace.requests[next].model;
+                    cache.record_arrival(model, now);
+                }
                 let tenant = self.trace.requests[next].tenant.clone();
                 let tier = ov.tier_of(&tenant);
                 let waiting = pending
@@ -1291,7 +1509,36 @@ impl Server<'_> {
                     }
                 }
                 let p = pending.remove(pos);
-                self.admit_overload(p, now, &avoid, &mut parked, &mut tenant_retries)?;
+                if self.cache.is_some() {
+                    let entry = self
+                        .registry
+                        .get(&self.trace.requests[p.idx].model)
+                        .expect("validated");
+                    let plan = self
+                        .plan_for(entry, now)
+                        .expect("placement succeeded, so the cache can plan");
+                    self.cache
+                        .as_mut()
+                        .expect("checked above")
+                        .commit(&plan, entry, now);
+                    self.admit_overload(
+                        p,
+                        now,
+                        &[],
+                        Some(&plan),
+                        &mut parked,
+                        &mut tenant_retries,
+                    )?;
+                } else {
+                    self.admit_overload(
+                        p,
+                        now,
+                        &avoid,
+                        None,
+                        &mut parked,
+                        &mut tenant_retries,
+                    )?;
+                }
             }
 
             // Phase 4: deadline-aware shedding of the remaining backlog.
@@ -1307,7 +1554,7 @@ impl Server<'_> {
                             let est = self
                                 .registry
                                 .get(&req.model)
-                                .map_or(0, |e| e.est_cycles);
+                                .map_or(0, |e| self.est_for(e));
                             now + est.saturating_sub(p.progress) > d
                         });
                     if hopeless {
@@ -1334,12 +1581,43 @@ impl Server<'_> {
                 let avoid = self.avoid_now();
                 if self.placement(entry, &avoid).is_some() {
                     let p = pending.remove(pos);
-                    self.admit_overload(p, now, &avoid, &mut parked, &mut tenant_retries)?;
+                    if self.cache.is_some() {
+                        let entry = self
+                            .registry
+                            .get(&self.trace.requests[p.idx].model)
+                            .expect("validated");
+                        let plan = self
+                            .plan_for(entry, now)
+                            .expect("placement succeeded, so the cache can plan");
+                        self.cache
+                            .as_mut()
+                            .expect("checked above")
+                            .commit(&plan, entry, now);
+                        self.admit_overload(
+                            p,
+                            now,
+                            &[],
+                            Some(&plan),
+                            &mut parked,
+                            &mut tenant_retries,
+                        )?;
+                    } else {
+                        self.admit_overload(
+                            p,
+                            now,
+                            &avoid,
+                            None,
+                            &mut parked,
+                            &mut tenant_retries,
+                        )?;
+                    }
                 } else {
                     let p = pending.remove(pos);
                     self.push_shed(p, now);
                 }
             }
+
+            self.try_prefetch(now);
         }
         Ok(())
     }

@@ -8,6 +8,7 @@
 //! with a fixed trace must emit byte-identical JSON regardless of how
 //! the underlying simulations were driven.
 
+use crate::cache::CacheCounters;
 use crate::overload::Tier;
 
 /// What happened to one request, after the fact.
@@ -53,6 +54,13 @@ pub struct RequestOutcome {
     pub preemptions: u32,
     /// Times this request was retried after an unrecoverable run.
     pub retries: u32,
+    /// Whether the admission found the model's weights already resident
+    /// in CMem. `None` when the run had no weight cache, or the request
+    /// never held tiles (drops and sheds).
+    pub warm: Option<bool>,
+    /// Weight-load cycles the request paid before compute started
+    /// (always 0 without a weight cache).
+    pub load_cycles: u64,
 }
 
 impl RequestOutcome {
@@ -156,8 +164,139 @@ pub struct ServeReport {
     pub energy_pj_per_request: f64,
     /// Per-tenant SLO breakdowns, sorted by tenant name.
     pub tenants: Vec<TenantSlo>,
+    /// Weight-cache accounting; `None` when the run had no weight cache
+    /// (the report then serializes byte-identically to pre-cache
+    /// serving).
+    pub cache: Option<CacheReport>,
     /// Raw outcomes, sorted by request id.
     pub outcomes: Vec<RequestOutcome>,
+}
+
+/// Warm-vs-cold latency split for one tenant under the weight cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantCacheSlo {
+    /// Tenant name.
+    pub tenant: String,
+    /// Completed requests admitted warm.
+    pub warm_completed: u64,
+    /// Completed requests admitted cold.
+    pub cold_completed: u64,
+    /// Median end-to-end latency of warm completions, cycles.
+    pub warm_p50_latency_cycles: u64,
+    /// 99th-percentile latency of warm completions, cycles.
+    pub warm_p99_latency_cycles: u64,
+    /// Median end-to-end latency of cold completions, cycles.
+    pub cold_p50_latency_cycles: u64,
+    /// 99th-percentile latency of cold completions, cycles.
+    pub cold_p99_latency_cycles: u64,
+}
+
+/// Weight-cache section of the serving report: activity counters plus
+/// the warm-vs-cold latency split the cache exists to create.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheReport {
+    /// Admissions that found the weights resident.
+    pub hits: u64,
+    /// Admissions that paid a tier load.
+    pub misses: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+    /// Resident sets displaced by cold placements or tile retirement.
+    pub evictions: u64,
+    /// Cold loads served from the modeled LLC tier instead of DRAM.
+    pub llc_hits: u64,
+    /// Speculative streams issued.
+    pub prefetch_issued: u64,
+    /// Speculative streams whose model was then actually requested.
+    pub prefetch_used: u64,
+    /// Speculative streams cancelled by a competing cold placement.
+    pub prefetch_canceled: u64,
+    /// `prefetch_used / prefetch_issued`.
+    pub prefetch_accuracy: f64,
+    /// Energy spent on speculative streams, picojoules.
+    pub prefetch_pj: f64,
+    /// Fleet median latency of warm completions, cycles.
+    pub warm_p50_latency_cycles: u64,
+    /// Fleet 99th-percentile latency of warm completions, cycles.
+    pub warm_p99_latency_cycles: u64,
+    /// Fleet median latency of cold completions, cycles.
+    pub cold_p50_latency_cycles: u64,
+    /// Fleet 99th-percentile latency of cold completions, cycles.
+    pub cold_p99_latency_cycles: u64,
+    /// Per-tenant warm/cold splits, sorted by tenant name.
+    pub tenants: Vec<TenantCacheSlo>,
+}
+
+/// (warm p50, warm p99, cold p50, cold p99) over completed outcomes.
+fn warm_cold_split(outcomes: &[&RequestOutcome]) -> (u64, u64, u64, u64) {
+    let lat = |want_warm: bool| -> Vec<u64> {
+        let mut v: Vec<u64> = outcomes
+            .iter()
+            .filter(|o| !o.dropped && o.warm == Some(want_warm))
+            .map(|o| o.latency_cycles)
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let (w, c) = (lat(true), lat(false));
+    (
+        percentile(&w, 50.0),
+        percentile(&w, 99.0),
+        percentile(&c, 50.0),
+        percentile(&c, 99.0),
+    )
+}
+
+impl CacheReport {
+    /// Folds cache counters and stamped outcomes into the report section.
+    #[must_use]
+    pub fn build(counters: &CacheCounters, outcomes: &[RequestOutcome]) -> Self {
+        let all: Vec<&RequestOutcome> = outcomes.iter().collect();
+        let (warm_p50, warm_p99, cold_p50, cold_p99) = warm_cold_split(&all);
+        let mut names: Vec<&str> = outcomes.iter().map(|o| o.tenant.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        let tenants = names
+            .iter()
+            .map(|name| {
+                let subset: Vec<&RequestOutcome> =
+                    outcomes.iter().filter(|o| o.tenant == *name).collect();
+                let (wp50, wp99, cp50, cp99) = warm_cold_split(&subset);
+                TenantCacheSlo {
+                    tenant: (*name).to_string(),
+                    warm_completed: subset
+                        .iter()
+                        .filter(|o| !o.dropped && o.warm == Some(true))
+                        .count() as u64,
+                    cold_completed: subset
+                        .iter()
+                        .filter(|o| !o.dropped && o.warm == Some(false))
+                        .count() as u64,
+                    warm_p50_latency_cycles: wp50,
+                    warm_p99_latency_cycles: wp99,
+                    cold_p50_latency_cycles: cp50,
+                    cold_p99_latency_cycles: cp99,
+                }
+            })
+            .collect();
+        CacheReport {
+            hits: counters.hits,
+            misses: counters.misses,
+            hit_rate: counters.hit_rate(),
+            evictions: counters.evictions,
+            llc_hits: counters.llc_hits,
+            prefetch_issued: counters.prefetch_issued,
+            prefetch_used: counters.prefetch_used,
+            prefetch_canceled: counters.prefetch_canceled,
+            prefetch_accuracy: counters.prefetch_accuracy(),
+            prefetch_pj: counters.prefetch_pj,
+            warm_p50_latency_cycles: warm_p50,
+            warm_p99_latency_cycles: warm_p99,
+            cold_p50_latency_cycles: cold_p50,
+            cold_p99_latency_cycles: cold_p99,
+            tenants,
+        }
+    }
 }
 
 /// Nearest-rank percentile of a **sorted** slice (p in (0, 100]); 0 for
@@ -304,6 +443,7 @@ impl ServeReport {
             deadline_miss_rate: fleet.miss_rate,
             energy_pj_per_request: fleet.energy_per_req,
             tenants,
+            cache: None,
             outcomes,
         }
     }
@@ -341,6 +481,49 @@ impl ServeReport {
             "  \"energy_pj_per_request\": {:.1},\n",
             self.energy_pj_per_request
         ));
+        if let Some(c) = &self.cache {
+            s.push_str("  \"cache\": {\n");
+            s.push_str(&format!(
+                "    \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \
+                 \"evictions\": {}, \"llc_hits\": {},\n",
+                c.hits, c.misses, c.hit_rate, c.evictions, c.llc_hits
+            ));
+            s.push_str(&format!(
+                "    \"prefetch\": {{\"issued\": {}, \"used\": {}, \
+                 \"canceled\": {}, \"accuracy\": {:.4}, \"energy_pj\": {:.1}}},\n",
+                c.prefetch_issued,
+                c.prefetch_used,
+                c.prefetch_canceled,
+                c.prefetch_accuracy,
+                c.prefetch_pj
+            ));
+            s.push_str(&format!(
+                "    \"warm_latency_cycles\": {{\"p50\": {}, \"p99\": {}}},\n",
+                c.warm_p50_latency_cycles, c.warm_p99_latency_cycles
+            ));
+            s.push_str(&format!(
+                "    \"cold_latency_cycles\": {{\"p50\": {}, \"p99\": {}}},\n",
+                c.cold_p50_latency_cycles, c.cold_p99_latency_cycles
+            ));
+            s.push_str("    \"tenants\": [\n");
+            for (i, t) in c.tenants.iter().enumerate() {
+                s.push_str("      {");
+                s.push_str(&format!("\"tenant\": {}, ", json_str(&t.tenant)));
+                s.push_str(&format!("\"warm_completed\": {}, ", t.warm_completed));
+                s.push_str(&format!("\"cold_completed\": {}, ", t.cold_completed));
+                s.push_str(&format!(
+                    "\"warm_latency_cycles\": {{\"p50\": {}, \"p99\": {}}}, ",
+                    t.warm_p50_latency_cycles, t.warm_p99_latency_cycles
+                ));
+                s.push_str(&format!(
+                    "\"cold_latency_cycles\": {{\"p50\": {}, \"p99\": {}}}}}{}\n",
+                    t.cold_p50_latency_cycles,
+                    t.cold_p99_latency_cycles,
+                    if i + 1 < c.tenants.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("    ]\n  },\n");
+        }
         s.push_str("  \"tenants\": [\n");
         for (i, t) in self.tenants.iter().enumerate() {
             s.push_str("    {");
@@ -395,6 +578,16 @@ impl ServeReport {
             s.push_str(&format!("\"service_cycles\": {}, ", o.service_cycles));
             s.push_str(&format!("\"queue_cycles\": {}, ", o.queue_cycles));
             s.push_str(&format!("\"latency_cycles\": {}, ", o.latency_cycles));
+            // Per-outcome cache fields appear only when a weight cache
+            // ran, so cache-less reports stay byte-identical to the
+            // pre-cache format.
+            if self.cache.is_some() {
+                match o.warm {
+                    Some(w) => s.push_str(&format!("\"warm\": {w}, ")),
+                    None => s.push_str("\"warm\": null, "),
+                }
+                s.push_str(&format!("\"load_cycles\": {}, ", o.load_cycles));
+            }
             s.push_str(&format!(
                 "\"energy_pj\": {:.1}}}{}\n",
                 o.energy_pj,
@@ -448,6 +641,8 @@ mod tests {
             energy_pj: 10.0,
             preemptions: 0,
             retries: 0,
+            warm: None,
+            load_cycles: 0,
         }
     }
 

@@ -10,6 +10,9 @@
 //! * [`Trace::bursty`] — per-tenant on/off-modulated Poisson: arrivals
 //!   cluster inside periodic burst windows, the adversarial shape for
 //!   tail-latency comparisons between scheduler policies;
+//! * [`Trace::zipf`] — one merged Poisson stream whose requests pick a
+//!   model by Zipf-skewed popularity rank, the repeat-heavy mix that
+//!   exercises the serving layer's weight cache;
 //! * [`Trace::from_json`] — a trace file, so recorded or hand-written
 //!   workloads replay exactly.
 //!
@@ -163,6 +166,58 @@ impl Trace {
                     deadline: load.deadline.map(|d| t + d),
                 });
             }
+        }
+        Trace::from_requests(requests)
+    }
+
+    /// One merged Poisson arrival stream with Zipf-skewed model
+    /// popularity: every `mean_gap` cycles on average a request arrives
+    /// and picks its tenant/model by rank — the `i`-th entry of `loads`
+    /// is drawn with weight `1 / (i + 1)^exponent`. With `exponent`
+    /// around 1 the head entry dominates (the classic repeat-heavy
+    /// serving mix a weight cache exists for); `exponent == 0.0` is a
+    /// uniform pick. The per-tenant `mean_gap` fields are ignored — the
+    /// stream's rate is the `mean_gap` argument; per-tenant deadlines
+    /// still apply. Empty `loads` or `mean_gap == 0` yields an empty
+    /// trace.
+    #[must_use]
+    pub fn zipf(
+        loads: &[TenantLoad],
+        horizon: u64,
+        mean_gap: u64,
+        exponent: f64,
+        seed: u64,
+    ) -> Self {
+        if loads.is_empty() || mean_gap == 0 {
+            return Trace::from_requests(Vec::new());
+        }
+        let weights: Vec<f64> = (0..loads.len())
+            .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut rng = Rng::new(seed.wrapping_add(0xC2B2_AE3D_27D4_EB4F));
+        let mut requests = Vec::new();
+        let mut t = 0u64;
+        loop {
+            let gap = rng.next_exp(mean_gap as f64).round().max(1.0);
+            t = t.saturating_add(gap as u64);
+            if t >= horizon {
+                break;
+            }
+            let mut pick = rng.next_f64() * total;
+            let mut idx = 0usize;
+            while idx + 1 < loads.len() && pick >= weights[idx] {
+                pick -= weights[idx];
+                idx += 1;
+            }
+            let load = &loads[idx];
+            requests.push(Request {
+                id: 0,
+                tenant: load.tenant.clone(),
+                model: load.model.clone(),
+                arrival: t,
+                deadline: load.deadline.map(|d| t + d),
+            });
         }
         Trace::from_requests(requests)
     }
@@ -595,6 +650,38 @@ mod tests {
         let a = Trace::bursty(&loads(), 1_000_000, 100_000, 9);
         let b = Trace::bursty(&loads(), 1_000_000, 100_000, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_head_heavy() {
+        let a = Trace::zipf(&loads(), 2_000_000, 10_000, 1.2, 42);
+        let b = Trace::zipf(&loads(), 2_000_000, 10_000, 1.2, 42);
+        assert_eq!(a, b);
+        assert!(!a.requests.is_empty());
+        // rank 0 ("vision") must dominate rank 1 under exponent > 1
+        let head = a.requests.iter().filter(|r| r.tenant == "vision").count();
+        let tail = a.requests.len() - head;
+        assert!(head > tail, "head {head} vs tail {tail}");
+        for r in &a.requests {
+            match r.tenant.as_str() {
+                "vision" => assert_eq!(r.deadline, Some(r.arrival + 400_000)),
+                _ => assert_eq!(r.deadline, None),
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_roughly_uniform() {
+        let t = Trace::zipf(&loads(), 4_000_000, 5_000, 0.0, 7);
+        let head = t.requests.iter().filter(|r| r.tenant == "vision").count();
+        let frac = head as f64 / t.requests.len() as f64;
+        assert!((0.4..0.6).contains(&frac), "head fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_degenerate_inputs_are_empty() {
+        assert!(Trace::zipf(&[], 1_000_000, 100, 1.0, 1).requests.is_empty());
+        assert!(Trace::zipf(&loads(), 1_000_000, 0, 1.0, 1).requests.is_empty());
     }
 
     #[test]

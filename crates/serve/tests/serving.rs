@@ -254,6 +254,9 @@ fn zero_tile_registry_entry_is_rejected() {
         tiles: 0, // a corrupt recorded registry
         est_cycles: 1,
         golden: vec![],
+        weight_bytes: 0,
+        max_tile_weight_bytes: 0,
+        weight_image: vec![],
     });
     let trace = Trace::from_requests(vec![Request {
         id: 0,

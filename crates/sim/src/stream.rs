@@ -754,6 +754,78 @@ impl StreamSim {
         })
     }
 
+    /// The model's weight image: every 256-byte zero-padded filter vector
+    /// in the exact order [`StreamSim::new_avoiding`] streams them into
+    /// the computing cores' CMems (layer-major, then core, then resident
+    /// slot). The order is a function of the [`StreamConfig`] alone —
+    /// placement never enters — so a warm start can assert image equality
+    /// without building a fabric.
+    #[must_use]
+    pub fn weight_image(cfg: &StreamConfig) -> Vec<Vec<i8>> {
+        let mut image = Vec::new();
+        for l in &cfg.layers {
+            let s = &l.shape;
+            let groups = s.in_channels.div_ceil(256);
+            let per_core = 49 / (s.kernel_h * s.kernel_w * groups);
+            if per_core == 0 {
+                continue; // new_avoiding rejects such configs outright
+            }
+            let ccs = s.out_channels.div_ceil(per_core);
+            for k in 0..ccs {
+                let lo = k * per_core;
+                let hi = ((k + 1) * per_core).min(s.out_channels);
+                for f in lo..hi {
+                    for q in 0..groups {
+                        for ky in 0..s.kernel_h {
+                            for kx in 0..s.kernel_w {
+                                let filt: Vec<i8> = (0..256)
+                                    .map(|c| {
+                                        let ch = q * 256 + c;
+                                        if ch < s.in_channels {
+                                            l.weights.get(&[f, ch, ky, kx])
+                                        } else {
+                                            0
+                                        }
+                                    })
+                                    .collect();
+                                image.push(filt);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        image
+    }
+
+    /// Like [`StreamSim::new_avoiding`], but warm-starts on weights the
+    /// caller asserts are already resident in CMem: the passed image must
+    /// equal this config's own stream order byte-for-byte, or the build is
+    /// refused. The simulation then proceeds exactly as a cold build
+    /// would — [`StreamResult::cycles`] and [`StreamResult::cmem_pj`]
+    /// never included a weight-load phase (bulk weight DMA is priced by
+    /// the serving layer's memory-tier model, not the compute meter), so
+    /// the warm entry point's job is the correctness gate: a hit on stale
+    /// or foreign resident bytes fails loudly instead of computing with
+    /// the wrong weights.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StreamSim::new_avoiding`], plus [`SimError::DoesNotFit`]
+    /// when `resident` differs from the config's weight image.
+    pub fn new_avoiding_warm(
+        cfg: &StreamConfig,
+        failed: &[Tile],
+        resident: &[Vec<i8>],
+    ) -> Result<Self, SimError> {
+        if resident != Self::weight_image(cfg).as_slice() {
+            return Err(SimError::DoesNotFit {
+                reason: "warm start: resident weight image does not match the model".into(),
+            });
+        }
+        Self::new_avoiding(cfg, failed)
+    }
+
     /// Sets the number of node-step shards (clamped to at least 1; 1
     /// means the fully sequential reference loop).
     ///
@@ -1857,6 +1929,53 @@ mod tests {
         assert!(r.cycles > 0);
         assert!(r.cmem_pj > 0.0);
         assert!(r.noc.packets_delivered > 0);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_bit_for_bit() {
+        let cfg = StreamConfig::small_test();
+        let mut cold = StreamSim::new(&cfg).unwrap();
+        let rc = cold.run(5_000_000).unwrap();
+        let image = StreamSim::weight_image(&cfg);
+        let mut warm = StreamSim::new_avoiding_warm(&cfg, &[], &image).unwrap();
+        let rw = warm.run(5_000_000).unwrap();
+        assert_eq!(rw, rc);
+    }
+
+    #[test]
+    fn warm_start_rejects_mismatched_image() {
+        let cfg = StreamConfig::small_test();
+        let mut image = StreamSim::weight_image(&cfg);
+        image[0][0] = image[0][0].wrapping_add(1);
+        let err = StreamSim::new_avoiding_warm(&cfg, &[], &image).unwrap_err();
+        assert!(matches!(err, SimError::DoesNotFit { .. }), "{err:?}");
+        // an image truncated to the wrong length is rejected too
+        let short = StreamSim::weight_image(&cfg)[1..].to_vec();
+        assert!(StreamSim::new_avoiding_warm(&cfg, &[], &short).is_err());
+    }
+
+    #[test]
+    fn weight_image_matches_what_construction_writes() {
+        // the image must enumerate exactly the vectors construction
+        // streams into CMem, in order: count them, and check each vector's
+        // live prefix against the core's shadow copy of the written bytes
+        for cfg in [StreamConfig::small_test(), StreamConfig::two_layer_test()] {
+            let sim = StreamSim::new(&cfg).unwrap();
+            let image = StreamSim::weight_image(&cfg);
+            let mut it = image.iter();
+            let mut written = 0usize;
+            for n in &sim.nodes {
+                if let Role::Cc { shadow_w, .. } = &n.role {
+                    for shadow in shadow_w {
+                        let vec = it.next().expect("image shorter than writes");
+                        assert_eq!(&vec[..shadow.len()], &shadow[..]);
+                        assert!(vec[shadow.len()..].iter().all(|&b| b == 0));
+                        written += 1;
+                    }
+                }
+            }
+            assert_eq!(image.len(), written);
+        }
     }
 
     #[test]
