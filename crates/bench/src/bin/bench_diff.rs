@@ -18,14 +18,23 @@
 //!
 //! Besides the timing rows the tool also diffs the report's `derived`
 //! block. Derived metrics are informational except the
-//! `serve_overload_*` family and `serve_repeat_p50_cycles`, where
-//! "higher" means "worse" (Hard-tenant p99, shed rate, preemption/retry
-//! counts, repeat-heavy warm p50): those are held to the same
-//! `--fail-on-regress` threshold, skipping keys whose baseline is 0
-//! (absent or not yet measured). Two metrics additionally get absolute
-//! floors under the same flag, so a collapse fails even against a
-//! drifted baseline: `speedup_vs_sequential` ([`SPEEDUP_FLOOR`]) and
-//! `weight_cache_hit_rate` ([`HIT_RATE_FLOOR`]).
+//! `serve_overload_*` family, `serve_repeat_p50_cycles`, and the
+//! `serve_cluster_*` family (minus the informational
+//! `serve_cluster_failovers` count), where "higher" means "worse"
+//! (Hard-tenant p99, shed rate, preemption/retry counts, repeat-heavy
+//! warm p50, cluster failover-recovery p99 / fleet p99s / miss rate /
+//! detection latency): those are held to the same `--fail-on-regress`
+//! threshold, skipping keys whose baseline is 0 (absent or not yet
+//! measured). Three metrics additionally get absolute gates under the
+//! same flag, so a collapse fails even against a drifted baseline:
+//! `speedup_vs_sequential` ([`SPEEDUP_FLOOR`]), `weight_cache_hit_rate`
+//! ([`HIT_RATE_FLOOR`]), and `serve_cluster_hard_lost` (any value above
+//! zero fails — the fault-domain invariant is that the Hard tier never
+//! loses a request, so there is no acceptable baseline to drift from).
+//!
+//! When `--fail-on-regress` is active the tool prints a `gates` section
+//! listing every gate it evaluated and the value it saw, even when all
+//! of them pass — a green CI log should still show what was checked.
 
 use std::process::ExitCode;
 
@@ -87,17 +96,27 @@ fn parse_derived(json: &str) -> Vec<(String, f64)> {
     out
 }
 
-/// The largest percentage increase of any gated derived metric (the
-/// `serve_overload_*` family and the repeat-heavy warm p50, where
-/// higher is worse). Keys with a zero or missing baseline are skipped.
+/// Whether a derived key is held to the relative regression gate.
+/// Higher is worse for all of these: overload counters, the
+/// repeat-heavy warm p50, and the cluster failover metrics (p99s, miss
+/// rate, detection latency, losses). `serve_cluster_failovers` is a
+/// plain re-dispatch count that tracks the fault plan, not a health
+/// metric, so it stays informational.
+fn is_gated_derived(name: &str) -> bool {
+    name.starts_with("serve_overload_")
+        || name == "serve_repeat_p50_cycles"
+        || (name.starts_with("serve_cluster_") && name != "serve_cluster_failovers")
+}
+
+/// The largest percentage increase of any gated derived metric (see
+/// [`is_gated_derived`], where higher is worse). Keys with a zero or
+/// missing baseline are skipped.
 fn worst_derived_regression(
     base: &[(String, f64)],
     new: &[(String, f64)],
 ) -> Option<(String, f64)> {
     new.iter()
-        .filter(|(name, _)| {
-            name.starts_with("serve_overload_") || name == "serve_repeat_p50_cycles"
-        })
+        .filter(|(name, _)| is_gated_derived(name))
         .filter_map(|(name, new_v)| {
             let (_, base_v) = base.iter().find(|(b, _)| b == name)?;
             if *base_v <= 0.0 {
@@ -143,6 +162,19 @@ fn hit_rate_floor_breach(new: &[(String, f64)]) -> Option<f64> {
         .find(|(name, _)| name == "weight_cache_hit_rate")
         .map(|&(_, v)| v)
         .filter(|v| *v > 0.0 && *v < HIT_RATE_FLOOR)
+}
+
+/// Returns the new report's `serve_cluster_hard_lost` if it is above
+/// zero. This is an absolute invariant, not a regression gate: the
+/// cluster's fault-domain contract is that the Hard tier never loses a
+/// request across a fabric kill, so any nonzero value fails regardless
+/// of the baseline. The "0.0 means not run" convention of the other
+/// floors is naturally safe here — 0 is also the passing value.
+fn hard_lost_breach(new: &[(String, f64)]) -> Option<f64> {
+    new.iter()
+        .find(|(name, _)| name == "serve_cluster_hard_lost")
+        .map(|&(_, v)| v)
+        .filter(|v| *v > 0.0)
 }
 
 fn main() -> ExitCode {
@@ -220,7 +252,40 @@ fn main() -> ExitCode {
         }
     }
     if let Some(limit) = fail_limit {
-        if let Some((name, pct)) = worst_regression(&base, &new) {
+        // List every gate with the value it saw — a green run should
+        // still show what was checked. Failures print after the table.
+        println!("\ngates (--fail-on-regress {limit:.1}%):");
+        let timing = worst_regression(&base, &new);
+        match &timing {
+            Some((name, pct)) => {
+                println!("  timing regression          worst `{name}` {pct:+.1}%");
+            }
+            None => println!("  timing regression          nothing slower than baseline"),
+        }
+        let derived = worst_derived_regression(&base_derived, &new_derived);
+        match &derived {
+            Some((name, pct)) => {
+                println!("  derived regression         worst `{name}` {pct:+.1}%");
+            }
+            None => println!("  derived regression         no gated metric worsened"),
+        }
+        let gate_value = |key: &str| {
+            new_derived
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|&(_, v)| v)
+        };
+        let print_floor = |label: &str, key: &str, floor: f64| match gate_value(key) {
+            Some(v) if v > 0.0 => println!("  {label} {v:.2} (floor {floor:.1})"),
+            _ => println!("  {label} not run"),
+        };
+        print_floor("speedup_vs_sequential     ", "speedup_vs_sequential", SPEEDUP_FLOOR);
+        print_floor("weight_cache_hit_rate     ", "weight_cache_hit_rate", HIT_RATE_FLOOR);
+        match gate_value("serve_cluster_hard_lost") {
+            Some(v) => println!("  serve_cluster_hard_lost    {v:.0} (must be 0)"),
+            None => println!("  serve_cluster_hard_lost    not run"),
+        }
+        if let Some((name, pct)) = timing {
             if pct > limit {
                 eprintln!(
                     "bench_diff: `{name}` regressed {pct:+.1}% (> {limit:.1}% limit)"
@@ -228,7 +293,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        if let Some((name, pct)) = worst_derived_regression(&base_derived, &new_derived) {
+        if let Some((name, pct)) = derived {
             if pct > limit {
                 eprintln!(
                     "bench_diff: derived `{name}` worsened {pct:+.1}% (> {limit:.1}% limit)"
@@ -250,6 +315,13 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+        if let Some(v) = hard_lost_breach(&new_derived) {
+            eprintln!(
+                "bench_diff: derived `serve_cluster_hard_lost` = {v:.0} — the cluster \
+                 dropped Hard-tier requests during failover"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -257,8 +329,8 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::{
-        hit_rate_floor_breach, parse_derived, parse_medians, speedup_floor_breach,
-        worst_derived_regression, worst_regression,
+        hard_lost_breach, hit_rate_floor_breach, is_gated_derived, parse_derived,
+        parse_medians, speedup_floor_breach, worst_derived_regression, worst_regression,
     };
 
     #[test]
@@ -356,6 +428,43 @@ mod tests {
         let unrun = parse_derived(r#"{"derived": {"weight_cache_hit_rate": 0.0000}}"#);
         assert_eq!(hit_rate_floor_breach(&unrun), None);
         assert_eq!(hit_rate_floor_breach(&[]), None);
+    }
+
+    #[test]
+    fn cluster_metrics_are_gated_except_the_failover_count() {
+        assert!(is_gated_derived("serve_cluster_failover_p99_cycles"));
+        assert!(is_gated_derived("serve_cluster_fcfs_p99_cycles"));
+        assert!(is_gated_derived("serve_cluster_sjf_p99_cycles"));
+        assert!(is_gated_derived("serve_cluster_miss_rate"));
+        assert!(is_gated_derived("serve_cluster_detect_p50_cycles"));
+        assert!(is_gated_derived("serve_cluster_lost"));
+        assert!(!is_gated_derived("serve_cluster_failovers"));
+        assert!(!is_gated_derived("serve_fcfs_p99_cycles"));
+
+        let b = parse_derived(
+            r#"{"derived": {"serve_cluster_failover_p99_cycles": 500000,
+                            "serve_cluster_failovers": 4}}"#,
+        );
+        // The recovery tail regressed 20%; the failover count tripling
+        // is informational and must not win (or even place).
+        let n = parse_derived(
+            r#"{"derived": {"serve_cluster_failover_p99_cycles": 600000,
+                            "serve_cluster_failovers": 12}}"#,
+        );
+        let (name, pct) = worst_derived_regression(&b, &n).unwrap();
+        assert_eq!(name, "serve_cluster_failover_p99_cycles");
+        assert!((pct - 20.0).abs() < 1e-9, "{pct}");
+    }
+
+    #[test]
+    fn hard_lost_is_an_absolute_invariant() {
+        // 0 is the passing value — also what an unrun bench emits.
+        let ok = parse_derived(r#"{"derived": {"serve_cluster_hard_lost": 0}}"#);
+        assert_eq!(hard_lost_breach(&ok), None);
+        assert_eq!(hard_lost_breach(&[]), None);
+        // Any loss fails, no matter what the baseline recorded.
+        let bad = parse_derived(r#"{"derived": {"serve_cluster_hard_lost": 1}}"#);
+        assert_eq!(hard_lost_breach(&bad), Some(1.0));
     }
 
     #[test]

@@ -49,6 +49,13 @@
 //!   for contrast; its p50 and the enabled arm's hit rate land in the
 //!   `derived` block as `serve_repeat_cold_p50_cycles` and
 //!   `weight_cache_hit_rate`.
+//! * `serve_cluster_failover` — the multi-fabric cluster on a bursty
+//!   Zipf trace over 8 fabrics with 2-way replica placement and a
+//!   mid-run kill of fabric 0; the check value is the failover-recovery
+//!   p99 in fabric cycles, and the bench asserts the fault-domain
+//!   invariant (`hard_requests_lost == 0`) every iteration. Per-policy
+//!   fleet p99s, the deadline miss rate, and the failover/detect
+//!   counters land in the `derived` block as `serve_cluster_*`.
 //!
 //! Every iteration checks functional correctness (ofmap == golden,
 //! modelled cycle counts identical across variants), so a speedup that
@@ -61,7 +68,11 @@ use maicc::exec::pipeline_model::run_network;
 use maicc::exec::segment::Strategy;
 use maicc::nn::resnet::resnet18;
 use maicc::serve::cache::WeightCacheConfig;
+use maicc::serve::cluster::{
+    serve_cluster, ClusterConfig, ClusterFaultPlan, ClusterShedConfig, FabricFault, FabricFaultKind,
+};
 use maicc::serve::overload::RetryBudget;
+use maicc::serve::overload::Tier;
 use maicc::serve::registry::{overload_mix, three_model_mix};
 use maicc::serve::server::{serve, FaultConfig, Policy, ServeConfig};
 use maicc::serve::trace::Trace;
@@ -237,6 +248,28 @@ struct RepeatHeavyStats {
     hit_rate: f64,
 }
 
+/// The serving scenarios' counters, bundled for [`write_json`]'s
+/// `derived` block. Each is `None` when its bench was filtered out.
+#[derive(Default)]
+struct ScenarioStats {
+    overload: Option<OverloadStats>,
+    repeat: Option<RepeatHeavyStats>,
+    cluster: Option<ClusterStats>,
+}
+
+/// Counters from the multi-fabric failover run: per-policy fleet tails,
+/// failover-recovery latency, and the fault-domain loss accounting.
+struct ClusterStats {
+    fcfs_p99_cycles: u64,
+    sjf_p99_cycles: u64,
+    failover_p99_cycles: u64,
+    detect_p50_cycles: u64,
+    miss_rate: f64,
+    failovers: u64,
+    lost: u64,
+    hard_lost: u64,
+}
+
 fn json_escape_free(s: &str) -> &str {
     debug_assert!(s.chars().all(|c| c != '"' && c != '\\' && !c.is_control()));
     s
@@ -248,9 +281,13 @@ fn write_json(
     iters: usize,
     threads: usize,
     results: &[Summary],
-    overload: Option<&OverloadStats>,
-    repeat: Option<&RepeatHeavyStats>,
+    stats: &ScenarioStats,
 ) {
+    let (overload, repeat, cluster) = (
+        stats.overload.as_ref(),
+        stats.repeat.as_ref(),
+        stats.cluster.as_ref(),
+    );
     let mut out = String::from("{\n");
     out.push_str("  \"harness\": \"maicc_bench\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
@@ -377,8 +414,45 @@ fn write_json(
         })
     ));
     out.push_str(&format!(
-        "    \"weight_cache_hit_rate\": {:.4}\n",
+        "    \"weight_cache_hit_rate\": {:.4},\n",
         repeat.map_or(0.0, |r| r.hit_rate)
+    ));
+    // Cluster failover health on the 8-fabric bursty Zipf mix with a
+    // mid-run fabric kill: per-policy fleet p99s, the failover-recovery
+    // tail and detection latency, the deadline miss rate, and the loss
+    // accounting. bench_diff gates the recovery p99 relatively and
+    // `serve_cluster_hard_lost` against an absolute zero.
+    out.push_str(&format!(
+        "    \"serve_cluster_fcfs_p99_cycles\": {},\n",
+        cluster.map_or(0, |c| c.fcfs_p99_cycles)
+    ));
+    out.push_str(&format!(
+        "    \"serve_cluster_sjf_p99_cycles\": {},\n",
+        cluster.map_or(0, |c| c.sjf_p99_cycles)
+    ));
+    out.push_str(&format!(
+        "    \"serve_cluster_failover_p99_cycles\": {},\n",
+        cluster.map_or(0, |c| c.failover_p99_cycles)
+    ));
+    out.push_str(&format!(
+        "    \"serve_cluster_detect_p50_cycles\": {},\n",
+        cluster.map_or(0, |c| c.detect_p50_cycles)
+    ));
+    out.push_str(&format!(
+        "    \"serve_cluster_miss_rate\": {:.4},\n",
+        cluster.map_or(0.0, |c| c.miss_rate)
+    ));
+    out.push_str(&format!(
+        "    \"serve_cluster_failovers\": {},\n",
+        cluster.map_or(0, |c| c.failovers)
+    ));
+    out.push_str(&format!(
+        "    \"serve_cluster_lost\": {},\n",
+        cluster.map_or(0, |c| c.lost)
+    ));
+    out.push_str(&format!(
+        "    \"serve_cluster_hard_lost\": {}\n",
+        cluster.map_or(0, |c| c.hard_lost)
     ));
     out.push_str("  }\n}\n");
     std::fs::write(path, out).expect("write BENCH_results.json");
@@ -627,6 +701,71 @@ fn main() {
             run_repeat(true).p50_latency_cycles
         }));
     }
+    let mut cluster_stats: Option<ClusterStats> = None;
+    if want("serve_cluster_failover") {
+        // The fault-domain acceptance scenario: 8 fabrics with 2-way
+        // replica placement serving a bursty Zipf mix, fabric 0 killed
+        // mid-run. Detection costs two silent heartbeat edges, the dead
+        // fabric drains, and everything it held re-dispatches to a
+        // surviving replica — the bench asserts the Hard tier loses
+        // nothing on every iteration.
+        let (cl_registry, cl_loads) = three_model_mix();
+        let mut ranked = cl_loads;
+        ranked.reverse(); // small (keyword) first — the Zipf head
+        let cl_trace = Trace::zipf_bursty(&ranked, 1_200_000, 9_000, 1.2, 300_000, 42);
+        let run_cluster = |policy: Policy| {
+            let cfg = ClusterConfig {
+                fabrics: 8,
+                replicas: 2,
+                heartbeat_interval: 20_000,
+                missed_heartbeats: 2,
+                failover_budget: 3,
+                prewarm_replicas: true,
+                tiers: vec![
+                    ("vision".into(), Tier::Hard),
+                    ("assist".into(), Tier::Soft),
+                    ("keyword".into(), Tier::BestEffort),
+                ],
+                shed: Some(ClusterShedConfig {
+                    capacity_fraction: 0.95,
+                    shed_late: false,
+                }),
+                faults: ClusterFaultPlan {
+                    events: vec![FabricFault {
+                        fabric: 0,
+                        at: 480_000,
+                        kind: FabricFaultKind::Outage { duration: None },
+                    }],
+                },
+                base: ServeConfig {
+                    policy,
+                    pool_tiles: 8,
+                    threads,
+                    weight_cache: Some(WeightCacheConfig::default()),
+                    ..ServeConfig::default()
+                },
+            };
+            let report = serve_cluster(&cl_registry, &cl_trace, &cfg).expect("cluster serves");
+            assert!(report.per_fabric[0].killed, "fault plan did not fire");
+            assert_eq!(report.hard_requests_lost, 0, "Hard tier lost a request");
+            report
+        };
+        let fcfs_rep = run_cluster(Policy::Fcfs);
+        let sjf_rep = run_cluster(Policy::Sjf);
+        cluster_stats = Some(ClusterStats {
+            fcfs_p99_cycles: fcfs_rep.serve.p99_latency_cycles,
+            sjf_p99_cycles: sjf_rep.serve.p99_latency_cycles,
+            failover_p99_cycles: sjf_rep.failover_p99_cycles,
+            detect_p50_cycles: sjf_rep.detect_p50_cycles,
+            miss_rate: sjf_rep.serve.deadline_miss_rate,
+            failovers: sjf_rep.failovers,
+            lost: sjf_rep.requests_lost,
+            hard_lost: sjf_rep.hard_requests_lost,
+        });
+        results.push(measure("serve_cluster_failover", warmup, iters, || {
+            run_cluster(Policy::Sjf).failover_p99_cycles
+        }));
+    }
     assert!(
         !results.is_empty(),
         "--bench {:?} matched no benchmark",
@@ -651,8 +790,11 @@ fn main() {
         iters,
         threads,
         &results,
-        overload_stats.as_ref(),
-        repeat_stats.as_ref(),
+        &ScenarioStats {
+            overload: overload_stats,
+            repeat: repeat_stats,
+            cluster: cluster_stats,
+        },
     );
 
     let median = |name: &str| {

@@ -11,8 +11,19 @@
 //! maicc serve  [--policy fcfs|sjf|partitioned|time-shared] [--trace file.json]
 //!              [--seed N] [--horizon N] [--bursty] [--zipf EXP] [--overload] [--pool N]
 //!              [--weight-cache] [--cold-cache] [--cache-llc-bytes N]
+//!              [--fabrics N] [--replicas K] [--heartbeat N]
+//!              [--fabric-fault SPEC]... [--serve-only]
 //!              [--engine event|cycle] [--threads N] [--quick] [--json]
 //! ```
+//!
+//! `--fabrics N` routes the trace through the multi-fabric cluster
+//! front-end instead of a single serving loop. `--fabric-fault` injects
+//! fabric-level faults and repeats; a SPEC is one of
+//! `outage:FABRIC:AT[:DURATION]`, `brownout:FABRIC:AT:FACTOR:DURATION`,
+//! or `tileloss:FABRIC:AT:TILES` (cycles and counts are decimal).
+//! `--serve-only` prints just the merged serve report JSON — byte-
+//! comparable against a plain `serve --json` run when `--fabrics 1` and
+//! no faults are given (the CI parity check).
 
 use maicc::core::kernels::{CmemConvKernel, ConvWorkload};
 use maicc::core::node::{Node, NullPort};
@@ -72,6 +83,8 @@ fn print_help() {
          maicc serve  [--policy fcfs|sjf|partitioned|time-shared] [--trace file.json]\n  \
          \u{20}            [--seed N] [--horizon N] [--bursty] [--zipf EXP] [--overload] [--pool N]\n  \
          \u{20}            [--weight-cache] [--cold-cache] [--cache-llc-bytes N]\n  \
+         \u{20}            [--fabrics N] [--replicas K] [--heartbeat N]\n  \
+         \u{20}            [--fabric-fault SPEC]... [--serve-only]\n  \
          \u{20}            [--engine event|cycle] [--threads N] [--quick] [--json]\n\n\
          models: resnet18 (default), vgg11, tinynet\n\
          strategies: heuristic (default), greedy, single\n\
@@ -80,7 +93,11 @@ fn print_help() {
          \u{20}                preemption, retry, brownout, and fault churn\n\
          serve --weight-cache: pin model weights on tiles between requests\n\
          \u{20}                    (--cold-cache models a full reload per admission;\n\
-         \u{20}                     --zipf EXP offers a repeat-heavy skewed trace)"
+         \u{20}                     --zipf EXP offers a repeat-heavy skewed trace)\n\
+         serve --fabrics N: dispatch across N independent fabrics with heartbeat\n\
+         \u{20}                 failover; --fabric-fault outage:F:AT[:DUR] |\n\
+         \u{20}                 brownout:F:AT:FACTOR:DUR | tileloss:F:AT:TILES kills,\n\
+         \u{20}                 slows, or shrinks a fabric mid-run (repeatable)"
     );
 }
 
@@ -437,6 +454,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         weight_cache,
         ..ServeConfig::default()
     };
+    let cluster_only_flags = ["--replicas", "--heartbeat", "--fabric-fault", "--serve-only"];
+    match flag(args, "--fabrics") {
+        Some(v) => {
+            let fabrics = v.parse().map_err(|_| format!("bad fabric count `{v}`"))?;
+            return cmd_serve_cluster(args, fabrics, cfg, &registry, &trace);
+        }
+        None => {
+            if let Some(f) = cluster_only_flags
+                .iter()
+                .find(|f| args.iter().any(|a| a.as_str() == **f))
+            {
+                return Err(format!("{f} needs --fabrics N (cluster mode)"));
+            }
+        }
+    }
     let report = serve(&registry, &trace, &cfg).map_err(|e| e.to_string())?;
     if args.iter().any(|a| a == "--json") {
         println!("{}", report.to_json());
@@ -499,6 +531,139 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             println!();
         }
+    }
+    Ok(())
+}
+
+/// One `--fabric-fault SPEC`: `outage:FABRIC:AT[:DURATION]`,
+/// `brownout:FABRIC:AT:FACTOR:DURATION`, or `tileloss:FABRIC:AT:TILES`.
+fn parse_fabric_fault(spec: &str) -> Result<maicc::serve::cluster::FabricFault, String> {
+    use maicc::serve::cluster::{FabricFault, FabricFaultKind};
+    let num = |s: &str, what: &str| -> Result<u64, String> {
+        s.parse()
+            .map_err(|_| format!("bad {what} `{s}` in --fabric-fault `{spec}`"))
+    };
+    let parts: Vec<&str> = spec.split(':').collect();
+    let (fabric, at, kind) = match parts.as_slice() {
+        ["outage", f, at] => (*f, *at, FabricFaultKind::Outage { duration: None }),
+        ["outage", f, at, dur] => (
+            *f,
+            *at,
+            FabricFaultKind::Outage {
+                duration: Some(num(dur, "duration")?),
+            },
+        ),
+        ["brownout", f, at, factor, dur] => (
+            *f,
+            *at,
+            FabricFaultKind::Brownout {
+                factor: num(factor, "slow factor")?,
+                duration: num(dur, "duration")?,
+            },
+        ),
+        ["tileloss", f, at, tiles] => (
+            *f,
+            *at,
+            FabricFaultKind::TileLoss {
+                tiles: num(tiles, "tile count")? as usize,
+            },
+        ),
+        _ => {
+            return Err(format!(
+                "bad --fabric-fault `{spec}` (want outage:FABRIC:AT[:DURATION], \
+                 brownout:FABRIC:AT:FACTOR:DURATION, or tileloss:FABRIC:AT:TILES)"
+            ))
+        }
+    };
+    Ok(FabricFault {
+        fabric: num(fabric, "fabric index")? as usize,
+        at: num(at, "fault cycle")?,
+        kind,
+    })
+}
+
+fn cmd_serve_cluster(
+    args: &[String],
+    fabrics: usize,
+    base: maicc::serve::server::ServeConfig,
+    registry: &maicc::serve::registry::ModelRegistry,
+    trace: &maicc::serve::trace::Trace,
+) -> Result<(), String> {
+    use maicc::serve::cluster::{serve_cluster, ClusterConfig, ClusterFaultPlan};
+
+    let replicas = match flag(args, "--replicas") {
+        Some(v) => v.parse().map_err(|_| format!("bad replica factor `{v}`"))?,
+        None => 1usize,
+    };
+    let mut ccfg = ClusterConfig {
+        fabrics,
+        replicas,
+        base,
+        ..ClusterConfig::default()
+    };
+    if let Some(v) = flag(args, "--heartbeat") {
+        ccfg.heartbeat_interval = v
+            .parse()
+            .map_err(|_| format!("bad heartbeat interval `{v}`"))?;
+    }
+    let mut events = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--fabric-fault" {
+            let spec = args
+                .get(i + 1)
+                .ok_or("--fabric-fault takes a SPEC argument")?;
+            events.push(parse_fabric_fault(spec)?);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    ccfg.faults = ClusterFaultPlan { events };
+
+    let report = serve_cluster(registry, trace, &ccfg).map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--serve-only") {
+        println!("{}", report.serve.to_json());
+    } else if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "cluster of {} fabrics x {} tiles | replicas {} | heartbeat {} cycles",
+            report.fabrics, report.serve.pool_tiles / report.fabrics, report.replicas,
+            report.heartbeat_interval
+        );
+        println!(
+            "  faults {} | failovers {} | lost {} (hard {}) | cluster shed {}",
+            report.faults_injected,
+            report.failovers,
+            report.requests_lost,
+            report.hard_requests_lost,
+            report.cluster_shed
+        );
+        println!(
+            "  detect p50/max = {}/{} cycles | failover p99 = {} cycles",
+            report.detect_p50_cycles, report.detect_max_cycles, report.failover_p99_cycles
+        );
+        for f in &report.per_fabric {
+            println!(
+                "  fabric {:<2} dispatched {:>4} completed {:>4} drained {:>3} \
+                 degraded {:>2}{}",
+                f.fabric,
+                f.dispatched,
+                f.completed,
+                f.drained,
+                f.degraded_tiles,
+                if f.killed { "  KILLED" } else { "" }
+            );
+        }
+        println!(
+            "  fleet: {} requests | completed {} | dropped {} | p99 {} cycles | miss rate {:.1}%",
+            report.serve.requests,
+            report.serve.completed,
+            report.serve.dropped,
+            report.serve.p99_latency_cycles,
+            report.serve.deadline_miss_rate * 100.0
+        );
     }
     Ok(())
 }

@@ -193,6 +193,12 @@ pub struct WeightCache {
     counters: CacheCounters,
     /// Memoized DRAM replay costs keyed by byte count.
     dram_memo: BTreeMap<usize, LoadCost>,
+    /// Every tile recovery ever retired, sorted by (y, x). Prefetch
+    /// target selection and cold planning exclude these defensively —
+    /// the serving loop's own busy sets already contain them, but a
+    /// caller-supplied placement closure that forgets a casualty must
+    /// not be able to stream weights onto dead cells.
+    retired: Vec<Tile>,
 }
 
 fn disjoint(a: &[Tile], b: &[Tile]) -> bool {
@@ -212,6 +218,7 @@ impl WeightCache {
             prefetch: None,
             counters: CacheCounters::default(),
             dram_memo: BTreeMap::new(),
+            retired: Vec::new(),
         }
     }
 
@@ -237,6 +244,18 @@ impl WeightCache {
     #[must_use]
     pub fn prefetch_in_flight(&self) -> Option<(&str, u64)> {
         self.prefetch.as_ref().map(|p| (p.model.as_str(), p.done_at))
+    }
+
+    /// The in-flight speculative stream's target tiles, if any.
+    #[must_use]
+    pub fn prefetch_tiles(&self) -> Option<&[Tile]> {
+        self.prefetch.as_ref().map(|p| p.tiles.as_slice())
+    }
+
+    /// Tiles the cache knows to be retired (fault casualties).
+    #[must_use]
+    pub fn retired(&self) -> &[Tile] {
+        &self.retired
     }
 
     /// Notes one trace arrival for the rate estimator.
@@ -373,6 +392,31 @@ impl WeightCache {
                 self.counters.prefetch_canceled += 1;
             }
         }
+        // Remember the casualties: later prefetch target selection and
+        // cold planning must never land a stream on them, even if the
+        // caller's placement closure forgets to exclude them.
+        for t in retired {
+            if !self.retired.contains(t) {
+                self.retired.push(*t);
+            }
+        }
+        self.retired.sort_unstable_by_key(|t| (t.y, t.x));
+    }
+
+    /// Drops every warm state the cache holds — resident sets, the
+    /// in-flight prefetch, the modeled LLC tier, and the arrival-rate
+    /// window — while keeping the activity counters and the retired-tile
+    /// memory. A cluster fabric that suffers a whole-fabric outage calls
+    /// this when the failover drains it: the weights died with the
+    /// power, so the fabric rejoins cold.
+    pub fn invalidate(&mut self) {
+        self.counters.evictions += self.residents.len() as u64;
+        self.residents.clear();
+        if self.prefetch.take().is_some() {
+            self.counters.prefetch_canceled += 1;
+        }
+        self.llc.clear();
+        self.arrivals.clear();
     }
 
     /// Retention ordering: protect high score first. Score is
@@ -469,8 +513,12 @@ impl WeightCache {
 
         // Cold: protect resident sets greedily in retention order, then
         // the prefetch, and evict only what the placement overlaps.
-        place(entry.tiles, &[])?; // cannot fit at all → head-block
-        let mut extra: Vec<Tile> = Vec::new();
+        // Retired tiles seed every trial so a forgetful placement
+        // closure can never land weights on dead cells (the serving
+        // loop's own busy set already contains them, so this changes
+        // nothing there).
+        place(entry.tiles, &self.retired)?; // cannot fit at all → head-block
+        let mut extra: Vec<Tile> = self.retired.clone();
         let mut protected: Vec<u64> = Vec::new();
         if self.cfg.enabled {
             for i in self.retention_order(now) {
@@ -619,11 +667,15 @@ impl WeightCache {
             let rb = u128::from(b.1) * u128::from(a.2);
             rb.cmp(&ra).then(a.0.cmp(b.0))
         });
-        let protect: Vec<Tile> = self
+        // Protect resident weights — and exclude retired tiles, so the
+        // free-tile scan can never pick a casualty as a stream target
+        // even under a placement closure that forgot the retirement.
+        let mut protect: Vec<Tile> = self
             .residents
             .iter()
             .flat_map(|s| s.tiles.iter().copied())
             .collect();
+        protect.extend_from_slice(&self.retired);
         for (model, _, _) in cands {
             let entry = registry.get(model).expect("filtered above").clone();
             if let Some(tiles) = place(entry.tiles, &protect) {
@@ -831,5 +883,63 @@ mod tests {
         c.retire_tiles(&[tile(1)]);
         assert!(c.residents().is_empty());
         assert_eq!(c.counters().evictions, 1);
+    }
+
+    #[test]
+    fn retirement_during_prefetch_cancels_and_bans_the_tiles() {
+        let mut c = WeightCache::new(WeightCacheConfig::default());
+        let x = entry("x", 3, 9_216);
+        let (mut reg, _) = crate::registry::three_model_mix();
+        reg.insert_raw(x.clone());
+        c.record_arrival("x", 10);
+        c.record_arrival("x", 20);
+        // a speculative stream is mid-flight on tiles 0..3 when recovery
+        // remap retires tile 0 — the stream dies with the cells
+        c.maybe_prefetch(30, &[], &reg, place_fn(8, vec![]));
+        assert_eq!(c.prefetch_tiles(), Some(&[tile(0), tile(1), tile(2)][..]));
+        c.retire_tiles(&[tile(0)]);
+        assert!(c.prefetch_in_flight().is_none(), "in-flight stream cancelled");
+        assert_eq!(c.counters().prefetch_canceled, 1);
+        // the next target selection steers around the casualty even
+        // though this placement closure never excludes it
+        c.record_arrival("x", 40);
+        c.maybe_prefetch(50, &[], &reg, place_fn(8, vec![]));
+        let tiles = c.prefetch_tiles().expect("re-issued on healthy tiles");
+        assert_eq!(tiles, &[tile(1), tile(2), tile(3)]);
+        assert!(!tiles.contains(&tile(0)), "retired tile must never be a target");
+    }
+
+    #[test]
+    fn cold_plan_excludes_retired_tiles_defensively() {
+        let mut c = WeightCache::new(WeightCacheConfig::default());
+        c.retire_tiles(&[tile(0), tile(1)]);
+        let a = entry("a", 3, 9_216);
+        // naive closure again: offers tiles 0.. freely
+        let plan = c.plan(&a, 10, &[], place_fn(8, vec![])).expect("fits");
+        assert_eq!(plan.tiles, vec![tile(2), tile(3), tile(4)]);
+        // and when the casualties shrink the fabric below the footprint,
+        // planning head-blocks instead of placing on dead cells
+        let big = entry("big", 7, 36_864);
+        assert!(c.plan(&big, 10, &[], place_fn(8, vec![])).is_none());
+    }
+
+    #[test]
+    fn invalidate_drops_warm_state_but_keeps_counters_and_casualties() {
+        let mut c = WeightCache::new(WeightCacheConfig::default());
+        let a = entry("a", 3, 9_216);
+        let plan = c.plan(&a, 10, &[], place_fn(8, vec![])).expect("fits");
+        c.commit(&plan, &a, 10);
+        c.on_release(&a, &plan.tiles, 20);
+        c.retire_tiles(&[tile(7)]);
+        assert_eq!(c.residents().len(), 1);
+        c.invalidate();
+        assert!(c.residents().is_empty());
+        assert!(c.prefetch_in_flight().is_none());
+        assert_eq!(c.counters().misses, 1, "history survives the outage");
+        assert_eq!(c.counters().evictions, 1, "dropped set counted");
+        assert_eq!(c.retired(), &[tile(7)], "casualties are permanent");
+        // the LLC tier was cleared too: the next admission re-pays DRAM
+        let plan2 = c.plan(&a, 30, &[], place_fn(8, vec![])).expect("fits");
+        assert!(!plan2.warm && !plan2.llc_hit);
     }
 }

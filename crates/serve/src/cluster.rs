@@ -1,0 +1,1409 @@
+//! Multi-fabric cluster serving: fault domains, health-checked
+//! failover, and deterministic request re-dispatch (DESIGN.md §16).
+//!
+//! One fabric is one fault domain. The cluster router owns the shared
+//! trace and dispatches every arrival to exactly one of N independent
+//! fabrics, each running the existing fair-weather `serve()` machinery
+//! (same admission, same weight cache, same [`run_request`] execution
+//! path — the per-run semantics literally cannot drift because both
+//! layers call the one function). On top, the router adds what a single
+//! fabric cannot express:
+//!
+//! * **Fabric-level fault injection** — a [`ClusterFaultPlan`] schedules
+//!   whole-fabric outages, slow-fabric brownouts, and partial tile-bank
+//!   losses at fixed simulated cycles.
+//! * **Health-checked failover** — fabrics are observed through a
+//!   heartbeat modeled in simulated cycles. A dead fabric keeps
+//!   *receiving* work until the router misses enough heartbeats; at the
+//!   detection edge the fabric is drained and its queued plus stranded
+//!   (checkpointed) requests are deterministically re-dispatched to
+//!   surviving replicas at elevated priority, under a bounded failover
+//!   budget. The dead fabric's weight-cache warm state is invalidated —
+//!   a rejoin comes back cold.
+//! * **Per-model replica placement** — model `m` (by registry order) is
+//!   considered "home" on fabrics `(m + j) mod N` for `j < replicas`;
+//!   the router prefers home fabrics so repeat traffic concentrates
+//!   where the weights are, and prewarming (optional) pins each home
+//!   model's weights before serving starts so failover admits warm
+//!   where possible.
+//! * **Cluster-level shedding** — when aggregate believed-healthy
+//!   capacity drops below a configured fraction of nominal, best-effort
+//!   arrivals are shed at the router and (optionally) deadline-hopeless
+//!   soft arrivals too. Hard arrivals are never cluster-shed.
+//!
+//! Determinism carries the same bar as every other subsystem: all
+//! routing and failover decisions key on integer tuples (request id,
+//! fabric index, cycle), so the merged report is byte-identical across
+//! engines and node-stepping thread counts — and a zero-fault N=1
+//! cluster reproduces the single-fabric [`ServeReport`] bit-for-bit
+//! (the embedded serve report, pinned by a fixture test).
+
+use std::collections::BTreeMap;
+
+use maicc_exec::mapping::{healthy_order, zigzag_order, Tile};
+
+use crate::cache::{AdmissionPlan, CacheCounters, WeightCache};
+use crate::overload::Tier;
+use crate::registry::{ModelEntry, ModelRegistry};
+use crate::server::{
+    placement_for, run_request, validate_requests, Policy, RunMemo, ServeConfig,
+};
+use crate::slo::{percentile, CacheReport, RequestOutcome, ServeReport};
+use crate::trace::Trace;
+use crate::ServeError;
+
+/// What happens to one fabric at one scheduled cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricFaultKind {
+    /// The whole fabric goes dark: running work is stranded at its last
+    /// checkpoint, queued work sits until the heartbeat detector fires.
+    /// With a `duration` the fabric rejoins (empty and cache-cold) at
+    /// the first heartbeat edge after the outage ends; `None` is a
+    /// permanent kill.
+    Outage {
+        /// Cycles until repair; `None` is a permanent kill.
+        duration: Option<u64>,
+    },
+    /// The fabric keeps serving but every admission in the window runs
+    /// `factor`× slower (thermal throttling, a flaky power rail). The
+    /// router deprioritizes it while the window lasts.
+    Brownout {
+        /// Service-time multiplier while the window lasts (>= 1).
+        factor: u64,
+        /// Window length, fabric cycles.
+        duration: u64,
+    },
+    /// A tile bank dies: the first `tiles` tiles of the fabric's
+    /// remaining healthy pool retire permanently. Overlapping runs are
+    /// stranded and re-dispatched immediately — the fabric itself
+    /// observes the loss, no heartbeat needed.
+    TileLoss {
+        /// How many tiles of the remaining healthy pool retire.
+        tiles: usize,
+    },
+}
+
+/// One scheduled fabric-level fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricFault {
+    /// Target fabric index.
+    pub fabric: usize,
+    /// Fabric cycle at which the fault fires.
+    pub at: u64,
+    /// What happens.
+    pub kind: FabricFaultKind,
+}
+
+/// The cluster's fault schedule (empty by default).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterFaultPlan {
+    /// Scheduled events; ties on `at` apply in schedule order.
+    pub events: Vec<FabricFault>,
+}
+
+/// Cluster-level shedding: active while believed-healthy capacity is
+/// below `capacity_fraction` of nominal.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterShedConfig {
+    /// Healthy-capacity fraction below which the router starts shedding
+    /// best-effort arrivals; must be in `(0, 1]`.
+    pub capacity_fraction: f64,
+    /// Also shed non-Hard arrivals whose deadline is already hopeless
+    /// at arrival (by the analytic estimate).
+    pub shed_late: bool,
+}
+
+impl Default for ClusterShedConfig {
+    fn default() -> Self {
+        ClusterShedConfig {
+            capacity_fraction: 0.5,
+            shed_late: true,
+        }
+    }
+}
+
+/// Configuration of a cluster serving run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of independent fabrics (fault domains).
+    pub fabrics: usize,
+    /// Replica factor: model `m` is home on fabrics `(m + j) mod
+    /// fabrics` for `j < replicas`. Must be in `1..=fabrics`.
+    pub replicas: usize,
+    /// Heartbeat period in fabric cycles; health checks land on
+    /// multiples of this.
+    pub heartbeat_interval: u64,
+    /// Consecutive missed heartbeats before a fabric is declared dead
+    /// and drained.
+    pub missed_heartbeats: u32,
+    /// How many times one request may be re-dispatched (failover,
+    /// capacity bounce, or unrecoverable-run retry) before it is lost.
+    pub failover_budget: u32,
+    /// Pin each home model's weights on its replica fabrics before
+    /// serving starts (weight cache only). Off by default so an N=1
+    /// cluster reproduces the single-fabric report bit-for-bit.
+    pub prewarm_replicas: bool,
+    /// Per-tenant tiers for cluster shedding and loss accounting;
+    /// unlisted tenants are [`Tier::Soft`]. Empty leaves outcome tiers
+    /// unset (single-fabric parity).
+    pub tiers: Vec<(String, Tier)>,
+    /// Cluster-level shedding; `None` routes everything.
+    pub shed: Option<ClusterShedConfig>,
+    /// Scheduled fabric-level faults.
+    pub faults: ClusterFaultPlan,
+    /// The per-fabric serving config (policy, engine, pool carve,
+    /// recovery, per-request fault churn, weight cache). Applies to
+    /// every fabric; `overload` must be `None` — the cluster router is
+    /// the overload layer at this scale.
+    pub base: ServeConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            fabrics: 1,
+            replicas: 1,
+            heartbeat_interval: 50_000,
+            missed_heartbeats: 2,
+            failover_budget: 3,
+            prewarm_replicas: false,
+            tiers: Vec::new(),
+            shed: None,
+            faults: ClusterFaultPlan::default(),
+            base: ServeConfig::default(),
+        }
+    }
+}
+
+/// Per-fabric activity counters for the cluster report.
+#[derive(Debug, Clone)]
+pub struct FabricSummary {
+    /// Fabric index.
+    pub fabric: usize,
+    /// Requests routed here (arrivals plus received re-dispatches).
+    pub dispatched: u64,
+    /// Requests that completed here.
+    pub completed: u64,
+    /// Requests drained away by failover detection.
+    pub drained: u64,
+    /// Tiles this fabric lost (recovery remap plus tile-bank loss).
+    pub degraded_tiles: usize,
+    /// Outage events that hit this fabric.
+    pub outages: u32,
+    /// Brownout events that hit this fabric.
+    pub brownouts: u32,
+    /// Tile-bank-loss events that hit this fabric.
+    pub tile_losses: u32,
+    /// Whether an outage ever hit this fabric.
+    pub killed: bool,
+}
+
+/// The cluster-level report: failover accounting wrapped around the
+/// merged single-namespace [`ServeReport`].
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Fabric count the cluster ran with.
+    pub fabrics: usize,
+    /// Replica factor the router placed by.
+    pub replicas: usize,
+    /// Heartbeat period, fabric cycles.
+    pub heartbeat_interval: u64,
+    /// Missed-heartbeat threshold for declaring a fabric dead.
+    pub missed_heartbeats: u32,
+    /// Scheduled fabric-level fault events.
+    pub faults_injected: usize,
+    /// Successful re-dispatches (failover, capacity bounce, retry).
+    pub failovers: u64,
+    /// Requests dropped by the cluster layer or unrecoverable on every
+    /// fabric they were offered to (equals the merged report's
+    /// unrecoverable count).
+    pub requests_lost: u64,
+    /// The subset of `requests_lost` from Hard-tier tenants — the
+    /// number the failover machinery exists to hold at zero.
+    pub hard_requests_lost: u64,
+    /// Arrivals shed at the router by cluster-level capacity shedding.
+    pub cluster_shed: u64,
+    /// Outage-to-detection latency, p50 over all detections.
+    pub detect_p50_cycles: u64,
+    /// Outage-to-detection latency, worst case.
+    pub detect_max_cycles: u64,
+    /// p99 end-to-end latency of completed requests that survived at
+    /// least one re-dispatch — the failover-recovery tail.
+    pub failover_p99_cycles: u64,
+    /// Per-fabric activity breakdown, fabric order.
+    pub per_fabric: Vec<FabricSummary>,
+    /// The merged report over every outcome in the cluster, in the
+    /// single-fabric format (pool/degraded/busy summed across fabrics).
+    pub serve: ServeReport,
+}
+
+impl ClusterReport {
+    /// Renders the report as a deterministic JSON document: a
+    /// `"cluster"` block followed by the embedded merged `"serve"`
+    /// report (byte-identical to [`ServeReport::to_json`] content).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"cluster\": {\n");
+        s.push_str(&format!("    \"fabrics\": {},\n", self.fabrics));
+        s.push_str(&format!("    \"replicas\": {},\n", self.replicas));
+        s.push_str(&format!(
+            "    \"heartbeat_interval_cycles\": {},\n",
+            self.heartbeat_interval
+        ));
+        s.push_str(&format!(
+            "    \"missed_heartbeat_threshold\": {},\n",
+            self.missed_heartbeats
+        ));
+        s.push_str(&format!(
+            "    \"faults_injected\": {},\n",
+            self.faults_injected
+        ));
+        s.push_str(&format!("    \"failovers\": {},\n", self.failovers));
+        s.push_str(&format!(
+            "    \"requests_lost\": {},\n",
+            self.requests_lost
+        ));
+        s.push_str(&format!(
+            "    \"hard_requests_lost\": {},\n",
+            self.hard_requests_lost
+        ));
+        s.push_str(&format!(
+            "    \"cluster_shed\": {},\n",
+            self.cluster_shed
+        ));
+        s.push_str(&format!(
+            "    \"detect_latency_cycles\": {{\"p50\": {}, \"max\": {}}},\n",
+            self.detect_p50_cycles, self.detect_max_cycles
+        ));
+        s.push_str(&format!(
+            "    \"failover_latency_cycles\": {{\"p99\": {}}},\n",
+            self.failover_p99_cycles
+        ));
+        s.push_str("    \"per_fabric\": [\n");
+        for (i, f) in self.per_fabric.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"fabric\": {}, \"dispatched\": {}, \"completed\": {}, \
+                 \"drained\": {}, \"degraded_tiles\": {}, \"outages\": {}, \
+                 \"brownouts\": {}, \"tile_losses\": {}, \"killed\": {}}}{}\n",
+                f.fabric,
+                f.dispatched,
+                f.completed,
+                f.drained,
+                f.degraded_tiles,
+                f.outages,
+                f.brownouts,
+                f.tile_losses,
+                f.killed,
+                if i + 1 < self.per_fabric.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("    ]\n");
+        s.push_str("  },\n");
+        s.push_str("  \"serve\": ");
+        s.push_str(self.serve.to_json().trim_end());
+        s.push_str("\n}\n");
+        s
+    }
+}
+
+/// A request waiting in one fabric's admission queue.
+#[derive(Debug, Clone)]
+struct ClusterPending {
+    idx: usize,
+    /// Failover survivors admit ahead of fresh arrivals.
+    elevated: bool,
+    /// Service cycles banked at the last checkpoint of a stranded run.
+    progress: u64,
+    /// Fabric cycles burned in earlier stranded partial runs.
+    executed: u64,
+    /// Fault-salt attempt counter (re-dispatches draw fresh seeds).
+    attempt: u32,
+    retries: u32,
+    /// Re-dispatches consumed so far (bounded by the failover budget).
+    failovers: u32,
+}
+
+/// A request currently holding tiles on one fabric.
+struct ClusterRun {
+    idx: usize,
+    admitted: u64,
+    done_at: u64,
+    tiles: Vec<Tile>,
+    ok: bool,
+    energy_pj: f64,
+    progress: u64,
+    executed: u64,
+    ckpt_log: Vec<u64>,
+    attempt: u32,
+    retries: u32,
+    failovers: u32,
+    /// Brownout stretch in effect at admission (1 = full speed); maps
+    /// elapsed wall cycles back to checkpoint-space progress.
+    stretch: u64,
+    warm: bool,
+    load_cycles: u64,
+}
+
+/// One fault domain: a full fabric with its own pool carve, queue,
+/// degradation history, and weight cache.
+struct Fabric {
+    mask: Vec<Tile>,
+    degraded: Vec<Tile>,
+    queue: Vec<ClusterPending>,
+    running: Vec<ClusterRun>,
+    /// Runs stranded by an undetected outage, awaiting the drain.
+    stranded: Vec<ClusterPending>,
+    cache: Option<WeightCache>,
+    /// Ground truth: the fabric is actually alive.
+    up: bool,
+    /// The router's belief: heartbeats have not yet declared it dead.
+    routable: bool,
+    down_at: u64,
+    detect_at: Option<u64>,
+    rejoin_at: Option<u64>,
+    slow_factor: u64,
+    slow_until: u64,
+    dispatched: u64,
+    completed: u64,
+    drained: u64,
+    outages: u32,
+    brownouts: u32,
+    tile_losses: u32,
+    killed: bool,
+}
+
+struct Cluster<'a> {
+    registry: &'a ModelRegistry,
+    trace: &'a Trace,
+    cfg: &'a ClusterConfig,
+    pool_size: usize,
+    fabrics: Vec<Fabric>,
+    /// Registry position per model name, for replica-home routing.
+    model_index: BTreeMap<String, usize>,
+    faults: Vec<FabricFault>,
+    next_fault: usize,
+    /// One memo table shared by every fabric: identical geometry means
+    /// identical placements replay identically wherever they land.
+    memo: RunMemo,
+    outcomes: Vec<RequestOutcome>,
+    busy_tile_cycles: u64,
+    failovers: u64,
+    cluster_shed: u64,
+    detect_latencies: Vec<u64>,
+    /// Request ids that survived at least one re-dispatch, sorted.
+    failover_ids: Vec<u64>,
+    /// Set when a re-dispatch landed in some queue mid-pass: the
+    /// admission sweep repeats so a bounce to an earlier fabric index
+    /// is not stranded until the next event.
+    bounced: bool,
+}
+
+/// Runs a trace against a cluster of identical fabrics and returns the
+/// cluster report.
+///
+/// # Errors
+///
+/// Everything [`crate::serve`] rejects, plus [`ServeError::BadConfig`]
+/// for inconsistent cluster parameters: zero fabrics, a replica factor
+/// of zero or above the fabric count, a zero heartbeat interval or
+/// missed-heartbeat threshold, a policy other than FCFS/SJF, a base
+/// config with single-fabric overload hardening attached, a fault
+/// targeting a fabric outside the cluster, a zero brownout factor or
+/// tile-loss count, or a shed fraction outside `(0, 1]`.
+pub fn serve_cluster(
+    registry: &ModelRegistry,
+    trace: &Trace,
+    cfg: &ClusterConfig,
+) -> Result<ClusterReport, ServeError> {
+    validate_cluster(cfg)?;
+    validate_requests(registry, trace)?;
+
+    let healthy = healthy_order(&cfg.base.initial_failed);
+    let pool_size = if cfg.base.pool_tiles == 0 {
+        healthy.len()
+    } else {
+        cfg.base.pool_tiles.min(healthy.len())
+    };
+    let pool: Vec<Tile> = healthy[..pool_size].to_vec();
+    let mask: Vec<Tile> = zigzag_order()
+        .into_iter()
+        .filter(|t| !pool.contains(t))
+        .collect();
+    for r in &trace.requests {
+        let entry = registry.get(&r.model).expect("validated above");
+        if entry.tiles > pool_size {
+            return Err(ServeError::PoolTooSmall {
+                reason: format!(
+                    "model `{}` needs {} tiles, pool holds {pool_size}",
+                    entry.name, entry.tiles
+                ),
+            });
+        }
+    }
+
+    let fabrics: Vec<Fabric> = (0..cfg.fabrics)
+        .map(|_| Fabric {
+            mask: mask.clone(),
+            degraded: Vec::new(),
+            queue: Vec::new(),
+            running: Vec::new(),
+            stranded: Vec::new(),
+            cache: cfg.base.weight_cache.clone().map(WeightCache::new),
+            up: true,
+            routable: true,
+            down_at: 0,
+            detect_at: None,
+            rejoin_at: None,
+            slow_factor: 1,
+            slow_until: 0,
+            dispatched: 0,
+            completed: 0,
+            drained: 0,
+            outages: 0,
+            brownouts: 0,
+            tile_losses: 0,
+            killed: false,
+        })
+        .collect();
+    let model_index: BTreeMap<String, usize> = registry
+        .entries()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.name.clone(), i))
+        .collect();
+    let mut faults = cfg.faults.events.clone();
+    faults.sort_by_key(|f| f.at); // stable: ties keep schedule order
+
+    let mut cluster = Cluster {
+        registry,
+        trace,
+        cfg,
+        pool_size,
+        fabrics,
+        model_index,
+        faults,
+        next_fault: 0,
+        memo: BTreeMap::new(),
+        outcomes: Vec::new(),
+        busy_tile_cycles: 0,
+        failovers: 0,
+        cluster_shed: 0,
+        detect_latencies: Vec::new(),
+        failover_ids: Vec::new(),
+        bounced: false,
+    };
+    cluster.prewarm();
+    cluster.run()?;
+    cluster.finish()
+}
+
+fn validate_cluster(cfg: &ClusterConfig) -> Result<(), ServeError> {
+    let bad = |reason: String| Err(ServeError::BadConfig { reason });
+    if cfg.fabrics == 0 {
+        return bad("cluster needs at least one fabric".into());
+    }
+    if cfg.replicas == 0 {
+        return bad("replica factor must be at least 1".into());
+    }
+    if cfg.replicas > cfg.fabrics {
+        return bad(format!(
+            "replica factor {} exceeds fabric count {}",
+            cfg.replicas, cfg.fabrics
+        ));
+    }
+    if cfg.heartbeat_interval == 0 {
+        return bad("heartbeat interval must be non-zero".into());
+    }
+    if cfg.missed_heartbeats == 0 {
+        return bad("missed-heartbeat threshold must be non-zero".into());
+    }
+    if matches!(cfg.base.policy, Policy::Partitioned | Policy::TimeShared) {
+        return bad(format!(
+            "the cluster router requires fcfs or sjf, not {}",
+            cfg.base.policy.label()
+        ));
+    }
+    if cfg.base.overload.is_some() {
+        return bad(
+            "cluster serving does not compose with the single-fabric \
+             overload loop; use cluster shedding and tiers instead"
+                .into(),
+        );
+    }
+    for ev in &cfg.faults.events {
+        if ev.fabric >= cfg.fabrics {
+            return bad(format!(
+                "fault at cycle {} targets fabric {}, cluster has {}",
+                ev.at, ev.fabric, cfg.fabrics
+            ));
+        }
+        match ev.kind {
+            FabricFaultKind::Brownout { factor: 0, .. } => {
+                return bad(format!(
+                    "brownout at cycle {} has slow factor 0 (must be >= 1)",
+                    ev.at
+                ));
+            }
+            FabricFaultKind::TileLoss { tiles: 0 } => {
+                return bad(format!(
+                    "tile-loss at cycle {} retires 0 tiles (must be >= 1)",
+                    ev.at
+                ));
+            }
+            _ => {}
+        }
+    }
+    if let Some(shed) = &cfg.shed {
+        if !(shed.capacity_fraction > 0.0 && shed.capacity_fraction <= 1.0) {
+            return bad(format!(
+                "cluster shed capacity fraction {} must be in (0, 1]",
+                shed.capacity_fraction
+            ));
+        }
+    }
+    Ok(())
+}
+
+impl Cluster<'_> {
+    /// The tier the cluster config assigns this tenant (Soft when
+    /// unlisted), regardless of whether tiers are configured at all.
+    fn tier_of(&self, tenant: &str) -> Tier {
+        self.cfg
+            .tiers
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map_or(Tier::Soft, |(_, tier)| *tier)
+    }
+
+    /// The outcome-field tier: `None` when no tiers are configured, so
+    /// an untier'd cluster report matches the single-fabric one.
+    fn tier_field(&self, tenant: &str) -> Option<Tier> {
+        if self.cfg.tiers.is_empty() {
+            None
+        } else {
+            Some(self.tier_of(tenant))
+        }
+    }
+
+    /// Whether fabric `g` is a replica home for registry model `mi`.
+    fn is_replica(&self, mi: usize, g: usize) -> bool {
+        let n = self.cfg.fabrics;
+        (g + n - (mi % n)) % n < self.cfg.replicas
+    }
+
+    /// Pins each home model's weights on its replica fabrics before
+    /// serving starts, so failover traffic admits warm where possible.
+    fn prewarm(&mut self) {
+        if !self.cfg.prewarm_replicas
+            || !self
+                .cfg
+                .base
+                .weight_cache
+                .as_ref()
+                .is_some_and(|c| c.enabled)
+        {
+            return;
+        }
+        let registry = self.registry;
+        for fi in 0..self.cfg.fabrics {
+            let mut used = self.fabrics[fi].mask.clone();
+            for (mi, entry) in registry.entries().iter().enumerate() {
+                if !self.is_replica(mi, fi) {
+                    continue;
+                }
+                let Some(tiles) = placement_for(entry, &used) else {
+                    continue; // fabric full: later homes stay cold
+                };
+                let cache = self.fabrics[fi].cache.as_mut().expect("checked");
+                cache.on_release(entry, &tiles, 0);
+                used.extend_from_slice(&tiles);
+            }
+        }
+    }
+
+    /// The earliest upcoming event across the whole cluster.
+    fn next_event(&self, next_arrival: Option<u64>) -> Option<u64> {
+        let mut t = next_arrival;
+        let mut fold = |v: Option<u64>| {
+            t = match (t, v) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+        };
+        fold(self.faults.get(self.next_fault).map(|f| f.at));
+        for f in &self.fabrics {
+            if f.up {
+                fold(f.running.iter().map(|r| r.done_at).min());
+            }
+            fold(f.detect_at);
+            fold(f.rejoin_at);
+        }
+        t
+    }
+
+    fn run(&mut self) -> Result<(), ServeError> {
+        let mut next = 0usize;
+        loop {
+            let arrival = self.trace.requests.get(next).map(|r| r.arrival);
+            let Some(now) = self.next_event(arrival) else {
+                break;
+            };
+            // Phase A: completions and prefetch settlement, fabric order.
+            for fi in 0..self.cfg.fabrics {
+                if self.fabrics[fi].up {
+                    self.complete_at(fi, now);
+                    if let Some(c) = self.fabrics[fi].cache.as_mut() {
+                        c.settle_prefetch(now);
+                    }
+                }
+            }
+            // Phase B: scheduled fabric faults.
+            while self.next_fault < self.faults.len()
+                && self.faults[self.next_fault].at == now
+            {
+                let ev = self.faults[self.next_fault];
+                self.next_fault += 1;
+                self.apply_fault(ev, now);
+            }
+            // Phase C: heartbeat detections drain dead fabrics.
+            for fi in 0..self.cfg.fabrics {
+                if self.fabrics[fi].detect_at == Some(now) {
+                    self.drain(fi, now);
+                }
+            }
+            // Phase D: repaired fabrics rejoin (empty, cache-cold).
+            for fi in 0..self.cfg.fabrics {
+                if self.fabrics[fi].rejoin_at == Some(now) {
+                    let f = &mut self.fabrics[fi];
+                    f.rejoin_at = None;
+                    f.up = true;
+                    f.routable = true;
+                    f.detect_at = None;
+                }
+            }
+            // Phase E: route fresh arrivals.
+            while next < self.trace.requests.len()
+                && self.trace.requests[next].arrival == now
+            {
+                self.route_arrival(next, now);
+                next += 1;
+            }
+            // Phase F: per-fabric admission and prefetch. The sweep
+            // repeats while re-dispatches land work on fabrics whose
+            // pass already ran this event.
+            loop {
+                self.bounced = false;
+                for fi in 0..self.cfg.fabrics {
+                    if self.fabrics[fi].up {
+                        self.admit_pass(fi, now)?;
+                        self.try_prefetch(fi, now);
+                    }
+                }
+                if !self.bounced {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_fault(&mut self, ev: FabricFault, now: u64) {
+        let h = self.cfg.heartbeat_interval;
+        match ev.kind {
+            FabricFaultKind::Outage { duration } => {
+                let missed = u64::from(self.cfg.missed_heartbeats);
+                // The first heartbeat the dead fabric misses is the
+                // next multiple of the interval; the router declares it
+                // dead after `missed` consecutive silent edges.
+                let detect = (now / h + 1)
+                    .saturating_add(missed - 1)
+                    .saturating_mul(h);
+                let f = &mut self.fabrics[ev.fabric];
+                f.outages += 1;
+                f.killed = true;
+                if f.up {
+                    f.up = false;
+                    f.down_at = now;
+                    f.detect_at = Some(detect);
+                    let runs: Vec<ClusterRun> = f.running.drain(..).collect();
+                    for r in runs {
+                        self.strand(ev.fabric, r, now);
+                    }
+                }
+                let f = &mut self.fabrics[ev.fabric];
+                if let Some(d) = duration {
+                    // Repairs report in on a heartbeat edge, never
+                    // before the outage was even detected.
+                    let back = now.saturating_add(d).div_ceil(h).saturating_mul(h);
+                    let back = back.max(f.detect_at.unwrap_or(back));
+                    f.rejoin_at =
+                        Some(f.rejoin_at.map_or(back, |r| r.max(back)));
+                } else {
+                    f.rejoin_at = None;
+                }
+            }
+            FabricFaultKind::Brownout { factor, duration } => {
+                let f = &mut self.fabrics[ev.fabric];
+                f.brownouts += 1;
+                f.slow_factor = factor.max(1);
+                f.slow_until = now.saturating_add(duration);
+            }
+            FabricFaultKind::TileLoss { tiles } => {
+                let f = &mut self.fabrics[ev.fabric];
+                f.tile_losses += 1;
+                let mut avoid = f.mask.clone();
+                avoid.extend_from_slice(&f.degraded);
+                let order = healthy_order(&avoid);
+                let n = tiles.min(order.len());
+                // The bank at the head of the serpentine dies: exactly
+                // the tiles placements prefer, so running work is hit.
+                let lost: Vec<Tile> = order[..n].to_vec();
+                for t in &lost {
+                    if !f.degraded.contains(t) {
+                        f.degraded.push(*t);
+                    }
+                }
+                f.degraded.sort_unstable_by_key(|t| (t.y, t.x));
+                if let Some(c) = f.cache.as_mut() {
+                    c.retire_tiles(&f.degraded);
+                }
+                // Strand overlapping runs; the fabric observes its own
+                // bank loss, so re-dispatch is immediate (no heartbeat).
+                let hit: Vec<usize> = (0..f.running.len())
+                    .filter(|&i| {
+                        f.running[i].tiles.iter().any(|t| lost.contains(t))
+                    })
+                    .collect();
+                let mut victims = Vec::with_capacity(hit.len());
+                for &i in hit.iter().rev() {
+                    victims.push(f.running.remove(i));
+                }
+                victims.sort_by_key(|r| self.trace.requests[r.idx].id);
+                for r in victims {
+                    self.strand(ev.fabric, r, now);
+                }
+                // TileLoss strands go straight back through the router.
+                let pend: Vec<ClusterPending> =
+                    self.fabrics[ev.fabric].stranded.drain(..).collect();
+                for e in pend {
+                    self.redispatch(e, now);
+                }
+            }
+        }
+    }
+
+    /// Converts a running request into a stranded pending entry: busy
+    /// accounting is refunded for the unexecuted remainder and progress
+    /// rolls back to the last checkpoint at or before the cut.
+    fn strand(&mut self, fi: usize, r: ClusterRun, now: u64) {
+        self.busy_tile_cycles = self
+            .busy_tile_cycles
+            .saturating_sub((r.done_at - now) * r.tiles.len() as u64);
+        let elapsed = now - r.admitted;
+        let position = r.progress + elapsed / r.stretch.max(1);
+        let kept = r
+            .ckpt_log
+            .iter()
+            .copied()
+            .filter(|&c| c <= position)
+            .max()
+            .unwrap_or(0);
+        self.fabrics[fi].stranded.push(ClusterPending {
+            idx: r.idx,
+            elevated: true,
+            progress: kept,
+            executed: r.executed + elapsed,
+            attempt: r.attempt,
+            retries: r.retries,
+            failovers: r.failovers,
+        });
+    }
+
+    /// The heartbeat detector declares fabric `fi` dead: its queue and
+    /// stranded runs re-dispatch to survivors, its warm state dies.
+    fn drain(&mut self, fi: usize, now: u64) {
+        let f = &mut self.fabrics[fi];
+        f.detect_at = None;
+        f.routable = false;
+        self.detect_latencies.push(now - f.down_at);
+        if let Some(c) = f.cache.as_mut() {
+            c.invalidate();
+        }
+        let mut entries: Vec<ClusterPending> = f.queue.drain(..).collect();
+        let mut stranded: Vec<ClusterPending> = f.stranded.drain(..).collect();
+        stranded.sort_by_key(|e| self.trace.requests[e.idx].id);
+        entries.extend(stranded);
+        f.drained += entries.len() as u64;
+        for e in entries {
+            self.redispatch(e, now);
+        }
+    }
+
+    /// Picks the surviving fabric a request should land on: a believed-
+    /// alive fabric with capacity for the model, preferring replica
+    /// homes, then full-speed fabrics, then the shortest backlog, with
+    /// the fabric index as the deterministic tiebreak.
+    fn pick_target(&self, entry: &ModelEntry, now: u64) -> Option<usize> {
+        let mi = self.model_index.get(&entry.name).copied().unwrap_or(0);
+        (0..self.cfg.fabrics)
+            .filter(|&g| {
+                let f = &self.fabrics[g];
+                f.routable
+                    && entry.tiles <= self.pool_size - f.degraded.len()
+            })
+            .min_by_key(|&g| {
+                let f = &self.fabrics[g];
+                let not_replica = u8::from(!self.is_replica(mi, g));
+                let slow =
+                    u8::from(f.slow_factor > 1 && now < f.slow_until);
+                (not_replica, slow, f.queue.len() + f.running.len(), g)
+            })
+    }
+
+    /// Re-dispatches a drained/stranded/bounced entry to a surviving
+    /// fabric at elevated priority, or records it lost when the budget
+    /// is exhausted or nothing can host it.
+    fn redispatch(&mut self, mut e: ClusterPending, now: u64) {
+        if e.failovers >= self.cfg.failover_budget {
+            self.push_lost(&e, now);
+            return;
+        }
+        let req = &self.trace.requests[e.idx];
+        let entry = self.registry.get(&req.model).expect("validated");
+        let Some(gi) = self.pick_target(entry, now) else {
+            self.push_lost(&e, now);
+            return;
+        };
+        let id = req.id;
+        e.elevated = true;
+        e.failovers += 1;
+        e.retries += 1;
+        e.attempt += 1;
+        self.failovers += 1;
+        if let Err(pos) = self.failover_ids.binary_search(&id) {
+            self.failover_ids.insert(pos, id);
+        }
+        let g = &mut self.fabrics[gi];
+        g.dispatched += 1;
+        g.queue.push(e);
+        self.bounced = true;
+    }
+
+    /// Records a request the cluster could not deliver.
+    fn push_lost(&mut self, e: &ClusterPending, now: u64) {
+        let req = &self.trace.requests[e.idx];
+        let latency = now - req.arrival;
+        let tier = self.tier_field(&req.tenant);
+        self.outcomes.push(RequestOutcome {
+            id: req.id,
+            tenant: req.tenant.clone(),
+            model: req.model.clone(),
+            arrival: req.arrival,
+            admitted: now,
+            finished: now,
+            deadline: req.deadline,
+            tier,
+            ok: false,
+            dropped: true,
+            shed: false,
+            service_cycles: e.executed,
+            queue_cycles: latency.saturating_sub(e.executed),
+            latency_cycles: latency,
+            energy_pj: 0.0,
+            preemptions: 0,
+            retries: e.retries,
+            warm: None,
+            load_cycles: 0,
+        });
+    }
+
+    /// Records an arrival shed at the router.
+    fn push_cluster_shed(&mut self, idx: usize, now: u64) {
+        let req = &self.trace.requests[idx];
+        let latency = now - req.arrival;
+        let tier = self.tier_field(&req.tenant);
+        self.cluster_shed += 1;
+        self.outcomes.push(RequestOutcome {
+            id: req.id,
+            tenant: req.tenant.clone(),
+            model: req.model.clone(),
+            arrival: req.arrival,
+            admitted: now,
+            finished: now,
+            deadline: req.deadline,
+            tier,
+            ok: false,
+            dropped: true,
+            shed: true,
+            service_cycles: 0,
+            queue_cycles: latency,
+            latency_cycles: latency,
+            energy_pj: 0.0,
+            preemptions: 0,
+            retries: 0,
+            warm: None,
+            load_cycles: 0,
+        });
+    }
+
+    /// Routes one fresh arrival: cluster-level shedding first, then
+    /// target selection.
+    fn route_arrival(&mut self, idx: usize, now: u64) {
+        let req = &self.trace.requests[idx];
+        let tier = self.tier_of(&req.tenant);
+        if let Some(shed) = &self.cfg.shed {
+            let nominal = self.pool_size * self.cfg.fabrics;
+            let healthy: usize = self
+                .fabrics
+                .iter()
+                .filter(|f| f.routable)
+                .map(|f| self.pool_size - f.degraded.len())
+                .sum();
+            #[allow(clippy::cast_precision_loss)]
+            let browned = (healthy as f64)
+                < shed.capacity_fraction * nominal as f64;
+            if browned {
+                if tier == Tier::BestEffort {
+                    self.push_cluster_shed(idx, now);
+                    return;
+                }
+                if shed.shed_late && tier != Tier::Hard {
+                    let entry =
+                        self.registry.get(&req.model).expect("validated");
+                    if req
+                        .deadline
+                        .is_some_and(|d| now + entry.est_cycles > d)
+                    {
+                        self.push_cluster_shed(idx, now);
+                        return;
+                    }
+                }
+            }
+        }
+        let req = &self.trace.requests[idx];
+        let entry = self.registry.get(&req.model).expect("validated");
+        match self.pick_target(entry, now) {
+            Some(gi) => {
+                let model = req.model.clone();
+                let g = &mut self.fabrics[gi];
+                if let Some(c) = g.cache.as_mut() {
+                    c.record_arrival(&model, now);
+                }
+                g.dispatched += 1;
+                g.queue.push(ClusterPending {
+                    idx,
+                    elevated: false,
+                    progress: 0,
+                    executed: 0,
+                    attempt: 0,
+                    retries: 0,
+                    failovers: 0,
+                });
+            }
+            None => {
+                let e = ClusterPending {
+                    idx,
+                    elevated: false,
+                    progress: 0,
+                    executed: 0,
+                    attempt: 0,
+                    retries: 0,
+                    failovers: 0,
+                };
+                self.push_lost(&e, now);
+            }
+        }
+    }
+
+    /// The avoid set for a fresh placement on fabric `fi`.
+    fn avoid_now(&self, fi: usize) -> Vec<Tile> {
+        let f = &self.fabrics[fi];
+        let mut avoid = f.mask.clone();
+        avoid.extend_from_slice(&f.degraded);
+        for r in &f.running {
+            avoid.extend_from_slice(&r.tiles);
+        }
+        avoid
+    }
+
+    /// The analytic service estimate on fabric `fi` (load-aware with a
+    /// cache, exactly `est_cycles` without — single-fabric parity).
+    fn est_for(&self, fi: usize, entry: &ModelEntry) -> u64 {
+        let load = self.fabrics[fi]
+            .cache
+            .as_ref()
+            .map_or(0, |c| c.load_estimate(entry));
+        entry.est_cycles.saturating_add(load)
+    }
+
+    /// The queue position fabric `fi`'s admission wants next: failover
+    /// survivors first, then the base policy's order.
+    fn pick(&self, fi: usize) -> Option<usize> {
+        let f = &self.fabrics[fi];
+        if f.queue.is_empty() {
+            return None;
+        }
+        (0..f.queue.len()).min_by_key(|&p| {
+            let e = &f.queue[p];
+            let req = &self.trace.requests[e.idx];
+            let key = match self.cfg.base.policy {
+                Policy::Sjf => self
+                    .registry
+                    .get(&req.model)
+                    .map_or(u64::MAX, |m| self.est_for(fi, m))
+                    .saturating_sub(e.progress),
+                _ => 0,
+            };
+            (u8::from(!e.elevated), key, req.arrival, req.id)
+        })
+    }
+
+    /// Plans a cache-mediated admission on fabric `fi` (pure).
+    fn plan_for(
+        &self,
+        fi: usize,
+        entry: &ModelEntry,
+        now: u64,
+    ) -> Option<AdmissionPlan> {
+        let base = self.avoid_now(fi);
+        let cache = self.fabrics[fi].cache.as_ref().expect("caller checked");
+        cache.plan(entry, now, &base, |need, extra| {
+            let mut avoid = base.clone();
+            avoid.extend_from_slice(extra);
+            let order = healthy_order(&avoid);
+            (order.len() >= need).then(|| order[..need].to_vec())
+        })
+    }
+
+    /// Lets fabric `fi`'s cache stream a predicted model into free tiles.
+    fn try_prefetch(&mut self, fi: usize, now: u64) {
+        if self.fabrics[fi].cache.is_none() {
+            return;
+        }
+        let base = self.avoid_now(fi);
+        let registry = self.registry;
+        let f = &mut self.fabrics[fi];
+        let running: Vec<&str> = f
+            .running
+            .iter()
+            .map(|r| self.trace.requests[r.idx].model.as_str())
+            .collect();
+        let cache = f.cache.as_mut().expect("checked above");
+        cache.maybe_prefetch(now, &running, registry, |need, extra| {
+            let mut avoid = base.clone();
+            avoid.extend_from_slice(extra);
+            let order = healthy_order(&avoid);
+            (order.len() >= need).then(|| order[..need].to_vec())
+        });
+    }
+
+    /// Fabric `fi`'s admission pass: repeatedly admit the pick while it
+    /// fits; a head that can never fit this fabric again (empty pool,
+    /// no placement) bounces back through the router instead of
+    /// head-blocking forever.
+    fn admit_pass(&mut self, fi: usize, now: u64) -> Result<(), ServeError> {
+        loop {
+            let Some(pos) = self.pick(fi) else {
+                return Ok(());
+            };
+            let idx = self.fabrics[fi].queue[pos].idx;
+            let entry = self
+                .registry
+                .get(&self.trace.requests[idx].model)
+                .expect("validated");
+            if self.fabrics[fi].cache.is_some() {
+                match self.plan_for(fi, entry, now) {
+                    Some(plan) => {
+                        let e = self.fabrics[fi].queue.remove(pos);
+                        self.fabrics[fi]
+                            .cache
+                            .as_mut()
+                            .expect("checked above")
+                            .commit(&plan, entry, now);
+                        self.admit(fi, e, now, &[], Some(&plan))?;
+                    }
+                    None if self.fabrics[fi].running.is_empty() => {
+                        let e = self.fabrics[fi].queue.remove(pos);
+                        self.redispatch(e, now);
+                    }
+                    None => return Ok(()),
+                }
+                continue;
+            }
+            let avoid = self.avoid_now(fi);
+            if placement_for(entry, &avoid).is_none() {
+                if self.fabrics[fi].running.is_empty() {
+                    let e = self.fabrics[fi].queue.remove(pos);
+                    self.redispatch(e, now);
+                    continue;
+                }
+                return Ok(());
+            }
+            let e = self.fabrics[fi].queue.remove(pos);
+            self.admit(fi, e, now, &avoid, None)?;
+        }
+    }
+
+    /// Admits one entry on fabric `fi` through [`run_request`], folding
+    /// casualties into that fabric's pool. A brownout in effect at
+    /// admission stretches the whole service segment. An unrecoverable
+    /// run goes back through the router under the failover budget.
+    fn admit(
+        &mut self,
+        fi: usize,
+        e: ClusterPending,
+        now: u64,
+        avoid_in: &[Tile],
+        plan: Option<&AdmissionPlan>,
+    ) -> Result<(), ServeError> {
+        let req = &self.trace.requests[e.idx];
+        let req_id = req.id;
+        let entry = self.registry.get(&req.model).expect("validated");
+        let (avoid, warm, load) = match plan {
+            Some(pl) => (
+                zigzag_order()
+                    .into_iter()
+                    .filter(|t| !pl.tiles.contains(t))
+                    .collect::<Vec<Tile>>(),
+                pl.warm,
+                pl.load,
+            ),
+            None => (
+                avoid_in.to_vec(),
+                false,
+                maicc_mem::tier::LoadCost::default(),
+            ),
+        };
+        let tiles = placement_for(entry, &avoid)
+            .expect("caller checked fit before admitting");
+        match run_request(
+            &self.cfg.base,
+            &mut self.memo,
+            entry,
+            &avoid,
+            req_id,
+            e.attempt,
+            warm,
+        ) {
+            Ok(out) => {
+                let f = &mut self.fabrics[fi];
+                for t in out.newly_retired {
+                    if !f.degraded.contains(&t) {
+                        f.degraded.push(t);
+                    }
+                }
+                f.degraded.sort_unstable_by_key(|t| (t.y, t.x));
+                if let Some(c) = f.cache.as_mut() {
+                    c.retire_tiles(&f.degraded);
+                }
+                let occupied = if f.degraded.is_empty() {
+                    tiles
+                } else {
+                    let mut post = avoid.clone();
+                    post.extend(f.degraded.iter().copied());
+                    match placement_for(entry, &post) {
+                        Some(p) => p,
+                        None => tiles
+                            .into_iter()
+                            .filter(|t| !f.degraded.contains(t))
+                            .collect(),
+                    }
+                };
+                let compute = if e.progress == 0 {
+                    out.cycles
+                } else {
+                    out.cycles.saturating_sub(e.progress).max(1)
+                };
+                let stretch = if f.slow_factor > 1 && now < f.slow_until {
+                    f.slow_factor
+                } else {
+                    1
+                };
+                let total = (compute + load.cycles).saturating_mul(stretch);
+                self.busy_tile_cycles += total * occupied.len() as u64;
+                f.running.push(ClusterRun {
+                    idx: e.idx,
+                    admitted: now,
+                    done_at: now + total,
+                    tiles: occupied,
+                    ok: out.ok,
+                    energy_pj: out.energy_pj + load.energy_pj,
+                    progress: e.progress,
+                    executed: e.executed,
+                    ckpt_log: out.ckpt_log,
+                    attempt: e.attempt,
+                    retries: e.retries,
+                    failovers: e.failovers,
+                    stretch,
+                    warm,
+                    load_cycles: load.cycles,
+                });
+                Ok(())
+            }
+            Err(ServeError::Sim(_)) => {
+                // Unrecoverable on this fabric: the failover budget
+                // covers sim deaths too — re-dispatch with a fresh
+                // attempt salt while it lasts, lose the request after.
+                self.redispatch(
+                    ClusterPending {
+                        progress: 0,
+                        ..e
+                    },
+                    now,
+                );
+                Ok(())
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Retires every run on fabric `fi` finishing exactly at `now` (in
+    /// request-id order) and records its outcome.
+    fn complete_at(&mut self, fi: usize, now: u64) {
+        let registry = self.registry;
+        let trace = self.trace;
+        let has_cache = self.fabrics[fi].cache.is_some();
+        let tiers_on = !self.cfg.tiers.is_empty();
+        let f = &mut self.fabrics[fi];
+        let done: Vec<usize> = (0..f.running.len())
+            .filter(|&i| f.running[i].done_at == now)
+            .collect();
+        let mut finished: Vec<ClusterRun> = Vec::with_capacity(done.len());
+        for &i in done.iter().rev() {
+            finished.push(f.running.remove(i));
+        }
+        finished.sort_by_key(|run| trace.requests[run.idx].id);
+        for run in finished {
+            let req = &trace.requests[run.idx];
+            if let Some(cache) = f.cache.as_mut() {
+                let entry = registry.get(&req.model).expect("validated");
+                cache.on_release(entry, &run.tiles, now);
+            }
+            f.completed += 1;
+            let segment = run.done_at - run.admitted;
+            let service = run.executed + segment;
+            let latency = now - req.arrival;
+            let tier = if tiers_on {
+                Some(
+                    self.cfg
+                        .tiers
+                        .iter()
+                        .find(|(t, _)| *t == req.tenant)
+                        .map_or(Tier::Soft, |(_, tier)| *tier),
+                )
+            } else {
+                None
+            };
+            self.outcomes.push(RequestOutcome {
+                id: req.id,
+                tenant: req.tenant.clone(),
+                model: req.model.clone(),
+                arrival: req.arrival,
+                admitted: run.admitted,
+                finished: now,
+                deadline: req.deadline,
+                tier,
+                ok: run.ok,
+                dropped: false,
+                shed: false,
+                service_cycles: service,
+                queue_cycles: latency.saturating_sub(service),
+                latency_cycles: latency,
+                energy_pj: run.energy_pj,
+                preemptions: 0,
+                retries: run.retries,
+                warm: if has_cache { Some(run.warm) } else { None },
+                load_cycles: run.load_cycles,
+            });
+        }
+    }
+
+    /// Builds the final cluster report: failover accounting plus the
+    /// merged serve report over every outcome.
+    fn finish(self) -> Result<ClusterReport, ServeError> {
+        let requests_lost = self
+            .outcomes
+            .iter()
+            .filter(|o| o.dropped && !o.shed)
+            .count() as u64;
+        let hard_requests_lost = self
+            .outcomes
+            .iter()
+            .filter(|o| o.dropped && !o.shed && o.tier == Some(Tier::Hard))
+            .count() as u64;
+        let mut detect = self.detect_latencies.clone();
+        detect.sort_unstable();
+        let mut failover_lat: Vec<u64> = self
+            .outcomes
+            .iter()
+            .filter(|o| {
+                !o.dropped && self.failover_ids.binary_search(&o.id).is_ok()
+            })
+            .map(|o| o.latency_cycles)
+            .collect();
+        failover_lat.sort_unstable();
+
+        let cache_report = if self.cfg.base.weight_cache.is_some() {
+            let mut total = CacheCounters::default();
+            for f in &self.fabrics {
+                let c = f.cache.as_ref().expect("configured").counters();
+                total.hits += c.hits;
+                total.misses += c.misses;
+                total.evictions += c.evictions;
+                total.llc_hits += c.llc_hits;
+                total.prefetch_issued += c.prefetch_issued;
+                total.prefetch_used += c.prefetch_used;
+                total.prefetch_canceled += c.prefetch_canceled;
+                total.prefetch_pj += c.prefetch_pj;
+            }
+            Some(CacheReport::build(&total, &self.outcomes))
+        } else {
+            None
+        };
+        let per_fabric: Vec<FabricSummary> = self
+            .fabrics
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FabricSummary {
+                fabric: i,
+                dispatched: f.dispatched,
+                completed: f.completed,
+                drained: f.drained,
+                degraded_tiles: f.degraded.len(),
+                outages: f.outages,
+                brownouts: f.brownouts,
+                tile_losses: f.tile_losses,
+                killed: f.killed,
+            })
+            .collect();
+        let degraded_total: usize =
+            self.fabrics.iter().map(|f| f.degraded.len()).sum();
+        let mut serve = ServeReport::from_outcomes(
+            self.cfg.base.policy.label(),
+            self.pool_size * self.cfg.fabrics,
+            degraded_total,
+            self.busy_tile_cycles,
+            self.outcomes,
+        );
+        serve.cache = cache_report;
+        Ok(ClusterReport {
+            fabrics: self.cfg.fabrics,
+            replicas: self.cfg.replicas,
+            heartbeat_interval: self.cfg.heartbeat_interval,
+            missed_heartbeats: self.cfg.missed_heartbeats,
+            faults_injected: self.cfg.faults.events.len(),
+            failovers: self.failovers,
+            requests_lost,
+            hard_requests_lost,
+            cluster_shed: self.cluster_shed,
+            detect_p50_cycles: percentile(&detect, 50.0),
+            detect_max_cycles: detect.last().copied().unwrap_or(0),
+            failover_p99_cycles: percentile(&failover_lat, 99.0),
+            per_fabric,
+            serve,
+        })
+    }
+}

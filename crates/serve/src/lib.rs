@@ -46,6 +46,7 @@
 //! ```
 
 pub mod cache;
+pub mod cluster;
 pub mod overload;
 pub mod registry;
 pub mod rng;

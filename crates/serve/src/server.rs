@@ -168,15 +168,15 @@ impl Default for ServeConfig {
 }
 
 /// What one simulated request run produced.
-struct RunOutput {
-    cycles: u64,
-    energy_pj: f64,
-    ok: bool,
-    newly_retired: Vec<Tile>,
+pub(crate) struct RunOutput {
+    pub(crate) cycles: u64,
+    pub(crate) energy_pj: f64,
+    pub(crate) ok: bool,
+    pub(crate) newly_retired: Vec<Tile>,
     /// Cycles at which the run took sink-progress checkpoints (empty
     /// without a [`RecoveryPolicy`]); the overload loop's preemption
     /// resumes a victim from the last of these.
-    ckpt_log: Vec<u64>,
+    pub(crate) ckpt_log: Vec<u64>,
 }
 
 /// A request currently holding tiles.
@@ -224,7 +224,13 @@ struct Pending {
 
 /// Key for memoizing fault-free runs: model name plus the exact tiles
 /// the run was placed on (placement fully determines the simulation).
-type RunKey = (String, Vec<(u8, u8)>);
+pub(crate) type RunKey = (String, Vec<(u8, u8)>);
+
+/// The memo table [`run_request`] reads and writes: fault-free results
+/// keyed by [`RunKey`]. The cluster router shares one table across all
+/// fabrics — every fabric has the same 15×14 geometry, so identical
+/// placements replay identically wherever they land.
+pub(crate) type RunMemo = BTreeMap<RunKey, (u64, f64, bool, Vec<u64>)>;
 
 struct Server<'a> {
     registry: &'a ModelRegistry,
@@ -239,7 +245,7 @@ struct Server<'a> {
     running: Vec<Running>,
     outcomes: Vec<RequestOutcome>,
     busy_tile_cycles: u64,
-    memo: BTreeMap<RunKey, (u64, f64, bool, Vec<u64>)>,
+    memo: RunMemo,
     /// The two-tier weight cache; `None` preserves the historical
     /// no-load-modeling loop byte-for-byte.
     cache: Option<WeightCache>,
@@ -270,35 +276,7 @@ pub fn serve(
     trace: &Trace,
     cfg: &ServeConfig,
 ) -> Result<ServeReport, ServeError> {
-    for r in &trace.requests {
-        let Some(entry) = registry.get(&r.model) else {
-            return Err(ServeError::UnknownModel {
-                model: r.model.clone(),
-            });
-        };
-        if entry.tiles == 0 {
-            return Err(ServeError::BadModel {
-                reason: format!("model `{}` has a zero-tile footprint", entry.name),
-            });
-        }
-        if let Some(d) = r.deadline {
-            if d == 0 {
-                return Err(ServeError::BadRequest {
-                    id: r.id,
-                    reason: "deadline is 0".into(),
-                });
-            }
-            if d <= r.arrival {
-                return Err(ServeError::BadRequest {
-                    id: r.id,
-                    reason: format!(
-                        "deadline {d} is at or before arrival {}",
-                        r.arrival
-                    ),
-                });
-            }
-        }
-    }
+    validate_requests(registry, trace)?;
     if cfg.overload.is_some()
         && matches!(cfg.policy, Policy::Partitioned | Policy::TimeShared)
     {
@@ -374,6 +352,181 @@ pub fn serve(
     Ok(report)
 }
 
+/// Per-request trace validation shared by [`serve`] and the cluster
+/// router: every model must resolve, have a non-zero footprint, and
+/// carry a possible deadline.
+pub(crate) fn validate_requests(
+    registry: &ModelRegistry,
+    trace: &Trace,
+) -> Result<(), ServeError> {
+    for r in &trace.requests {
+        let Some(entry) = registry.get(&r.model) else {
+            return Err(ServeError::UnknownModel {
+                model: r.model.clone(),
+            });
+        };
+        if entry.tiles == 0 {
+            return Err(ServeError::BadModel {
+                reason: format!("model `{}` has a zero-tile footprint", entry.name),
+            });
+        }
+        if let Some(d) = r.deadline {
+            if d == 0 {
+                return Err(ServeError::BadRequest {
+                    id: r.id,
+                    reason: "deadline is 0".into(),
+                });
+            }
+            if d <= r.arrival {
+                return Err(ServeError::BadRequest {
+                    id: r.id,
+                    reason: format!(
+                        "deadline {d} is at or before arrival {}",
+                        r.arrival
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Where the simulator would place this model given an avoid set (the
+/// first `footprint` tiles of the healthy serpentine), or `None` if it
+/// does not fit.
+pub(crate) fn placement_for(entry: &ModelEntry, avoid: &[Tile]) -> Option<Vec<Tile>> {
+    let order = healthy_order(avoid);
+    if order.len() < entry.tiles {
+        return None;
+    }
+    Some(order[..entry.tiles].to_vec())
+}
+
+/// Executes one admitted request on the fabric, confined to the tiles
+/// outside `avoid`. `attempt` is 0 for a request's first run; retries
+/// pass higher values so their fault plans draw fresh seeds. `warm`
+/// asserts the placement's CMems already hold the model's weight image
+/// (a weight-cache hit) and takes `StreamSim`'s warm-start entry point,
+/// which verifies the image bit-for-bit. Fault-free results land in
+/// `memo`; [`Server`] and the cluster router both drive their fabrics
+/// through this one function so the per-run semantics cannot drift.
+pub(crate) fn run_request(
+    cfg: &ServeConfig,
+    memo: &mut RunMemo,
+    entry: &ModelEntry,
+    avoid: &[Tile],
+    req_id: u64,
+    attempt: u32,
+    warm: bool,
+) -> Result<RunOutput, ServeError> {
+    let placement = placement_for(entry, avoid).expect("caller checked fit before running");
+    let key: RunKey = (
+        entry.name.clone(),
+        placement.iter().map(|t| (t.x, t.y)).collect(),
+    );
+    // A run is memoizable when nothing request-specific can perturb
+    // it: no fabric-wide fault plans, and no targeted dead slice for
+    // this request. Config-constant knobs (ECC mode, NoC retry) are
+    // fine — the memo lives inside one serve() call.
+    let fault_free = match &cfg.fault {
+        None => true,
+        Some(f) => {
+            f.cmem.is_none()
+                && f.noc.is_none()
+                && !(attempt == 0 && f.fail_at_requests.contains(&req_id))
+        }
+    };
+    if fault_free {
+        if let Some((cycles, energy_pj, ok, ckpt_log)) = memo.get(&key) {
+            return Ok(RunOutput {
+                cycles: *cycles,
+                energy_pj: *energy_pj,
+                ok: *ok,
+                newly_retired: Vec::new(),
+                ckpt_log: ckpt_log.clone(),
+            });
+        }
+    }
+
+    let mut sim = if warm {
+        StreamSim::new_avoiding_warm(&entry.stream, avoid, &entry.weight_image)
+    } else {
+        StreamSim::new_avoiding(&entry.stream, avoid)
+    }
+    .map_err(|e| ServeError::PoolTooSmall {
+        reason: format!("placement of `{}` failed: {e}", entry.name),
+    })?;
+    sim.set_engine(cfg.engine);
+    sim.set_parallelism(cfg.threads);
+    if let Some(recovery) = cfg.recovery {
+        sim.set_recovery_policy(Some(recovery));
+    }
+    if let Some(fault) = &cfg.fault {
+        // Fault-plan seeds are salted per request (runs fault
+        // independently but deterministically) and, additively, per
+        // attempt — a retry must not replay the exact fault draw
+        // that killed attempt 0. Attempt 0 preserves the historical
+        // seeds bit-for-bit.
+        let attempt_salt = u64::from(attempt).wrapping_mul(0xA24B_AED4_963E_E407);
+        if let Some(plan) = &fault.cmem {
+            let mut p = plan.clone();
+            p.seed = plan
+                .seed
+                .wrapping_add(req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(attempt_salt);
+            sim.attach_cmem_fault_plan(&p);
+        }
+        if let Some(plan) = &fault.noc {
+            let mut p = plan.clone();
+            if attempt > 0 {
+                p.seed = plan
+                    .seed
+                    .wrapping_add(req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_add(attempt_salt);
+            }
+            sim.attach_noc_fault_plan(p);
+        }
+        sim.set_ecc_mode(fault.ecc);
+        sim.set_noc_retry_policy(fault.retry);
+        if attempt == 0 && fault.fail_at_requests.contains(&req_id) {
+            sim.attach_cmem_fault_plan_to(
+                0,
+                &FaultPlan {
+                    seed: req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    transient_flip_rate: 0.0,
+                    stuck_cells: Vec::new(),
+                    dead_slices: vec![0],
+                },
+            );
+        }
+    }
+
+    match sim.run(cfg.run_budget) {
+        Ok(result) => {
+            let ok = result.ofmap == entry.golden;
+            let energy_pj = result.cmem_pj + result.noc.dynamic_pj();
+            let newly_retired: Vec<Tile> = sim
+                .retired_tiles()
+                .iter()
+                .filter(|t| !avoid.contains(t))
+                .copied()
+                .collect();
+            let ckpt_log = sim.checkpoint_log().to_vec();
+            if fault_free {
+                memo.insert(key, (result.cycles, energy_pj, ok, ckpt_log.clone()));
+            }
+            Ok(RunOutput {
+                cycles: result.cycles,
+                energy_pj,
+                ok,
+                newly_retired,
+                ckpt_log,
+            })
+        }
+        Err(e) => Err(ServeError::Sim(e)),
+    }
+}
+
 impl Server<'_> {
     fn run(&mut self) -> Result<(), ServeError> {
         if self.cfg.overload.is_some() {
@@ -398,14 +551,9 @@ impl Server<'_> {
     }
 
     /// Where the simulator would place this model given an avoid set
-    /// (the first `footprint` tiles of the healthy serpentine), or
-    /// `None` if it does not fit.
+    /// (see [`placement_for`]).
     fn placement(&self, entry: &ModelEntry, avoid: &[Tile]) -> Option<Vec<Tile>> {
-        let order = healthy_order(avoid);
-        if order.len() < entry.tiles {
-            return None;
-        }
-        Some(order[..entry.tiles].to_vec())
+        placement_for(entry, avoid)
     }
 
     /// The analytic service estimate the scheduler should order by: the
@@ -456,12 +604,8 @@ impl Server<'_> {
         });
     }
 
-    /// Executes one admitted request on the fabric, confined to the
-    /// tiles outside `avoid`. `attempt` is 0 for a request's first run;
-    /// retries pass higher values so their fault plans draw fresh seeds.
-    /// `warm` asserts the placement's CMems already hold the model's
-    /// weight image (a weight-cache hit) and takes `StreamSim`'s
-    /// warm-start entry point, which verifies the image bit-for-bit.
+    /// Executes one admitted request through [`run_request`] against
+    /// this server's config and memo table.
     fn run_one(
         &mut self,
         entry: &ModelEntry,
@@ -470,118 +614,7 @@ impl Server<'_> {
         attempt: u32,
         warm: bool,
     ) -> Result<RunOutput, ServeError> {
-        let placement = self
-            .placement(entry, avoid)
-            .expect("caller checked fit before running");
-        let key: RunKey = (
-            entry.name.clone(),
-            placement.iter().map(|t| (t.x, t.y)).collect(),
-        );
-        // A run is memoizable when nothing request-specific can perturb
-        // it: no fabric-wide fault plans, and no targeted dead slice for
-        // this request. Config-constant knobs (ECC mode, NoC retry) are
-        // fine — the memo lives inside one serve() call.
-        let fault_free = match &self.cfg.fault {
-            None => true,
-            Some(f) => {
-                f.cmem.is_none()
-                    && f.noc.is_none()
-                    && !(attempt == 0 && f.fail_at_requests.contains(&req_id))
-            }
-        };
-        if fault_free {
-            if let Some((cycles, energy_pj, ok, ckpt_log)) = self.memo.get(&key) {
-                return Ok(RunOutput {
-                    cycles: *cycles,
-                    energy_pj: *energy_pj,
-                    ok: *ok,
-                    newly_retired: Vec::new(),
-                    ckpt_log: ckpt_log.clone(),
-                });
-            }
-        }
-
-        let mut sim = if warm {
-            StreamSim::new_avoiding_warm(&entry.stream, avoid, &entry.weight_image)
-        } else {
-            StreamSim::new_avoiding(&entry.stream, avoid)
-        }
-        .map_err(|e| ServeError::PoolTooSmall {
-            reason: format!("placement of `{}` failed: {e}", entry.name),
-        })?;
-        sim.set_engine(self.cfg.engine);
-        sim.set_parallelism(self.cfg.threads);
-        if let Some(recovery) = self.cfg.recovery {
-            sim.set_recovery_policy(Some(recovery));
-        }
-        if let Some(fault) = &self.cfg.fault {
-            // Fault-plan seeds are salted per request (runs fault
-            // independently but deterministically) and, additively, per
-            // attempt — a retry must not replay the exact fault draw
-            // that killed attempt 0. Attempt 0 preserves the historical
-            // seeds bit-for-bit.
-            let attempt_salt =
-                u64::from(attempt).wrapping_mul(0xA24B_AED4_963E_E407);
-            if let Some(plan) = &fault.cmem {
-                let mut p = plan.clone();
-                p.seed = plan
-                    .seed
-                    .wrapping_add(req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                    .wrapping_add(attempt_salt);
-                sim.attach_cmem_fault_plan(&p);
-            }
-            if let Some(plan) = &fault.noc {
-                let mut p = plan.clone();
-                if attempt > 0 {
-                    p.seed = plan
-                        .seed
-                        .wrapping_add(req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                        .wrapping_add(attempt_salt);
-                }
-                sim.attach_noc_fault_plan(p);
-            }
-            sim.set_ecc_mode(fault.ecc);
-            sim.set_noc_retry_policy(fault.retry);
-            if attempt == 0 && fault.fail_at_requests.contains(&req_id) {
-                sim.attach_cmem_fault_plan_to(
-                    0,
-                    &FaultPlan {
-                        seed: req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        transient_flip_rate: 0.0,
-                        stuck_cells: Vec::new(),
-                        dead_slices: vec![0],
-                    },
-                );
-            }
-        }
-
-        match sim.run(self.cfg.run_budget) {
-            Ok(result) => {
-                let ok = result.ofmap == entry.golden;
-                let energy_pj = result.cmem_pj + result.noc.dynamic_pj();
-                let newly_retired: Vec<Tile> = sim
-                    .retired_tiles()
-                    .iter()
-                    .filter(|t| !avoid.contains(t))
-                    .copied()
-                    .collect();
-                let ckpt_log = sim.checkpoint_log().to_vec();
-                if fault_free {
-                    self.memo.insert(
-                        key,
-                        (result.cycles, energy_pj, ok, ckpt_log.clone()),
-                    );
-                }
-                Ok(RunOutput {
-                    cycles: result.cycles,
-                    energy_pj,
-                    ok,
-                    newly_retired,
-                    ckpt_log,
-                })
-            }
-            Err(e) => Err(ServeError::Sim(e)),
-        }
+        run_request(self.cfg, &mut self.memo, entry, avoid, req_id, attempt, warm)
     }
 
     /// Admits the request at trace index `idx` at time `now`: runs it,

@@ -222,6 +222,69 @@ impl Trace {
         Trace::from_requests(requests)
     }
 
+    /// [`Trace::zipf`]'s popularity skew with [`Trace::bursty`]'s on/off
+    /// arrival clustering: one merged stream whose arrivals are confined
+    /// to burst windows (first quarter of every `burst_period`, rate
+    /// boosted 4× inside so the long-run offered load stays
+    /// `1/mean_gap`), each request picking its tenant/model by Zipf rank
+    /// over `loads`. This is the cluster failover demo's trace shape —
+    /// bursty multi-tenant traffic with a repeat-heavy model mix. Empty
+    /// `loads` or `mean_gap == 0` yields an empty trace.
+    #[must_use]
+    pub fn zipf_bursty(
+        loads: &[TenantLoad],
+        horizon: u64,
+        mean_gap: u64,
+        exponent: f64,
+        burst_period: u64,
+        seed: u64,
+    ) -> Self {
+        if loads.is_empty() || mean_gap == 0 {
+            return Trace::from_requests(Vec::new());
+        }
+        let burst_period = burst_period.max(4);
+        let on = ((burst_period as f64 * BURST_DUTY) as u64).max(1);
+        let weights: Vec<f64> = (0..loads.len())
+            .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut rng = Rng::new(seed.wrapping_add(0xC2B2_AE3D_27D4_EB4F));
+        let burst_gap = mean_gap as f64 * BURST_DUTY;
+        let mut requests = Vec::new();
+        let mut t = 0u64;
+        loop {
+            let gap = rng.next_exp(burst_gap).round().max(1.0);
+            t = t.saturating_add(gap as u64);
+            if t >= horizon {
+                break;
+            }
+            if t % burst_period >= on {
+                t = (t / burst_period)
+                    .saturating_add(1)
+                    .saturating_mul(burst_period);
+                if t >= horizon {
+                    break;
+                }
+                continue;
+            }
+            let mut pick = rng.next_f64() * total;
+            let mut idx = 0usize;
+            while idx + 1 < loads.len() && pick >= weights[idx] {
+                pick -= weights[idx];
+                idx += 1;
+            }
+            let load = &loads[idx];
+            requests.push(Request {
+                id: 0,
+                tenant: load.tenant.clone(),
+                model: load.model.clone(),
+                arrival: t,
+                deadline: load.deadline.map(|d| t + d),
+            });
+        }
+        Trace::from_requests(requests)
+    }
+
     /// Renders the trace as a JSON document ([`Trace::from_json`] reads
     /// it back verbatim).
     #[must_use]

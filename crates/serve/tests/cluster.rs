@@ -1,0 +1,428 @@
+//! Cluster serving tests: single-fabric parity, fault-domain failover,
+//! deterministic re-dispatch, and cluster config validation.
+
+use maicc_serve::cluster::{
+    serve_cluster, ClusterConfig, ClusterFaultPlan, ClusterShedConfig,
+    FabricFault, FabricFaultKind,
+};
+use maicc_serve::overload::Tier;
+use maicc_serve::registry::three_model_mix;
+use maicc_serve::server::{serve, Policy, ServeConfig};
+use maicc_serve::trace::Trace;
+use maicc_serve::ServeError;
+use maicc_sim::stream::Engine;
+
+fn base(policy: Policy, pool_tiles: usize) -> ServeConfig {
+    ServeConfig {
+        policy,
+        pool_tiles,
+        ..ServeConfig::default()
+    }
+}
+
+fn kill(fabric: usize, at: u64) -> ClusterFaultPlan {
+    ClusterFaultPlan {
+        events: vec![FabricFault {
+            fabric,
+            at,
+            kind: FabricFaultKind::Outage { duration: None },
+        }],
+    }
+}
+
+// ---------------------------------------------------------------- parity
+
+/// The acceptance bar: a zero-fault N=1 cluster IS the single fabric.
+/// Both policies, with and without the weight cache.
+#[test]
+fn n1_zero_fault_cluster_matches_single_fabric_byte_for_byte() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::bursty(&loads, 400_000, 150_000, 13);
+    for policy in [Policy::Fcfs, Policy::Sjf] {
+        for cache in [false, true] {
+            let mut cfg = base(policy, 8);
+            if cache {
+                cfg.weight_cache =
+                    Some(maicc_serve::cache::WeightCacheConfig::default());
+            }
+            let single = serve(&registry, &trace, &cfg).unwrap().to_json();
+            let cluster = ClusterConfig {
+                fabrics: 1,
+                base: cfg,
+                ..ClusterConfig::default()
+            };
+            let report = serve_cluster(&registry, &trace, &cluster).unwrap();
+            assert_eq!(
+                single,
+                report.serve.to_json(),
+                "N=1 drifted from serve() under {policy:?} cache={cache}"
+            );
+            assert_eq!(report.failovers, 0);
+            assert_eq!(report.requests_lost, 0);
+        }
+    }
+}
+
+/// The N=1 serve report is pinned to a committed fixture, so a byte
+/// change to either the single-fabric loop or the cluster wrapper is a
+/// conscious decision (regenerate with
+/// `cargo run --release -p maicc --bin maicc -- serve --quick --fabrics 1 --serve-only`
+/// style output of the config below).
+#[test]
+fn n1_cluster_report_matches_pinned_fixture() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::poisson(&loads, 300_000, 7);
+    let cluster = ClusterConfig {
+        fabrics: 1,
+        base: base(Policy::Fcfs, 16),
+        ..ClusterConfig::default()
+    };
+    let report = serve_cluster(&registry, &trace, &cluster).unwrap();
+    let fixture = include_str!("fixtures/cluster_n1_baseline.json");
+    assert_eq!(report.serve.to_json(), fixture);
+    // And the fixture is exactly what serve() itself says.
+    let single = serve(&registry, &trace, &cluster.base).unwrap();
+    assert_eq!(single.to_json(), fixture);
+}
+
+/// Regenerates the pinned fixture. Run explicitly (`cargo test -p
+/// maicc-serve --test cluster -- --ignored regenerate`) when the serve
+/// report format changes deliberately, and commit the diff.
+#[test]
+#[ignore = "writes tests/fixtures/cluster_n1_baseline.json"]
+fn regenerate_cluster_n1_fixture() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::poisson(&loads, 300_000, 7);
+    let cluster = ClusterConfig {
+        fabrics: 1,
+        base: base(Policy::Fcfs, 16),
+        ..ClusterConfig::default()
+    };
+    let report = serve_cluster(&registry, &trace, &cluster).unwrap();
+    std::fs::write(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/cluster_n1_baseline.json"
+        ),
+        report.serve.to_json(),
+    )
+    .unwrap();
+}
+
+// ------------------------------------------------------------- failover
+
+fn failover_cluster(engine: Engine, threads: usize) -> ClusterConfig {
+    ClusterConfig {
+        fabrics: 8,
+        replicas: 2,
+        heartbeat_interval: 20_000,
+        missed_heartbeats: 2,
+        failover_budget: 3,
+        prewarm_replicas: true,
+        tiers: vec![
+            ("vision".into(), Tier::Hard),
+            ("assist".into(), Tier::Soft),
+            ("keyword".into(), Tier::BestEffort),
+        ],
+        shed: Some(ClusterShedConfig {
+            capacity_fraction: 0.95,
+            shed_late: false,
+        }),
+        faults: kill(0, 120_000),
+        base: ServeConfig {
+            engine,
+            threads,
+            weight_cache: Some(maicc_serve::cache::WeightCacheConfig::default()),
+            ..base(Policy::Sjf, 8)
+        },
+    }
+}
+
+/// A mid-run fabric kill over 8 fabrics: the dead fabric is detected on
+/// a heartbeat edge, drained, and its requests land elsewhere. Nothing
+/// Hard is lost, and the cluster keeps completing work.
+#[test]
+fn fabric_kill_fails_over_without_losing_hard_requests() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::bursty(&loads, 400_000, 150_000, 13);
+    let cfg = failover_cluster(Engine::EventDriven, 1);
+    let report = serve_cluster(&registry, &trace, &cfg).unwrap();
+    assert_eq!(report.fabrics, 8);
+    assert!(report.per_fabric[0].killed);
+    assert_eq!(report.hard_requests_lost, 0, "Hard tier must survive");
+    assert!(report.serve.completed > 0);
+    // The kill at 120k silences the 140k and 160k heartbeat edges; the
+    // second miss declares the fabric dead, 40k after the outage.
+    assert_eq!(report.detect_max_cycles, 40_000);
+    // Anything the dead fabric held or queued was re-dispatched or was
+    // never routed there; drained + failovers agree with the counters.
+    assert_eq!(
+        report.failovers,
+        report
+            .per_fabric
+            .iter()
+            .map(|f| f.drained)
+            .sum::<u64>()
+            .saturating_sub(report.requests_lost),
+        "every drained request either re-dispatched or was lost"
+    );
+    // Fabric 0 receives nothing after detection.
+    assert!(report.per_fabric[0].completed <= report.per_fabric[0].dispatched);
+}
+
+/// The full cluster report (routing, failover, shedding, cache merge)
+/// is byte-identical across both engines and node-stepping thread
+/// counts {1, 2, 4, 8} — the same bar every single-fabric report meets.
+#[test]
+fn cluster_failover_report_is_engine_and_thread_invariant() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::bursty(&loads, 300_000, 150_000, 13);
+    let mut baseline: Option<String> = None;
+    for engine in [Engine::EventDriven, Engine::CycleAccurate] {
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = failover_cluster(engine, threads);
+            let json = serve_cluster(&registry, &trace, &cfg)
+                .unwrap()
+                .to_json();
+            match &baseline {
+                None => baseline = Some(json),
+                Some(b) => assert_eq!(
+                    b, &json,
+                    "cluster report diverged under {engine:?} x {threads} threads"
+                ),
+            }
+        }
+    }
+}
+
+/// A temporary outage rejoins on a heartbeat edge after repair: the
+/// fabric comes back routable (and cold), and later work can land on it
+/// again.
+#[test]
+fn outage_with_duration_rejoins_on_a_heartbeat_edge() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::bursty(&loads, 400_000, 150_000, 13);
+    let cfg = ClusterConfig {
+        fabrics: 2,
+        replicas: 2,
+        heartbeat_interval: 20_000,
+        faults: ClusterFaultPlan {
+            events: vec![FabricFault {
+                fabric: 0,
+                at: 50_000,
+                kind: FabricFaultKind::Outage {
+                    duration: Some(60_000),
+                },
+            }],
+        },
+        base: base(Policy::Fcfs, 8),
+        ..ClusterConfig::default()
+    };
+    let report = serve_cluster(&registry, &trace, &cfg).unwrap();
+    assert!(report.per_fabric[0].killed);
+    assert_eq!(report.hard_requests_lost, 0);
+    // Down 50k-110k, rejoins at the 120k heartbeat edge; bursts keep
+    // arriving until 400k, so the rejoined fabric serves again.
+    assert!(
+        report.per_fabric[0].completed > 0,
+        "rejoined fabric never served: {:?}",
+        report.per_fabric[0]
+    );
+    assert_eq!(report.requests_lost, 0, "a 2-fabric cluster absorbs one outage");
+}
+
+/// Losing a tile bank strands overlapping runs and re-dispatches them
+/// immediately (the fabric observes its own fault — no heartbeat wait),
+/// and the lost tiles never host again.
+#[test]
+fn tile_bank_loss_redispatches_overlapping_runs() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::bursty(&loads, 400_000, 150_000, 13);
+    let cfg = ClusterConfig {
+        fabrics: 2,
+        replicas: 2,
+        faults: ClusterFaultPlan {
+            events: vec![FabricFault {
+                fabric: 0,
+                // Mid-burst: something is running on the serpentine head.
+                at: 20_000,
+                kind: FabricFaultKind::TileLoss { tiles: 4 },
+            }],
+        },
+        base: base(Policy::Fcfs, 8),
+        ..ClusterConfig::default()
+    };
+    let report = serve_cluster(&registry, &trace, &cfg).unwrap();
+    assert_eq!(report.per_fabric[0].degraded_tiles, 4);
+    assert_eq!(report.per_fabric[0].tile_losses, 1);
+    assert!(!report.per_fabric[0].killed, "tile loss is not an outage");
+    // 8-tile pool minus 4 lost tiles still fits the small models but the
+    // cluster as a whole drops nothing.
+    assert_eq!(report.requests_lost, 0);
+    assert_eq!(report.serve.completed, report.serve.requests);
+}
+
+/// A brownout stretches service on the slowed fabric; the run is
+/// deterministic and nothing is lost, the tail just grows.
+#[test]
+fn brownout_stretches_service_but_loses_nothing() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::bursty(&loads, 400_000, 150_000, 13);
+    let mut cfg = ClusterConfig {
+        fabrics: 2,
+        replicas: 2,
+        base: base(Policy::Fcfs, 8),
+        ..ClusterConfig::default()
+    };
+    let clean = serve_cluster(&registry, &trace, &cfg).unwrap();
+    cfg.faults = ClusterFaultPlan {
+        events: vec![FabricFault {
+            fabric: 0,
+            at: 0,
+            kind: FabricFaultKind::Brownout {
+                factor: 4,
+                duration: 400_000,
+            },
+        }],
+    };
+    let browned = serve_cluster(&registry, &trace, &cfg).unwrap();
+    assert_eq!(browned.requests_lost, 0);
+    assert_eq!(browned.serve.requests, clean.serve.requests);
+    assert!(
+        browned.serve.p99_latency_cycles > clean.serve.p99_latency_cycles,
+        "a 4x brownout must show up at the tail: {} vs {}",
+        browned.serve.p99_latency_cycles,
+        clean.serve.p99_latency_cycles
+    );
+}
+
+// ----------------------------------------------------------- validation
+
+#[test]
+fn cluster_validation_rejects_inconsistent_configs_with_typed_errors() {
+    let (registry, loads) = three_model_mix();
+    let trace = Trace::poisson(&loads, 100_000, 7);
+    let check = |cfg: ClusterConfig, needle: &str| {
+        match serve_cluster(&registry, &trace, &cfg) {
+            Err(ServeError::BadConfig { reason }) => assert!(
+                reason.contains(needle),
+                "reason `{reason}` should mention `{needle}`"
+            ),
+            other => panic!("expected BadConfig for `{needle}`, got {other:?}"),
+        }
+    };
+    let ok = ClusterConfig {
+        fabrics: 4,
+        replicas: 2,
+        base: base(Policy::Fcfs, 16),
+        ..ClusterConfig::default()
+    };
+    check(
+        ClusterConfig {
+            fabrics: 0,
+            ..ok.clone()
+        },
+        "at least one fabric",
+    );
+    check(
+        ClusterConfig {
+            replicas: 0,
+            ..ok.clone()
+        },
+        "replica factor",
+    );
+    check(
+        ClusterConfig {
+            replicas: 5,
+            ..ok.clone()
+        },
+        "exceeds fabric count",
+    );
+    check(
+        ClusterConfig {
+            heartbeat_interval: 0,
+            ..ok.clone()
+        },
+        "heartbeat interval",
+    );
+    check(
+        ClusterConfig {
+            missed_heartbeats: 0,
+            ..ok.clone()
+        },
+        "missed-heartbeat",
+    );
+    check(
+        ClusterConfig {
+            base: base(Policy::Partitioned, 16),
+            ..ok.clone()
+        },
+        "fcfs or sjf",
+    );
+    check(
+        ClusterConfig {
+            base: ServeConfig {
+                overload: Some(maicc_serve::overload::OverloadConfig::default()),
+                ..base(Policy::Fcfs, 16)
+            },
+            ..ok.clone()
+        },
+        "overload loop",
+    );
+    check(
+        ClusterConfig {
+            faults: kill(4, 0),
+            ..ok.clone()
+        },
+        "targets fabric 4",
+    );
+    check(
+        ClusterConfig {
+            faults: ClusterFaultPlan {
+                events: vec![FabricFault {
+                    fabric: 0,
+                    at: 10,
+                    kind: FabricFaultKind::Brownout {
+                        factor: 0,
+                        duration: 100,
+                    },
+                }],
+            },
+            ..ok.clone()
+        },
+        "slow factor 0",
+    );
+    check(
+        ClusterConfig {
+            faults: ClusterFaultPlan {
+                events: vec![FabricFault {
+                    fabric: 0,
+                    at: 10,
+                    kind: FabricFaultKind::TileLoss { tiles: 0 },
+                }],
+            },
+            ..ok.clone()
+        },
+        "retires 0 tiles",
+    );
+    check(
+        ClusterConfig {
+            shed: Some(ClusterShedConfig {
+                capacity_fraction: 0.0,
+                shed_late: false,
+            }),
+            ..ok.clone()
+        },
+        "capacity fraction",
+    );
+    check(
+        ClusterConfig {
+            shed: Some(ClusterShedConfig {
+                capacity_fraction: 1.5,
+                shed_late: false,
+            }),
+            ..ok
+        },
+        "capacity fraction",
+    );
+}

@@ -1,0 +1,148 @@
+//! Property tests for the Zipf trace generators: determinism across
+//! threads, model/tenant bounds, and exponent edge cases.
+
+use proptest::prelude::*;
+
+use maicc_serve::registry::three_model_mix;
+use maicc_serve::trace::Trace;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same seed ⇒ byte-identical trace, no matter which OS thread
+    /// builds it (the generator owns all of its state; nothing ambient
+    /// can leak in).
+    #[test]
+    fn zipf_is_byte_identical_across_threads(
+        seed in 0u64..10_000,
+        exponent in 0.0f64..4.0,
+    ) {
+        let (_registry, loads) = three_model_mix();
+        let reference =
+            Trace::zipf(&loads, 500_000, 10_000, exponent, seed).to_json();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let loads = loads.clone();
+                std::thread::spawn(move || {
+                    Trace::zipf(&loads, 500_000, 10_000, exponent, seed)
+                        .to_json()
+                })
+            })
+            .collect();
+        for h in handles {
+            prop_assert_eq!(&reference, &h.join().unwrap());
+        }
+    }
+
+    /// Every generated request names a tenant/model pair straight out
+    /// of `loads` (the rank pick can never run off the end), arrivals
+    /// are sorted below the horizon, and ids are dense.
+    #[test]
+    fn zipf_requests_stay_within_the_registry(
+        seed in 0u64..10_000,
+        exponent in 0.0f64..6.0,
+        horizon in 50_000u64..400_000,
+    ) {
+        let (registry, loads) = three_model_mix();
+        let trace = Trace::zipf(&loads, horizon, 9_000, exponent, seed);
+        for (i, r) in trace.requests.iter().enumerate() {
+            prop_assert_eq!(r.id, i as u64, "ids are dense");
+            prop_assert!(r.arrival < horizon);
+            if i > 0 {
+                prop_assert!(r.arrival >= trace.requests[i - 1].arrival);
+            }
+            prop_assert!(
+                registry.get(&r.model).is_some(),
+                "model `{}` not in the registry", r.model
+            );
+            prop_assert!(
+                loads.iter().any(|l| l.tenant == r.tenant && l.model == r.model),
+                "request names a tenant/model pair outside `loads`"
+            );
+        }
+    }
+
+    /// The bursty variant obeys the same bounds and additionally lands
+    /// every arrival inside a burst window.
+    #[test]
+    fn zipf_bursty_confines_arrivals_to_burst_windows(
+        seed in 0u64..10_000,
+        exponent in 0.0f64..4.0,
+    ) {
+        let (registry, loads) = three_model_mix();
+        let period = 100_000u64;
+        let on = period / 4; // BURST_DUTY
+        let trace =
+            Trace::zipf_bursty(&loads, 500_000, 9_000, exponent, period, seed);
+        for r in &trace.requests {
+            prop_assert!(r.arrival < 500_000);
+            prop_assert!(
+                r.arrival % period < on,
+                "arrival {} escaped the burst window", r.arrival
+            );
+            prop_assert!(registry.get(&r.model).is_some());
+        }
+        // Determinism across threads, same as the plain generator.
+        let loads2 = loads.clone();
+        let other = std::thread::spawn(move || {
+            Trace::zipf_bursty(&loads2, 500_000, 9_000, exponent, period, seed)
+                .to_json()
+        })
+        .join()
+        .unwrap();
+        prop_assert_eq!(trace.to_json(), other);
+    }
+}
+
+/// `exponent == 0` is a uniform pick: with enough arrivals every rank
+/// shows up, not just the head.
+#[test]
+fn zipf_exponent_zero_is_uniform() {
+    let (_registry, loads) = three_model_mix();
+    let trace = Trace::zipf(&loads, 2_000_000, 5_000, 0.0, 42);
+    assert!(trace.requests.len() > 100, "need a dense trace");
+    for load in &loads {
+        let n = trace
+            .requests
+            .iter()
+            .filter(|r| r.model == load.model)
+            .count();
+        assert!(
+            n > trace.requests.len() / 10,
+            "uniform pick starved `{}` ({n} of {})",
+            load.model,
+            trace.requests.len()
+        );
+    }
+}
+
+/// A huge exponent degenerates to the head rank without NaN trouble:
+/// `1/(i+1)^1000` underflows to 0.0 for every non-head rank, and the
+/// cursor walk must still terminate inside bounds.
+#[test]
+fn zipf_huge_exponent_degenerates_to_the_head_model() {
+    let (_registry, loads) = three_model_mix();
+    let trace = Trace::zipf(&loads, 2_000_000, 5_000, 1_000.0, 42);
+    assert!(trace.requests.len() > 100, "need a dense trace");
+    for r in &trace.requests {
+        assert_eq!(
+            r.model, loads[0].model,
+            "rank 0 must absorb the whole stream at s=1000"
+        );
+    }
+}
+
+/// Degenerate inputs yield an empty trace, not a panic or a spin.
+#[test]
+fn zipf_empty_inputs_yield_empty_traces() {
+    let (_registry, loads) = three_model_mix();
+    assert!(Trace::zipf(&[], 100_000, 5_000, 1.0, 1).requests.is_empty());
+    assert!(Trace::zipf(&loads, 100_000, 0, 1.0, 1).requests.is_empty());
+    assert!(Trace::zipf(&loads, 0, 5_000, 1.0, 1).requests.is_empty());
+    assert!(Trace::zipf_bursty(&[], 100_000, 5_000, 1.0, 50_000, 1)
+        .requests
+        .is_empty());
+    assert!(Trace::zipf_bursty(&loads, 100_000, 0, 1.0, 50_000, 1)
+        .requests
+        .is_empty());
+}
