@@ -8,12 +8,16 @@
 //!
 //! The parser is hand-rolled over the harness's own fixed JSON shape
 //! (`{"name": "...", "median_ns": N, ...}` entries), so the tool works
-//! without a serde backend. By default it is *informational*: the exit
-//! code is always 0, so a CI step using it annotates the log without
-//! blocking the build. With `--fail-on-regress PCT` it becomes a soft
-//! gate: the exit code is 1 when any benchmark's median regressed by
-//! more than `PCT` percent over the baseline (mis-parses and missing
-//! files still exit 0 — only a measured regression fails). Benchmarks
+//! without a serde backend. Without `--fail-on-regress` it is
+//! *informational about measurements* but still honest about inputs:
+//! exit 0 annotates the log, while a usage error, an unreadable file,
+//! or a report no benchmark entry could be parsed from exits
+//! [`EXIT_MISSING`] (2) — distinct from the measured-regression exit 1
+//! so CI can tell "the code got slower" from "the comparison never
+//! happened". With `--fail-on-regress PCT` the exit code is 1 when any
+//! benchmark's median regressed by more than `PCT` percent over the
+//! baseline, and 2 when a gated derived metric the baseline had
+//! measured is missing from the new report entirely. Benchmarks
 //! present on only one side are listed as added or removed.
 //!
 //! Besides the timing rows the tool also diffs the report's `derived`
@@ -33,10 +37,19 @@
 //! loses a request, so there is no acceptable baseline to drift from).
 //!
 //! When `--fail-on-regress` is active the tool prints a `gates` section
-//! listing every gate it evaluated and the value it saw, even when all
-//! of them pass — a green CI log should still show what was checked.
+//! listing every gate it evaluated with the observed value, the
+//! baseline it was held to, and the remaining margin, even when all of
+//! them pass — a green CI log should still show what was checked and
+//! how close it came.
 
 use std::process::ExitCode;
+
+/// Exit code for "the comparison could not be made": usage errors,
+/// unreadable inputs, reports with no parsable benchmark entries, and
+/// gated derived metrics that vanished from the new report. Distinct
+/// from exit 1 (a measured regression) so CI logs separate "slower"
+/// from "not measured".
+const EXIT_MISSING: u8 = 2;
 
 /// `(name, median_ns)` pairs in file order.
 fn parse_medians(json: &str) -> Vec<(String, u64)> {
@@ -98,13 +111,15 @@ fn parse_derived(json: &str) -> Vec<(String, f64)> {
 
 /// Whether a derived key is held to the relative regression gate.
 /// Higher is worse for all of these: overload counters, the
-/// repeat-heavy warm p50, and the cluster failover metrics (p99s, miss
-/// rate, detection latency, losses). `serve_cluster_failovers` is a
-/// plain re-dispatch count that tracks the fault plan, not a health
-/// metric, so it stays informational.
+/// repeat-heavy warm p50, the cluster failover metrics (p99s, miss
+/// rate, detection latency, losses), and the soak-day fleet p99.
+/// `serve_cluster_failovers` is a plain re-dispatch count that tracks
+/// the fault plan, not a health metric, so it stays informational — as
+/// do the soak window count and hit rate.
 fn is_gated_derived(name: &str) -> bool {
     name.starts_with("serve_overload_")
         || name == "serve_repeat_p50_cycles"
+        || name == "serve_soak_p99_cycles"
         || (name.starts_with("serve_cluster_") && name != "serve_cluster_failovers")
 }
 
@@ -177,6 +192,21 @@ fn hard_lost_breach(new: &[(String, f64)]) -> Option<f64> {
         .filter(|v| *v > 0.0)
 }
 
+/// Gated derived metrics the baseline measured (value above zero) that
+/// are missing from the new report entirely. A silently dropped metric
+/// must not pass as green, but it is not a measured regression either —
+/// it exits [`EXIT_MISSING`] instead of 1.
+fn missing_gated_derived(
+    base: &[(String, f64)],
+    new: &[(String, f64)],
+) -> Vec<String> {
+    base.iter()
+        .filter(|(name, v)| is_gated_derived(name) && *v > 0.0)
+        .filter(|(name, _)| !new.iter().any(|(n, _)| n == name))
+        .map(|(name, _)| name.clone())
+        .collect()
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let fail_limit: Option<f64> = args
@@ -193,9 +223,7 @@ fn main() -> ExitCode {
         });
     let [baseline_path, new_path] = args.as_slice() else {
         eprintln!("usage: bench_diff BASELINE.json NEW.json [--fail-on-regress PCT]");
-        // still non-blocking: a misconfigured CI step should annotate,
-        // not fail the build
-        return ExitCode::SUCCESS;
+        return ExitCode::from(EXIT_MISSING);
     };
     let read = |path: &str| match std::fs::read_to_string(path) {
         Ok(s) => Some(s),
@@ -205,7 +233,7 @@ fn main() -> ExitCode {
         }
     };
     let (Some(base_json), Some(new_json)) = (read(baseline_path), read(new_path)) else {
-        return ExitCode::SUCCESS;
+        return ExitCode::from(EXIT_MISSING);
     };
     let base = parse_medians(&base_json);
     let new = parse_medians(&new_json);
@@ -215,7 +243,7 @@ fn main() -> ExitCode {
             base.len(),
             new.len()
         );
-        return ExitCode::SUCCESS;
+        return ExitCode::from(EXIT_MISSING);
     }
 
     println!("bench_diff: {baseline_path} -> {new_path}");
@@ -252,20 +280,44 @@ fn main() -> ExitCode {
         }
     }
     if let Some(limit) = fail_limit {
-        // List every gate with the value it saw — a green run should
-        // still show what was checked. Failures print after the table.
+        // List every gate with the observed value, the baseline it was
+        // held to, and the remaining margin — a green run should still
+        // show what was checked and how close it came. Failures print
+        // after the table.
         println!("\ngates (--fail-on-regress {limit:.1}%):");
         let timing = worst_regression(&base, &new);
         match &timing {
             Some((name, pct)) => {
-                println!("  timing regression          worst `{name}` {pct:+.1}%");
+                let lookup = |side: &[(String, u64)]| {
+                    side.iter()
+                        .find(|(n, _)| n == name)
+                        .map_or(0, |&(_, v)| v)
+                };
+                println!(
+                    "  timing regression          worst `{name}` {} -> {} ns \
+                     ({pct:+.1}%, margin {:.1}% of the {limit:.1}% limit)",
+                    lookup(&base),
+                    lookup(&new),
+                    limit - pct
+                );
             }
             None => println!("  timing regression          nothing slower than baseline"),
         }
         let derived = worst_derived_regression(&base_derived, &new_derived);
         match &derived {
             Some((name, pct)) => {
-                println!("  derived regression         worst `{name}` {pct:+.1}%");
+                let lookup = |side: &[(String, f64)]| {
+                    side.iter()
+                        .find(|(n, _)| n == name)
+                        .map_or(0.0, |&(_, v)| v)
+                };
+                println!(
+                    "  derived regression         worst `{name}` {:.3} -> {:.3} \
+                     ({pct:+.1}%, margin {:.1}% of the {limit:.1}% limit)",
+                    lookup(&base_derived),
+                    lookup(&new_derived),
+                    limit - pct
+                );
             }
             None => println!("  derived regression         no gated metric worsened"),
         }
@@ -276,7 +328,10 @@ fn main() -> ExitCode {
                 .map(|&(_, v)| v)
         };
         let print_floor = |label: &str, key: &str, floor: f64| match gate_value(key) {
-            Some(v) if v > 0.0 => println!("  {label} {v:.2} (floor {floor:.1})"),
+            Some(v) if v > 0.0 => println!(
+                "  {label} {v:.2} (floor {floor:.1}, margin {:+.2})",
+                v - floor
+            ),
             _ => println!("  {label} not run"),
         };
         print_floor("speedup_vs_sequential     ", "speedup_vs_sequential", SPEEDUP_FLOOR);
@@ -284,6 +339,12 @@ fn main() -> ExitCode {
         match gate_value("serve_cluster_hard_lost") {
             Some(v) => println!("  serve_cluster_hard_lost    {v:.0} (must be 0)"),
             None => println!("  serve_cluster_hard_lost    not run"),
+        }
+        let missing = missing_gated_derived(&base_derived, &new_derived);
+        if missing.is_empty() {
+            println!("  missing gated metrics      none");
+        } else {
+            println!("  missing gated metrics      {}", missing.join(", "));
         }
         if let Some((name, pct)) = timing {
             if pct > limit {
@@ -322,6 +383,13 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+        if !missing.is_empty() {
+            eprintln!(
+                "bench_diff: gated derived metric(s) missing from the new report: {}",
+                missing.join(", ")
+            );
+            return ExitCode::from(EXIT_MISSING);
+        }
     }
     ExitCode::SUCCESS
 }
@@ -329,8 +397,9 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::{
-        hard_lost_breach, hit_rate_floor_breach, is_gated_derived, parse_derived,
-        parse_medians, speedup_floor_breach, worst_derived_regression, worst_regression,
+        hard_lost_breach, hit_rate_floor_breach, is_gated_derived,
+        missing_gated_derived, parse_derived, parse_medians, speedup_floor_breach,
+        worst_derived_regression, worst_regression,
     };
 
     #[test]
@@ -465,6 +534,29 @@ mod tests {
         // Any loss fails, no matter what the baseline recorded.
         let bad = parse_derived(r#"{"derived": {"serve_cluster_hard_lost": 1}}"#);
         assert_eq!(hard_lost_breach(&bad), Some(1.0));
+    }
+
+    #[test]
+    fn vanished_gated_metrics_are_flagged_not_regressed() {
+        let b = parse_derived(
+            r#"{"derived": {"serve_cluster_hard_p99_cycles": 500000,
+                            "serve_cluster_failovers": 4,
+                            "serve_overload_shed_rate": 0.0,
+                            "serve_fcfs_p99_cycles": 90000}}"#,
+        );
+        // The gated hard p99 vanished; the informational failover count
+        // and the zero-baseline (unmeasured) shed rate vanishing are
+        // both fine, as is an ungated key.
+        let n = parse_derived(r#"{"derived": {"serve_repeat_p50_cycles": 1}}"#);
+        assert_eq!(
+            missing_gated_derived(&b, &n),
+            vec!["serve_cluster_hard_p99_cycles".to_string()]
+        );
+        // nothing missing when the key is present, whatever its value
+        let ok = parse_derived(
+            r#"{"derived": {"serve_cluster_hard_p99_cycles": 1}}"#,
+        );
+        assert!(missing_gated_derived(&b, &ok).is_empty());
     }
 
     #[test]

@@ -56,6 +56,11 @@
 //!   invariant (`hard_requests_lost == 0`) every iteration. Per-policy
 //!   fleet p99s, the deadline miss rate, and the failover/detect
 //!   counters land in the `derived` block as `serve_cluster_*`.
+//! * `serve_soak` — the soak-run observability scenario: a diurnal Zipf
+//!   day with continuous seeded fault churn over a 4-fabric cluster,
+//!   with the interval telemetry recorder attached; the check value is
+//!   the fleet p99 in fabric cycles, and the window count plus warm hit
+//!   rate land in the `derived` block as `serve_soak_*`.
 //!
 //! Every iteration checks functional correctness (ofmap == golden,
 //! modelled cycle counts identical across variants), so a speedup that
@@ -69,7 +74,8 @@ use maicc::exec::segment::Strategy;
 use maicc::nn::resnet::resnet18;
 use maicc::serve::cache::WeightCacheConfig;
 use maicc::serve::cluster::{
-    serve_cluster, ClusterConfig, ClusterFaultPlan, ClusterShedConfig, FabricFault, FabricFaultKind,
+    serve_cluster, serve_cluster_with_obs, ClusterConfig, ClusterFaultPlan, ClusterShedConfig,
+    FabricFault, FabricFaultKind,
 };
 use maicc::serve::overload::RetryBudget;
 use maicc::serve::overload::Tier;
@@ -255,6 +261,15 @@ struct ScenarioStats {
     overload: Option<OverloadStats>,
     repeat: Option<RepeatHeavyStats>,
     cluster: Option<ClusterStats>,
+    soak: Option<SoakStats>,
+}
+
+/// Counters from the soak run: a diurnal Zipf day with continuous fault
+/// churn over a 4-fabric cluster, interval telemetry recorder attached.
+struct SoakStats {
+    p99_cycles: u64,
+    windows: u64,
+    hit_rate: f64,
 }
 
 /// Counters from the multi-fabric failover run: per-policy fleet tails,
@@ -283,10 +298,11 @@ fn write_json(
     results: &[Summary],
     stats: &ScenarioStats,
 ) {
-    let (overload, repeat, cluster) = (
+    let (overload, repeat, cluster, soak) = (
         stats.overload.as_ref(),
         stats.repeat.as_ref(),
         stats.cluster.as_ref(),
+        stats.soak.as_ref(),
     );
     let mut out = String::from("{\n");
     out.push_str("  \"harness\": \"maicc_bench\",\n");
@@ -451,8 +467,24 @@ fn write_json(
         cluster.map_or(0, |c| c.lost)
     ));
     out.push_str(&format!(
-        "    \"serve_cluster_hard_lost\": {}\n",
+        "    \"serve_cluster_hard_lost\": {},\n",
         cluster.map_or(0, |c| c.hard_lost)
+    ));
+    // Soak health on the diurnal churn day: the fleet p99 (also the
+    // timing row's check value), how many telemetry windows the interval
+    // recorder emitted, and the warm hit rate after a full day of churn.
+    // bench_diff gates the p99 relatively.
+    out.push_str(&format!(
+        "    \"serve_soak_p99_cycles\": {},\n",
+        soak.map_or(0, |s| s.p99_cycles)
+    ));
+    out.push_str(&format!(
+        "    \"serve_soak_windows\": {},\n",
+        soak.map_or(0, |s| s.windows)
+    ));
+    out.push_str(&format!(
+        "    \"serve_soak_hit_rate\": {:.4}\n",
+        soak.map_or(0.0, |s| s.hit_rate)
     ));
     out.push_str("  }\n}\n");
     std::fs::write(path, out).expect("write BENCH_results.json");
@@ -766,6 +798,54 @@ fn main() {
             run_cluster(Policy::Sjf).failover_p99_cycles
         }));
     }
+    let mut soak_stats: Option<SoakStats> = None;
+    if want("serve_soak") {
+        // The soak-run observability scenario: a compressed diurnal day
+        // (the generator's 8-phase rate curve, keyword-headed Zipf mix)
+        // over a 4-fabric cluster with continuous seeded fault churn and
+        // the interval telemetry recorder attached — the same shape as
+        // `maicc soak --quick`. Every iteration exercises the recorder's
+        // window flushing alongside the serving work it observes.
+        let (sk_registry, sk_loads) = three_model_mix();
+        let mut ranked = sk_loads;
+        ranked.reverse(); // small (keyword) first — the Zipf head
+        let horizon = 600_000;
+        let sk_trace = Trace::diurnal(&ranked, horizon, 12_000, 1.1, 200_000, 42);
+        let run_soak = || {
+            let cfg = ClusterConfig {
+                fabrics: 4,
+                replicas: 2,
+                heartbeat_interval: 20_000,
+                missed_heartbeats: 2,
+                failover_budget: 3,
+                prewarm_replicas: true,
+                tiers: vec![
+                    ("vision".into(), Tier::Hard),
+                    ("assist".into(), Tier::Soft),
+                    ("keyword".into(), Tier::BestEffort),
+                ],
+                shed: Some(ClusterShedConfig::default()),
+                faults: ClusterFaultPlan::churn(4, horizon, 150_000, 42),
+                base: ServeConfig {
+                    policy: Policy::Sjf,
+                    pool_tiles: 16,
+                    threads,
+                    weight_cache: Some(WeightCacheConfig::default()),
+                    ..ServeConfig::default()
+                },
+            };
+            serve_cluster_with_obs(&sk_registry, &sk_trace, &cfg, 50_000).expect("soak serves")
+        };
+        let (soak_rep, soak_jsonl) = run_soak();
+        soak_stats = Some(SoakStats {
+            p99_cycles: soak_rep.serve.p99_latency_cycles,
+            windows: soak_jsonl.lines().count() as u64,
+            hit_rate: soak_rep.serve.cache.as_ref().map_or(0.0, |c| c.hit_rate),
+        });
+        results.push(measure("serve_soak", warmup, iters, || {
+            run_soak().0.serve.p99_latency_cycles
+        }));
+    }
     assert!(
         !results.is_empty(),
         "--bench {:?} matched no benchmark",
@@ -794,6 +874,7 @@ fn main() {
             overload: overload_stats,
             repeat: repeat_stats,
             cluster: cluster_stats,
+            soak: soak_stats,
         },
     );
 

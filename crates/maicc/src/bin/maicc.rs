@@ -14,6 +14,10 @@
 //!              [--fabrics N] [--replicas K] [--heartbeat N]
 //!              [--fabric-fault SPEC]... [--serve-only]
 //!              [--engine event|cycle] [--threads N] [--quick] [--json]
+//! maicc soak   [--fabrics N] [--replicas K] [--heartbeat N] [--pool N]
+//!              [--horizon N] [--interval N] [--seed N] [--no-churn]
+//!              [--churn-period N] [--out FILE]
+//!              [--engine event|cycle] [--threads N] [--quick]
 //! ```
 //!
 //! `--fabrics N` routes the trace through the multi-fabric cluster
@@ -24,6 +28,12 @@
 //! `--serve-only` prints just the merged serve report JSON — byte-
 //! comparable against a plain `serve --json` run when `--fabrics 1` and
 //! no faults are given (the CI parity check).
+//!
+//! `soak` runs a long diurnal Zipf trace through the full cluster stack
+//! under continuous seeded fault churn and streams interval telemetry
+//! (one JSON line per `--interval` simulated cycles — the `maicc-obs`
+//! schema) to stdout or `--out FILE`; the human summary goes to stderr,
+//! so the stream stays byte-comparable across engines and thread counts.
 
 use maicc::core::kernels::{CmemConvKernel, ConvWorkload};
 use maicc::core::node::{Node, NullPort};
@@ -48,6 +58,7 @@ fn main() -> ExitCode {
         Some("stream") => cmd_stream(),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("soak") => cmd_soak(&args[1..]),
         Some("help") | None => {
             print_help();
             Ok(())
@@ -74,6 +85,7 @@ fn print_help() {
          stream    push a 2-layer conv pipeline through the bit-level mesh\n  \
          campaign  sweep fault injections with ECC/retry/replay recovery\n  \
          serve     online multi-tenant serving: request trace -> scheduler -> SLO report\n  \
+         soak      long diurnal cluster run with fault churn, streaming interval telemetry\n  \
          help      print this overview\n\n\
          USAGE:\n  maicc map    [--model M] [--strategy S] [--cores N]\n  \
          maicc node   [--width 4|8|16]\n  maicc asm    <file.s>\n  \
@@ -85,7 +97,11 @@ fn print_help() {
          \u{20}            [--weight-cache] [--cold-cache] [--cache-llc-bytes N]\n  \
          \u{20}            [--fabrics N] [--replicas K] [--heartbeat N]\n  \
          \u{20}            [--fabric-fault SPEC]... [--serve-only]\n  \
-         \u{20}            [--engine event|cycle] [--threads N] [--quick] [--json]\n\n\
+         \u{20}            [--engine event|cycle] [--threads N] [--quick] [--json]\n  \
+         maicc soak   [--fabrics N] [--replicas K] [--heartbeat N] [--pool N]\n  \
+         \u{20}            [--horizon N] [--interval N] [--seed N] [--no-churn]\n  \
+         \u{20}            [--churn-period N] [--out FILE]\n  \
+         \u{20}            [--engine event|cycle] [--threads N] [--quick]\n\n\
          models: resnet18 (default), vgg11, tinynet\n\
          strategies: heuristic (default), greedy, single\n\
          serve policies: fcfs (default), sjf, partitioned, time-shared\n\
@@ -531,6 +547,127 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             println!();
         }
+    }
+    Ok(())
+}
+
+/// `maicc soak`: a long diurnal cluster run with continuous seeded
+/// fault churn, streaming the `maicc-obs` interval telemetry (JSONL) to
+/// stdout or `--out FILE` while the human summary goes to stderr.
+fn cmd_soak(args: &[String]) -> Result<(), String> {
+    use maicc::serve::cache::WeightCacheConfig;
+    use maicc::serve::cluster::{
+        serve_cluster_with_obs, ClusterConfig, ClusterFaultPlan,
+        ClusterShedConfig,
+    };
+    use maicc::serve::overload::Tier;
+    use maicc::serve::registry::three_model_mix;
+    use maicc::serve::server::{Policy, ServeConfig};
+    use maicc::serve::trace::Trace;
+    use maicc::sim::stream::Engine;
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let num = |name: &str, default: u64| -> Result<u64, String> {
+        match flag(args, name) {
+            Some(v) => v.parse().map_err(|_| format!("bad {name} `{v}`")),
+            None => Ok(default),
+        }
+    };
+    let seed = num("--seed", 42)?;
+    let horizon = num("--horizon", if quick { 600_000 } else { 2_000_000 })?;
+    let interval = num("--interval", 50_000)?;
+    let fabrics = num("--fabrics", 4)? as usize;
+    let replicas = num("--replicas", 2.min(fabrics as u64))? as usize;
+    let heartbeat = num("--heartbeat", 20_000)?;
+    let pool_tiles = num("--pool", 16)? as usize;
+    let churn_period = num("--churn-period", 150_000)?;
+    let engine = match flag(args, "--engine").as_deref() {
+        None | Some("event") => Engine::EventDriven,
+        Some("cycle") => Engine::CycleAccurate,
+        Some(other) => return Err(format!("unknown engine `{other}` (event|cycle)")),
+    };
+    let threads = match flag(args, "--threads") {
+        Some(v) => v.parse().map_err(|_| format!("bad thread count `{v}`"))?,
+        None => 1usize,
+    };
+
+    // The repeat-heavy diurnal mix: popularity ranks lightest-first so
+    // the weight cache has a head model to keep warm, exactly as the
+    // zipf serve path does.
+    let (registry, loads) = three_model_mix();
+    let mut ranked = loads;
+    ranked.reverse();
+    let trace = Trace::diurnal(&ranked, horizon, 12_000, 1.1, 200_000, seed);
+
+    let faults = if args.iter().any(|a| a == "--no-churn") {
+        ClusterFaultPlan::default()
+    } else {
+        ClusterFaultPlan::churn(fabrics, horizon, churn_period, seed)
+    };
+    let cfg = ClusterConfig {
+        fabrics,
+        replicas,
+        heartbeat_interval: heartbeat,
+        prewarm_replicas: true,
+        tiers: vec![
+            ("vision".into(), Tier::Hard),
+            ("assist".into(), Tier::Soft),
+            ("keyword".into(), Tier::BestEffort),
+        ],
+        shed: Some(ClusterShedConfig::default()),
+        faults,
+        base: ServeConfig {
+            policy: Policy::Sjf,
+            engine,
+            threads,
+            pool_tiles,
+            weight_cache: Some(WeightCacheConfig::default()),
+            ..ServeConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let (report, jsonl) =
+        serve_cluster_with_obs(&registry, &trace, &cfg, interval)
+            .map_err(|e| e.to_string())?;
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &jsonl).map_err(|e| format!("{path}: {e}"))?;
+        }
+        None => print!("{jsonl}"),
+    }
+    eprintln!(
+        "soak: {} fabrics x {} tiles | horizon {} cycles | {} windows of {}",
+        fabrics,
+        pool_tiles,
+        horizon,
+        jsonl.lines().count(),
+        interval.max(1)
+    );
+    eprintln!(
+        "  requests {} | completed {} | lost {} (hard {}) | shed {} | failovers {}",
+        report.serve.requests,
+        report.serve.completed,
+        report.requests_lost,
+        report.hard_requests_lost,
+        report.serve.shed,
+        report.failovers
+    );
+    eprintln!(
+        "  faults {} | detect p50/max {}/{} cycles | failover p99 {} | p99 latency {} cycles",
+        report.faults_injected,
+        report.detect_p50_cycles,
+        report.detect_max_cycles,
+        report.failover_p99_cycles,
+        report.serve.p99_latency_cycles
+    );
+    if let Some(c) = &report.serve.cache {
+        eprintln!(
+            "  weight cache: hit rate {:.1}% | {} evictions | prefetch {}/{} used",
+            c.hit_rate * 100.0,
+            c.evictions,
+            c.prefetch_used,
+            c.prefetch_issued
+        );
     }
     Ok(())
 }

@@ -41,12 +41,14 @@
 use std::collections::BTreeMap;
 
 use maicc_exec::mapping::{healthy_order, zigzag_order, Tile};
+use maicc_obs::{CacheSample, Recorder};
 
 use crate::cache::{AdmissionPlan, CacheCounters, WeightCache};
 use crate::overload::Tier;
 use crate::registry::{ModelEntry, ModelRegistry};
 use crate::server::{
-    placement_for, run_request, validate_requests, Policy, RunMemo, ServeConfig,
+    cache_sample, placement_for, run_request, validate_requests, Policy,
+    RunMemo, ServeConfig,
 };
 use crate::slo::{percentile, CacheReport, RequestOutcome, ServeReport};
 use crate::trace::Trace;
@@ -99,6 +101,53 @@ pub struct FabricFault {
 pub struct ClusterFaultPlan {
     /// Scheduled events; ties on `at` apply in schedule order.
     pub events: Vec<FabricFault>,
+}
+
+impl ClusterFaultPlan {
+    /// A seeded rotation of continuous fault churn for soak runs:
+    /// repairable outages, brownout waves, and rolling single-tile bank
+    /// losses cycle across fabrics roughly every `period` cycles until
+    /// `horizon`. Every outage carries a repair duration (no permanent
+    /// kills) and tile losses are capped at two per fabric, so the
+    /// cluster keeps recovering instead of grinding to a halt.
+    #[must_use]
+    pub fn churn(fabrics: usize, horizon: u64, period: u64, seed: u64) -> Self {
+        let mut events = Vec::new();
+        if fabrics == 0 || period == 0 {
+            return ClusterFaultPlan { events };
+        }
+        let mut rng =
+            crate::rng::Rng::new(seed.wrapping_add(0x5EED_C1DE_50A6_2026));
+        let half = (period / 2).max(1);
+        let mut tile_losses = vec![0u32; fabrics];
+        let mut k = 0u64;
+        let mut at = period;
+        while at < horizon {
+            #[allow(clippy::cast_possible_truncation)]
+            let fabric = (k % fabrics as u64) as usize;
+            let brownout = FabricFaultKind::Brownout {
+                factor: 2 + rng.next_u64() % 2,
+                duration: half,
+            };
+            let kind = match k % 3 {
+                0 => FabricFaultKind::Outage {
+                    duration: Some(half),
+                },
+                1 => brownout,
+                _ if tile_losses[fabric] < 2 => {
+                    tile_losses[fabric] += 1;
+                    FabricFaultKind::TileLoss { tiles: 1 }
+                }
+                // This fabric already lost its quota of banks: another
+                // brownout wave keeps the churn cadence instead.
+                _ => brownout,
+            };
+            events.push(FabricFault { fabric, at, kind });
+            k += 1;
+            at += period + rng.next_u64() % half;
+        }
+        ClusterFaultPlan { events }
+    }
 }
 
 /// Cluster-level shedding: active while believed-healthy capacity is
@@ -398,6 +447,8 @@ struct Cluster<'a> {
     /// admission sweep repeats so a bounce to an earlier fabric index
     /// is not stranded until the next event.
     bounced: bool,
+    /// Interval telemetry recorder, when the caller asked for one.
+    obs: Option<Recorder>,
 }
 
 /// Runs a trace against a cluster of identical fabrics and returns the
@@ -417,6 +468,35 @@ pub fn serve_cluster(
     trace: &Trace,
     cfg: &ClusterConfig,
 ) -> Result<ClusterReport, ServeError> {
+    serve_cluster_impl(registry, trace, cfg, None).map(|(report, _)| report)
+}
+
+/// Runs [`serve_cluster`] with an interval telemetry recorder attached
+/// and returns the report alongside the JSONL stream (one line per
+/// `interval_cycles` of simulated time; see the `maicc-obs` crate for
+/// the schema). The stream is byte-identical across engines and
+/// stepping thread counts, exactly like the report.
+///
+/// # Errors
+///
+/// Everything [`serve_cluster`] rejects.
+pub fn serve_cluster_with_obs(
+    registry: &ModelRegistry,
+    trace: &Trace,
+    cfg: &ClusterConfig,
+    interval_cycles: u64,
+) -> Result<(ClusterReport, String), ServeError> {
+    let obs = Recorder::new(interval_cycles, cfg.fabrics.max(1));
+    serve_cluster_impl(registry, trace, cfg, Some(obs))
+        .map(|(report, jsonl)| (report, jsonl.expect("recorder was attached")))
+}
+
+fn serve_cluster_impl(
+    registry: &ModelRegistry,
+    trace: &Trace,
+    cfg: &ClusterConfig,
+    obs: Option<Recorder>,
+) -> Result<(ClusterReport, Option<String>), ServeError> {
     validate_cluster(cfg)?;
     validate_requests(registry, trace)?;
 
@@ -493,10 +573,19 @@ pub fn serve_cluster(
         detect_latencies: Vec::new(),
         failover_ids: Vec::new(),
         bounced: false,
+        obs,
     };
     cluster.prewarm();
     cluster.run()?;
-    cluster.finish()
+    let end = cluster
+        .outcomes
+        .iter()
+        .map(|o| o.finished)
+        .max()
+        .unwrap_or(0);
+    let jsonl = cluster.obs.take().map(|o| o.finish(end));
+    let report = cluster.finish()?;
+    Ok((report, jsonl))
 }
 
 fn validate_cluster(cfg: &ClusterConfig) -> Result<(), ServeError> {
@@ -682,6 +771,9 @@ impl Cluster<'_> {
                     f.up = true;
                     f.routable = true;
                     f.detect_at = None;
+                    if let Some(o) = self.obs.as_mut() {
+                        o.rejoin(now, fi);
+                    }
                 }
             }
             // Phase E: route fresh arrivals.
@@ -706,14 +798,47 @@ impl Cluster<'_> {
                     break;
                 }
             }
+            if self.obs.is_some() {
+                self.obs_sync(now);
+            }
         }
         Ok(())
+    }
+
+    /// Feeds the recorder the sampled state at the close of one event:
+    /// queue depth per tier summed over every fabric's queued and
+    /// stranded work, and the cache counters merged across fabrics.
+    fn obs_sync(&mut self, now: u64) {
+        let mut depth = [0u64; 3];
+        for f in &self.fabrics {
+            for e in f.queue.iter().chain(f.stranded.iter()) {
+                let tier = self.tier_of(&self.trace.requests[e.idx].tenant);
+                depth[tier.rank() as usize] += 1;
+            }
+        }
+        let merged = self.cfg.base.weight_cache.is_some().then(|| {
+            let mut total = CacheSample::default();
+            for f in &self.fabrics {
+                let c = f.cache.as_ref().expect("configured").counters();
+                total.add(cache_sample(c));
+            }
+            total
+        });
+        if let Some(o) = self.obs.as_mut() {
+            o.queue_depth(now, depth[0], depth[1], depth[2]);
+            if let Some(total) = merged {
+                o.cache_sync(now, total);
+            }
+        }
     }
 
     fn apply_fault(&mut self, ev: FabricFault, now: u64) {
         let h = self.cfg.heartbeat_interval;
         match ev.kind {
             FabricFaultKind::Outage { duration } => {
+                if let Some(o) = self.obs.as_mut() {
+                    o.fault(now, ev.fabric, true);
+                }
                 let missed = u64::from(self.cfg.missed_heartbeats);
                 // The first heartbeat the dead fabric misses is the
                 // next multiple of the interval; the router declares it
@@ -746,6 +871,9 @@ impl Cluster<'_> {
                 }
             }
             FabricFaultKind::Brownout { factor, duration } => {
+                if let Some(o) = self.obs.as_mut() {
+                    o.fault(now, ev.fabric, false);
+                }
                 let f = &mut self.fabrics[ev.fabric];
                 f.brownouts += 1;
                 f.slow_factor = factor.max(1);
@@ -761,10 +889,16 @@ impl Cluster<'_> {
                 // The bank at the head of the serpentine dies: exactly
                 // the tiles placements prefer, so running work is hit.
                 let lost: Vec<Tile> = order[..n].to_vec();
+                let mut newly = 0u64;
                 for t in &lost {
                     if !f.degraded.contains(t) {
                         f.degraded.push(*t);
+                        newly += 1;
                     }
+                }
+                if let Some(o) = self.obs.as_mut() {
+                    o.fault(now, ev.fabric, false);
+                    o.retired(now, newly);
                 }
                 f.degraded.sort_unstable_by_key(|t| (t.y, t.x));
                 if let Some(c) = f.cache.as_mut() {
@@ -825,6 +959,9 @@ impl Cluster<'_> {
     /// The heartbeat detector declares fabric `fi` dead: its queue and
     /// stranded runs re-dispatch to survivors, its warm state dies.
     fn drain(&mut self, fi: usize, now: u64) {
+        if let Some(o) = self.obs.as_mut() {
+            o.detection(now, fi);
+        }
         let f = &mut self.fabrics[fi];
         f.detect_at = None;
         f.routable = false;
@@ -883,6 +1020,9 @@ impl Cluster<'_> {
         e.retries += 1;
         e.attempt += 1;
         self.failovers += 1;
+        if let Some(o) = self.obs.as_mut() {
+            o.failover(now);
+        }
         if let Err(pos) = self.failover_ids.binary_search(&id) {
             self.failover_ids.insert(pos, id);
         }
@@ -894,6 +1034,9 @@ impl Cluster<'_> {
 
     /// Records a request the cluster could not deliver.
     fn push_lost(&mut self, e: &ClusterPending, now: u64) {
+        if let Some(o) = self.obs.as_mut() {
+            o.lost(now);
+        }
         let req = &self.trace.requests[e.idx];
         let latency = now - req.arrival;
         let tier = self.tier_field(&req.tenant);
@@ -922,6 +1065,9 @@ impl Cluster<'_> {
 
     /// Records an arrival shed at the router.
     fn push_cluster_shed(&mut self, idx: usize, now: u64) {
+        if let Some(o) = self.obs.as_mut() {
+            o.shed(now);
+        }
         let req = &self.trace.requests[idx];
         let latency = now - req.arrival;
         let tier = self.tier_field(&req.tenant);
@@ -952,6 +1098,9 @@ impl Cluster<'_> {
     /// Routes one fresh arrival: cluster-level shedding first, then
     /// target selection.
     fn route_arrival(&mut self, idx: usize, now: u64) {
+        if let Some(o) = self.obs.as_mut() {
+            o.arrival(now);
+        }
         let req = &self.trace.requests[idx];
         let tier = self.tier_of(&req.tenant);
         if let Some(shed) = &self.cfg.shed {
@@ -1190,9 +1339,11 @@ impl Cluster<'_> {
         ) {
             Ok(out) => {
                 let f = &mut self.fabrics[fi];
+                let mut newly_degraded = 0u64;
                 for t in out.newly_retired {
                     if !f.degraded.contains(&t) {
                         f.degraded.push(t);
+                        newly_degraded += 1;
                     }
                 }
                 f.degraded.sort_unstable_by_key(|t| (t.y, t.x));
@@ -1241,6 +1392,14 @@ impl Cluster<'_> {
                     warm,
                     load_cycles: load.cycles,
                 });
+                if let Some(o) = self.obs.as_mut() {
+                    o.admission(
+                        now,
+                        out.ecc_corrected,
+                        out.noc_retransmits,
+                        newly_degraded,
+                    );
+                }
                 Ok(())
             }
             Err(ServeError::Sim(_)) => {
@@ -1318,6 +1477,9 @@ impl Cluster<'_> {
                 warm: if has_cache { Some(run.warm) } else { None },
                 load_cycles: run.load_cycles,
             });
+            if let Some(o) = self.obs.as_mut() {
+                o.completion(now, latency);
+            }
         }
     }
 

@@ -22,6 +22,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use maicc_exec::mapping::{healthy_order, zigzag_order, Tile};
 use maicc_noc::{NocFaultPlan, RetryPolicy};
+use maicc_obs::{CacheSample, Recorder};
 use maicc_sim::stream::{Engine, StreamSim};
 use maicc_sim::RecoveryPolicy;
 use maicc_sram::ecc::EccMode;
@@ -177,6 +178,13 @@ pub(crate) struct RunOutput {
     /// without a [`RecoveryPolicy`]); the overload loop's preemption
     /// resumes a victim from the last of these.
     pub(crate) ckpt_log: Vec<u64>,
+    /// ECC single-bit corrections the run's CMems performed. Memoized
+    /// replays report 0 — only fault-free runs are memoized, and a
+    /// fault-free run corrects nothing.
+    pub(crate) ecc_corrected: u64,
+    /// NoC ACK/NACK retransmissions the run's mesh performed (same
+    /// memoization argument).
+    pub(crate) noc_retransmits: u64,
 }
 
 /// A request currently holding tiles.
@@ -249,6 +257,23 @@ struct Server<'a> {
     /// The two-tier weight cache; `None` preserves the historical
     /// no-load-modeling loop byte-for-byte.
     cache: Option<WeightCache>,
+    /// Interval telemetry recorder; `None` (the plain [`serve`] entry
+    /// point) leaves every loop untouched.
+    obs: Option<Recorder>,
+}
+
+/// Converts the weight cache's counters into the recorder's snapshot
+/// form (integer activity counters only).
+pub(crate) fn cache_sample(c: &crate::cache::CacheCounters) -> CacheSample {
+    CacheSample {
+        hits: c.hits,
+        misses: c.misses,
+        evictions: c.evictions,
+        llc_hits: c.llc_hits,
+        prefetch_issued: c.prefetch_issued,
+        prefetch_used: c.prefetch_used,
+        prefetch_canceled: c.prefetch_canceled,
+    }
 }
 
 /// Runs a trace against a registry under a config and returns the SLO
@@ -276,6 +301,45 @@ pub fn serve(
     trace: &Trace,
     cfg: &ServeConfig,
 ) -> Result<ServeReport, ServeError> {
+    serve_impl(registry, trace, cfg, None).map(|(report, _)| report)
+}
+
+/// Like [`serve`], but additionally threads a [`Recorder`] through the
+/// event loop and returns its JSONL telemetry stream: one record per
+/// `interval_cycles` of simulated time (see the `maicc-obs` crate docs
+/// for the schema and determinism argument). The report is byte-identical
+/// to what plain [`serve`] returns on the same inputs.
+///
+/// # Errors
+///
+/// Everything [`serve`] raises, plus [`ServeError::BadConfig`] for
+/// [`Policy::Partitioned`] / [`Policy::TimeShared`] — interval telemetry
+/// is only wired through the queued and overload loops.
+pub fn serve_with_obs(
+    registry: &ModelRegistry,
+    trace: &Trace,
+    cfg: &ServeConfig,
+    interval_cycles: u64,
+) -> Result<(ServeReport, String), ServeError> {
+    if matches!(cfg.policy, Policy::Partitioned | Policy::TimeShared) {
+        return Err(ServeError::BadConfig {
+            reason: format!(
+                "interval telemetry requires fcfs or sjf, not {}",
+                cfg.policy.label()
+            ),
+        });
+    }
+    let recorder = Recorder::new(interval_cycles, 1);
+    serve_impl(registry, trace, cfg, Some(recorder))
+        .map(|(report, jsonl)| (report, jsonl.expect("recorder was attached")))
+}
+
+fn serve_impl(
+    registry: &ModelRegistry,
+    trace: &Trace,
+    cfg: &ServeConfig,
+    obs: Option<Recorder>,
+) -> Result<(ServeReport, Option<String>), ServeError> {
     validate_requests(registry, trace)?;
     if cfg.overload.is_some()
         && matches!(cfg.policy, Policy::Partitioned | Policy::TimeShared)
@@ -335,8 +399,16 @@ pub fn serve(
         busy_tile_cycles: 0,
         memo: BTreeMap::new(),
         cache: cfg.weight_cache.clone().map(WeightCache::new),
+        obs,
     };
     server.run()?;
+    let end = server
+        .outcomes
+        .iter()
+        .map(|o| o.finished)
+        .max()
+        .unwrap_or(0);
+    let jsonl = server.obs.take().map(|o| o.finish(end));
     let cache_report = server
         .cache
         .as_ref()
@@ -349,7 +421,7 @@ pub fn serve(
         server.outcomes,
     );
     report.cache = cache_report;
-    Ok(report)
+    Ok((report, jsonl))
 }
 
 /// Per-request trace validation shared by [`serve`] and the cluster
@@ -444,6 +516,8 @@ pub(crate) fn run_request(
                 ok: *ok,
                 newly_retired: Vec::new(),
                 ckpt_log: ckpt_log.clone(),
+                ecc_corrected: 0,
+                noc_retransmits: 0,
             });
         }
     }
@@ -521,6 +595,8 @@ pub(crate) fn run_request(
                 ok,
                 newly_retired,
                 ckpt_log,
+                ecc_corrected: sim.ecc_stats().corrected,
+                noc_retransmits: sim.noc_fault_stats().retries,
             })
         }
         Err(e) => Err(ServeError::Sim(e)),
@@ -536,6 +612,19 @@ impl Server<'_> {
             Policy::Fcfs | Policy::Sjf => self.run_queued(),
             Policy::TimeShared => self.run_time_shared(),
             Policy::Partitioned => self.run_partitioned(),
+        }
+    }
+
+    /// Settles the recorder at the end of one event iteration: the
+    /// admission-queue depth per tier (sample-and-hold) and the weight
+    /// cache's cumulative counters (delta-attributed to the window).
+    fn obs_sync(&mut self, now: u64, hard: u64, soft: u64, best_effort: u64) {
+        let sample = self.cache.as_ref().map(|c| cache_sample(c.counters()));
+        if let Some(o) = self.obs.as_mut() {
+            o.queue_depth(now, hard, soft, best_effort);
+            if let Some(s) = sample {
+                o.cache_sync(now, s);
+            }
         }
     }
 
@@ -649,14 +738,19 @@ impl Server<'_> {
             .expect("caller checked fit before admitting");
         match self.run_one(entry, &avoid, req.id, 0, warm) {
             Ok(out) => {
+                let mut newly_degraded = 0u64;
                 for t in out.newly_retired {
                     if !self.degraded.contains(&t) {
                         self.degraded.push(t);
+                        newly_degraded += 1;
                     }
                 }
                 self.degraded.sort_unstable_by_key(|t| (t.y, t.x));
                 if let Some(c) = self.cache.as_mut() {
                     c.retire_tiles(&self.degraded);
+                }
+                if let Some(o) = self.obs.as_mut() {
+                    o.admission(now, out.ecc_corrected, out.noc_retransmits, newly_degraded);
                 }
                 // Remap may have shifted the run onto different tiles;
                 // recompute occupancy from the final avoid set so later
@@ -702,6 +796,9 @@ impl Server<'_> {
             Err(ServeError::Sim(_)) => {
                 // The run died beyond recovery: the request is dropped,
                 // the fabric is released, serving continues.
+                if let Some(o) = self.obs.as_mut() {
+                    o.lost(now);
+                }
                 let req = &self.trace.requests[idx];
                 self.outcomes.push(RequestOutcome {
                     id: req.id,
@@ -751,6 +848,9 @@ impl Server<'_> {
                 // request for the same model admits warm.
                 let entry = self.registry.get(&req.model).expect("validated");
                 cache.on_release(entry, &run.tiles, now);
+            }
+            if let Some(o) = self.obs.as_mut() {
+                o.completion(now, now - req.arrival);
             }
             self.outcomes.push(RequestOutcome {
                 id: req.id,
@@ -808,6 +908,9 @@ impl Server<'_> {
                 if let Some(c) = self.cache.as_mut() {
                     c.record_arrival(&self.trace.requests[next].model, now);
                 }
+                if let Some(o) = self.obs.as_mut() {
+                    o.arrival(now);
+                }
                 queue.push_back(next);
                 next += 1;
             }
@@ -863,6 +966,11 @@ impl Server<'_> {
             // With tiles still free and the queue drained (or blocked),
             // stream a predicted model's weights while the fabric works.
             self.try_prefetch(now);
+            // Fair-weather requests are untiered; the telemetry stream
+            // classifies them as Soft (the default tier).
+            if self.obs.is_some() {
+                self.obs_sync(now, 0, queue.len() as u64, 0);
+            }
         }
         Ok(())
     }
@@ -1136,6 +1244,9 @@ impl Server<'_> {
     /// fabric (queue overflow, a busted deadline estimate, or a pool
     /// that can no longer hold its model).
     fn push_shed(&mut self, p: Pending, now: u64) {
+        if let Some(o) = self.obs.as_mut() {
+            o.shed(now);
+        }
         let req = &self.trace.requests[p.idx];
         let latency = now - req.arrival;
         self.outcomes.push(RequestOutcome {
@@ -1184,6 +1295,9 @@ impl Server<'_> {
             self.busy_tile_cycles += segment * run.tiles.len() as u64;
             let service = run.executed + segment;
             let latency = now - req.arrival;
+            if let Some(o) = self.obs.as_mut() {
+                o.completion(now, latency);
+            }
             self.outcomes.push(RequestOutcome {
                 id: req.id,
                 tenant: req.tenant.clone(),
@@ -1327,14 +1441,19 @@ impl Server<'_> {
             .expect("caller checked fit before admitting");
         match self.run_one(entry, &avoid, req_id, p.attempt, warm) {
             Ok(out) => {
+                let mut newly_degraded = 0u64;
                 for t in out.newly_retired {
                     if !self.degraded.contains(&t) {
                         self.degraded.push(t);
+                        newly_degraded += 1;
                     }
                 }
                 self.degraded.sort_unstable_by_key(|t| (t.y, t.x));
                 if let Some(c) = self.cache.as_mut() {
                     c.retire_tiles(&self.degraded);
+                }
+                if let Some(o) = self.obs.as_mut() {
+                    o.admission(now, out.ecc_corrected, out.noc_retransmits, newly_degraded);
                 }
                 let occupied = if self.degraded.is_empty() {
                     tiles
@@ -1392,6 +1511,9 @@ impl Server<'_> {
                         });
                         return Ok(());
                     }
+                }
+                if let Some(o) = self.obs.as_mut() {
+                    o.lost(now);
                 }
                 let req = &self.trace.requests[p.idx];
                 let latency = now - req.arrival;
@@ -1466,6 +1588,9 @@ impl Server<'_> {
                     .iter()
                     .filter(|p| self.trace.requests[p.idx].tenant == tenant)
                     .count();
+                if let Some(o) = self.obs.as_mut() {
+                    o.arrival(now);
+                }
                 let arrival_entry = Pending {
                     idx: next,
                     tier,
@@ -1651,6 +1776,13 @@ impl Server<'_> {
             }
 
             self.try_prefetch(now);
+            if self.obs.is_some() {
+                let mut depth = [0u64; 3];
+                for p in &pending {
+                    depth[p.tier.rank() as usize] += 1;
+                }
+                self.obs_sync(now, depth[0], depth[1], depth[2]);
+            }
         }
         Ok(())
     }

@@ -13,6 +13,9 @@
 //! * [`Trace::zipf`] — one merged Poisson stream whose requests pick a
 //!   model by Zipf-skewed popularity rank, the repeat-heavy mix that
 //!   exercises the serving layer's weight cache;
+//! * [`Trace::diurnal`] — the Zipf mix modulated by a repeating
+//!   day-shaped rate curve (quiet night through midday peak), the
+//!   long-horizon soak-run shape;
 //! * [`Trace::from_json`] — a trace file, so recorded or hand-written
 //!   workloads replay exactly.
 //!
@@ -265,6 +268,88 @@ impl Trace {
                 if t >= horizon {
                     break;
                 }
+                continue;
+            }
+            let mut pick = rng.next_f64() * total;
+            let mut idx = 0usize;
+            while idx + 1 < loads.len() && pick >= weights[idx] {
+                pick -= weights[idx];
+                idx += 1;
+            }
+            let load = &loads[idx];
+            requests.push(Request {
+                id: 0,
+                tenant: load.tenant.clone(),
+                model: load.model.clone(),
+                arrival: t,
+                deadline: load.deadline.map(|d| t + d),
+            });
+        }
+        Trace::from_requests(requests)
+    }
+
+    /// Diurnal Zipf traffic for soak runs: one merged arrival stream
+    /// whose rate follows a repeating day-shaped curve — a dead-quiet
+    /// night, a morning ramp, a midday peak, an evening fade — while
+    /// every request picks its tenant/model by Zipf rank over `loads`
+    /// exactly as in [`Trace::zipf`].
+    ///
+    /// The day is split into eight equal phases with rate multipliers
+    /// `[0, 1, 2, 5, 8, 5, 2, 1]` over the base rate `1/mean_gap`
+    /// (`day` is rounded down to a multiple of eight phases, minimum
+    /// one cycle each). The first phase offers *zero* load: no
+    /// arrivals are generated there at all — the generator jumps to
+    /// the next phase boundary instead of panicking on or spinning at
+    /// an infinite gap, and an arrival whose gap lands inside a later
+    /// night is likewise suppressed. A horizon that ends inside the
+    /// opening night yields an empty trace. Empty `loads` or
+    /// `mean_gap == 0` yields an empty trace, as in [`Trace::zipf`].
+    #[must_use]
+    pub fn diurnal(
+        loads: &[TenantLoad],
+        horizon: u64,
+        mean_gap: u64,
+        exponent: f64,
+        day: u64,
+        seed: u64,
+    ) -> Self {
+        const PHASES: [u64; 8] = [0, 1, 2, 5, 8, 5, 2, 1];
+        if loads.is_empty() || mean_gap == 0 {
+            return Trace::from_requests(Vec::new());
+        }
+        let phase_len = (day / 8).max(1);
+        let day = phase_len * 8; // phases tile the absolute cycle grid
+        let weights: Vec<f64> = (0..loads.len())
+            .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut rng = Rng::new(seed.wrapping_add(0xD1AB_4A1D_27D4_EB4F));
+        let mut requests = Vec::new();
+        let mut t = 0u64;
+        loop {
+            let phase = ((t % day) / phase_len) as usize;
+            let m = PHASES[phase];
+            if m == 0 {
+                // zero-rate phase: skip straight to the next boundary
+                t = (t / phase_len)
+                    .saturating_add(1)
+                    .saturating_mul(phase_len);
+                if t >= horizon {
+                    break;
+                }
+                continue;
+            }
+            let gap = rng
+                .next_exp(mean_gap as f64 / m as f64)
+                .round()
+                .max(1.0);
+            t = t.saturating_add(gap as u64);
+            if t >= horizon {
+                break;
+            }
+            // a gap drawn in the evening can land inside the night:
+            // re-check the landing phase and suppress, never emit
+            if PHASES[((t % day) / phase_len) as usize] == 0 {
                 continue;
             }
             let mut pick = rng.next_f64() * total;
@@ -745,6 +830,74 @@ mod tests {
     fn zipf_degenerate_inputs_are_empty() {
         assert!(Trace::zipf(&[], 1_000_000, 100, 1.0, 1).requests.is_empty());
         assert!(Trace::zipf(&loads(), 1_000_000, 0, 1.0, 1).requests.is_empty());
+    }
+
+    #[test]
+    fn diurnal_is_deterministic_and_sorted() {
+        let a = Trace::diurnal(&loads(), 2_000_000, 5_000, 1.1, 200_000, 42);
+        let b = Trace::diurnal(&loads(), 2_000_000, 5_000, 1.1, 200_000, 42);
+        assert_eq!(a, b);
+        assert!(!a.requests.is_empty());
+        for (i, r) in a.requests.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(r.arrival < 2_000_000);
+            if i > 0 {
+                assert!(r.arrival >= a.requests[i - 1].arrival);
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_zero_rate_phase_emits_no_arrivals() {
+        // phase 0 of every day is dead air: no arrival may land there
+        let day = 160_000u64;
+        let phase_len = day / 8;
+        let t = Trace::diurnal(&loads(), 4_000_000, 2_000, 1.1, day, 7);
+        assert!(!t.requests.is_empty());
+        for r in &t.requests {
+            assert!(
+                r.arrival % day >= phase_len,
+                "arrival {} inside the zero-rate night",
+                r.arrival
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_peak_outdraws_shoulder() {
+        // the 8x midday phase (index 4) must carry more arrivals than
+        // the 1x morning phase (index 1) over many days
+        let day = 80_000u64;
+        let phase_len = day / 8;
+        let t = Trace::diurnal(&loads(), 8_000_000, 2_000, 1.1, day, 3);
+        let in_phase = |p: u64| {
+            t.requests
+                .iter()
+                .filter(|r| (r.arrival % day) / phase_len == p)
+                .count()
+        };
+        assert!(in_phase(4) > 2 * in_phase(1), "peak should dominate");
+    }
+
+    #[test]
+    fn diurnal_degenerate_inputs_are_empty() {
+        // no tenants / zero rate, as the other generators
+        assert!(Trace::diurnal(&[], 1_000_000, 100, 1.0, 8_000, 1)
+            .requests
+            .is_empty());
+        assert!(Trace::diurnal(&loads(), 1_000_000, 0, 1.0, 8_000, 1)
+            .requests
+            .is_empty());
+        // a horizon that ends inside the opening night emits nothing
+        // (and must terminate rather than spin on the zero-rate phase)
+        assert!(Trace::diurnal(&loads(), 500, 100, 1.0, 80_000, 1)
+            .requests
+            .is_empty());
+        // a degenerate one-cycle day still terminates and stays sorted
+        let t = Trace::diurnal(&loads(), 100_000, 1_000, 1.0, 0, 5);
+        for w in t.requests.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
     }
 
     #[test]
